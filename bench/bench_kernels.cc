@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Kernel-variant microbenchmarks (google-benchmark): the Section 4.3
+ * claims that backend switching pays — blocked vs naive GEMM,
+ * im2col / Winograd vs direct convolution, fused vs unfused
+ * conv+bias+relu.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/tensor.h"
+#include "ir/graph.h"
+#include "kernels/kernel.h"
+
+namespace pe {
+namespace {
+
+struct ConvFixture {
+    Graph g;
+    int node;
+    Tensor x, w, bias, out;
+    std::vector<float> scratch;
+    bool ready = false;
+
+    ConvFixture(OpKind op, int64_t ch, int64_t hw,
+                const std::string &variant, int64_t act = 0)
+    {
+        Rng rng(1);
+        int xi = g.input({1, ch, hw, hw}, "x");
+        int wi = g.param({ch, ch, 3, 3}, "w", false);
+        Attrs a;
+        a.set("stride", static_cast<int64_t>(1));
+        a.set("pad", static_cast<int64_t>(1));
+        if (op == OpKind::ConvBiasAct) {
+            a.set("act", act);
+            int bi = g.param({ch, 1, 1}, "b", false);
+            node = g.add(op, {xi, wi, bi}, std::move(a));
+        } else {
+            node = g.add(op, {xi, wi}, std::move(a));
+        }
+        if (variant == "winograd")
+            g.node(node).attrs.set("staticWeight",
+                                   static_cast<int64_t>(1));
+        x = Tensor::randn({1, ch, hw, hw}, rng);
+        w = Tensor::randn({ch, ch, 3, 3}, rng, 0.2f);
+        bias = Tensor::randn({ch, 1, 1}, rng);
+        out = Tensor::zeros(g.node(node).shape);
+        scratch.assign(
+            std::max<int64_t>(1, kernelScratchSize(g, g.node(node),
+                                                   variant)),
+            0.0f);
+    }
+
+    void
+    run(const std::string &variant)
+    {
+        KernelCtx ctx;
+        const Node &n = g.node(node);
+        ctx.node = &n;
+        ctx.in = {x.data(), w.data()};
+        ctx.inShapes = {&g.node(n.inputs[0]).shape,
+                        &g.node(n.inputs[1]).shape};
+        if (n.op == OpKind::ConvBiasAct) {
+            ctx.in.push_back(bias.data());
+            ctx.inShapes.push_back(&g.node(n.inputs[2]).shape);
+        }
+        ctx.out = out.data();
+        ctx.outShape = &n.shape;
+        ctx.scratch = scratch.data();
+        ctx.scratchReady = &ready;
+        lookupKernel(n.op, variant)(ctx);
+    }
+};
+
+void
+BM_MatMul(benchmark::State &state, const std::string &variant)
+{
+    int64_t n = state.range(0);
+    Rng rng(1);
+    Graph g;
+    int a = g.input({n, n}, "a");
+    int b = g.input({n, n}, "b");
+    int node = g.add(OpKind::MatMul, {a, b});
+    Tensor ta = Tensor::randn({n, n}, rng);
+    Tensor tb = Tensor::randn({n, n}, rng);
+    Tensor out({n, n});
+    KernelCtx ctx;
+    ctx.node = &g.node(node);
+    ctx.in = {ta.data(), tb.data()};
+    ctx.inShapes = {&g.node(a).shape, &g.node(b).shape};
+    ctx.out = out.data();
+    ctx.outShape = &g.node(node).shape;
+    KernelFn fn = lookupKernel(OpKind::MatMul, variant);
+    for (auto _ : state) {
+        fn(ctx);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+void
+BM_ConvVariant(benchmark::State &state, const std::string &variant)
+{
+    int64_t ch = state.range(0);
+    ConvFixture f(OpKind::Conv2d, ch, 16, variant);
+    for (auto _ : state) {
+        f.run(variant);
+        benchmark::DoNotOptimize(f.out.data());
+    }
+}
+
+void
+BM_FusedConvBiasRelu(benchmark::State &state)
+{
+    int64_t ch = state.range(0);
+    ConvFixture f(OpKind::ConvBiasAct, ch, 16, "", kActRelu);
+    for (auto _ : state) {
+        f.run("");
+        benchmark::DoNotOptimize(f.out.data());
+    }
+}
+
+void
+BM_UnfusedConvBiasRelu(benchmark::State &state)
+{
+    // Conv, then separate broadcast-add, then separate relu: three
+    // dispatches and two extra buffer sweeps.
+    int64_t ch = state.range(0);
+    ConvFixture f(OpKind::Conv2d, ch, 16, "");
+    Graph g2;
+    int ci = g2.input(f.g.node(f.node).shape, "c");
+    int bi = g2.param({ch, 1, 1}, "b", false);
+    int addn = g2.add(OpKind::Add, {ci, bi});
+    int relun = g2.add(OpKind::Relu, {addn});
+    Tensor mid(f.g.node(f.node).shape);
+    Tensor out(f.g.node(f.node).shape);
+    for (auto _ : state) {
+        f.run("");
+        KernelCtx a;
+        a.node = &g2.node(addn);
+        a.in = {f.out.data(), f.bias.data()};
+        a.inShapes = {&g2.node(ci).shape, &g2.node(bi).shape};
+        a.out = mid.data();
+        a.outShape = &g2.node(addn).shape;
+        lookupKernel(OpKind::Add, "")(a);
+        KernelCtx r;
+        r.node = &g2.node(relun);
+        r.in = {mid.data()};
+        r.inShapes = {&g2.node(addn).shape};
+        r.out = out.data();
+        r.outShape = &g2.node(relun).shape;
+        lookupKernel(OpKind::Relu, "")(r);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+
+BENCHMARK_CAPTURE(BM_MatMul, naive, std::string(""))
+    ->Arg(64)
+    ->Arg(128);
+BENCHMARK_CAPTURE(BM_MatMul, blocked, std::string("blocked"))
+    ->Arg(64)
+    ->Arg(128);
+BENCHMARK_CAPTURE(BM_ConvVariant, direct, std::string(""))
+    ->Arg(16)
+    ->Arg(32);
+BENCHMARK_CAPTURE(BM_ConvVariant, im2col, std::string("im2col"))
+    ->Arg(16)
+    ->Arg(32);
+BENCHMARK_CAPTURE(BM_ConvVariant, winograd, std::string("winograd"))
+    ->Arg(16)
+    ->Arg(32);
+BENCHMARK(BM_FusedConvBiasRelu)->Arg(16)->Arg(32);
+BENCHMARK(BM_UnfusedConvBiasRelu)->Arg(16)->Arg(32);
+
+} // namespace
+} // namespace pe
+
+BENCHMARK_MAIN();

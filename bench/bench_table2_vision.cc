@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Table 2: transfer-learning accuracy of Full-BP vs Bias-only vs
+ * Sparse-BP on three vision models across the seven downstream
+ * tasks. Models pretrain on the ImageNet-proxy distribution, then
+ * fine-tune per task under each scheme.
+ *
+ * Expected shape (paper): sparse-BP within ~1 point of full-BP on
+ * average; bias-only below both. Cost columns show what sparse-BP
+ * buys.
+ */
+
+#include <functional>
+
+#include "bench_common.h"
+
+using namespace pe;
+using namespace pe::bench;
+
+namespace {
+
+constexpr int64_t kRes = 16;
+constexpr int64_t kBatch = 8;
+
+struct Family {
+    std::string name;
+    std::function<ModelSpec(const VisionConfig &, Rng &, ParamStore *)>
+        build;
+    VisionConfig cfg;
+    int biasBlocks, weightBlocks;
+};
+
+std::vector<Family>
+families()
+{
+    VisionConfig mcu;
+    mcu.batch = kBatch;
+    mcu.resolution = kRes;
+    mcu.width = 0.5;
+    mcu.blocks = 5;
+
+    VisionConfig mbv2;
+    mbv2.batch = kBatch;
+    mbv2.resolution = kRes;
+    mbv2.width = 0.4;
+    mbv2.blocks = 6;
+
+    VisionConfig rn;
+    rn.batch = kBatch;
+    rn.resolution = kRes;
+    rn.width = 0.25;
+    rn.blocks = 4;
+
+    return {
+        {"MCUNet-proxy", buildMcuNet, mcu, 3, 2},
+        {"MobileNetV2", buildMobileNetV2, mbv2, 3, 3},
+        {"ResNet", buildResNet, rn, 2, 2},
+    };
+}
+
+/** Deep-copy the store, dropping the task head (re-initialized). */
+std::shared_ptr<ParamStore>
+bodyOf(const ParamStore &pretrained)
+{
+    auto out = std::make_shared<ParamStore>();
+    for (const auto &[name, t] : pretrained.all()) {
+        if (name.rfind("head.", 0) == 0)
+            continue;
+        if (name.find(".m") != std::string::npos ||
+            name.find(".v") != std::string::npos ||
+            name.find(".apply") != std::string::npos) {
+            continue; // optimizer state does not transfer
+        }
+        out->set(name, t.clone());
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table 2: vision transfer accuracy "
+                "(synthetic tasks; see DESIGN.md substitutions) ===\n\n");
+    int pretrain_steps = scaledSteps(220);
+    int finetune_steps = scaledSteps(90);
+
+    for (const Family &fam : families()) {
+        // Pretrain once on the ImageNet proxy.
+        Rng rng(41);
+        SyntheticVision pre = SyntheticVision::pretrain(3, kRes);
+        VisionConfig pre_cfg = fam.cfg;
+        pre_cfg.numClasses = pre.classes();
+        auto pre_store = std::make_shared<ParamStore>();
+        ModelSpec pm = fam.build(pre_cfg, rng, pre_store.get());
+        CompileOptions opt;
+        opt.optim = OptimConfig::adam(0.004);
+        {
+            auto prog = compileTraining(pm.graph, pm.loss,
+                                        SparseUpdateScheme::full(), opt,
+                                        pre_store);
+            Rng r(97);
+            finetune(
+                prog,
+                [&](int64_t b, Rng &rr) { return pre.sample(b, rr); },
+                kBatch, pretrain_steps, r);
+        }
+
+        std::printf("--- %s ---\n", fam.name.c_str());
+        printRow({"method", "avg", "cars", "cifar", "cub", "flowers",
+                  "foods", "pets", "vww", "flops", "arena"},
+                 9);
+
+        struct Method {
+            std::string name;
+            std::function<SparseUpdateScheme(const ModelSpec &)> scheme;
+        };
+        std::vector<Method> methods = {
+            {"full-bp",
+             [](const ModelSpec &) { return SparseUpdateScheme::full(); }},
+            {"bias",
+             [](const ModelSpec &) { return biasOnlyScheme(); }},
+            {"sparse",
+             [&](const ModelSpec &m) {
+                 return cnnSparseScheme(m, fam.biasBlocks,
+                                        fam.weightBlocks);
+             }},
+        };
+
+        for (const Method &method : methods) {
+            std::vector<std::string> cells = {method.name, ""};
+            double sum = 0;
+            double rel_flops = 0, rel_arena = 0;
+            for (const std::string &task :
+                 SyntheticVision::taskNames()) {
+                SyntheticVision ds = SyntheticVision::task(task, 3,
+                                                           kRes);
+                VisionConfig cfg = fam.cfg;
+                cfg.numClasses = ds.classes();
+                auto store = bodyOf(*pre_store);
+                Rng mr(13);
+                ModelSpec m = fam.build(cfg, mr, store.get());
+                CompileOptions fopt;
+                fopt.optim = OptimConfig::adam(0.004);
+                auto prog = compileTraining(m.graph, m.loss,
+                                            method.scheme(m), fopt,
+                                            store);
+                Rng r(7);
+                finetune(
+                    prog,
+                    [&](int64_t b, Rng &rr) { return ds.sample(b, rr); },
+                    kBatch, finetune_steps, r);
+                auto infer = compileInference(m.graph, {m.logits}, fopt,
+                                              store);
+                double acc = evalAccuracy(
+                    infer,
+                    [&](int64_t b, Rng &rr) { return ds.sample(b, rr); },
+                    kBatch, 12, r);
+                sum += acc;
+                cells.push_back(fmt(100 * acc, 1));
+                rel_flops = prog.report().flopsPerStep;
+                rel_arena = static_cast<double>(prog.report().arenaBytes);
+            }
+            cells[1] = fmt(100 * sum / 7.0, 1);
+            cells.push_back(fmt(rel_flops / 1e6, 1) + "M");
+            cells.push_back(fmtBytes(static_cast<int64_t>(rel_arena)));
+            printRow(cells, 9);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

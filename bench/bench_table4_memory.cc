@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Table 4: peak training memory, Full-BP vs Sparse-BP, across batch
+ * sizes, at the paper's full model scales. Numbers come from the
+ * compile-time memory planner over the real (pruned, reordered)
+ * training graph — no parameters are materialized, which is exactly
+ * how the engine targets devices smaller than the build host.
+ *
+ * Expected shape: sparse-BP 2-6x smaller at bs>=4; savings grow with
+ * batch size; an ablation row shows operator reordering's share.
+ */
+
+#include "bench_common.h"
+
+using namespace pe;
+using namespace pe::bench;
+
+namespace {
+
+void
+row(const std::string &platform, const std::string &model,
+    int64_t params, const Graph &g, int loss,
+    const SparseUpdateScheme &full_scheme,
+    const SparseUpdateScheme &sparse_scheme)
+{
+    CompileOptions opt;
+    opt.optim = OptimConfig::sgd(0.01); // paper-style SGD memory
+    CompiledGraph full = compileGraphOnly(g, loss, full_scheme, opt);
+    CompiledGraph sparse = compileGraphOnly(g, loss, sparse_scheme, opt);
+    CompileOptions no_reorder = opt;
+    no_reorder.reorder = false;
+
+    double ratio = static_cast<double>(full.report.totalBytes) /
+                   static_cast<double>(sparse.report.totalBytes);
+    printRow({platform, model, fmt(params / 1e6, 1) + "M", "full-bp",
+              fmtBytes(full.report.totalBytes),
+              fmtBytes(full.report.arenaBytes), ""},
+             16);
+    printRow({"", "", "", "sparse-bp",
+              fmtBytes(sparse.report.totalBytes),
+              fmtBytes(sparse.report.arenaBytes),
+              fmt(ratio, 1) + "x"},
+             16);
+    printRow({"", "", "", "sparse(no-reord)", "",
+              fmtBytes(sparse.report.arenaBytesNoReorder), ""},
+             16);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table 4: training memory, full vs sparse BP "
+                "(planner on paper-scale graphs) ===\n\n");
+    printRow({"platform", "model", "params", "method", "total",
+              "activations", "save"},
+             16);
+
+    Rng rng(1);
+
+    // MCU: MCUNet at 128x128, bs=1, aggressive sub-layer scheme.
+    for (int64_t bs : {1}) {
+        VisionConfig cfg = paperMcuNetConfig(bs);
+        ModelSpec m = buildMcuNet(cfg, rng, nullptr);
+        row("MCU(STM32)", "MCUNet bs" + std::to_string(bs),
+            m.paramCount, m.graph, m.loss, SparseUpdateScheme::full(),
+            cnnSparseScheme(m, 7, 4, 0.5));
+    }
+
+    // Jetson Nano: MobileNetV2 and ResNet-50 at 224x224.
+    for (int64_t bs : {1, 4, 16}) {
+        VisionConfig cfg = paperMobileNetV2Config(bs);
+        ModelSpec m = buildMobileNetV2(cfg, rng, nullptr);
+        row("JetsonNano", "MobileNetV2 bs" + std::to_string(bs),
+            m.paramCount, m.graph, m.loss, SparseUpdateScheme::full(),
+            cnnSparseScheme(m, 7, 7));
+    }
+    for (int64_t bs : {1, 4, 16}) {
+        VisionConfig cfg = paperResNet50Config(bs);
+        ModelSpec m = buildResNet(cfg, rng, nullptr);
+        row("JetsonNano", "ResNet50 bs" + std::to_string(bs),
+            m.paramCount, m.graph, m.loss, SparseUpdateScheme::full(),
+            cnnSparseScheme(m, 8, 8));
+    }
+
+    // Jetson AGX Orin: BERT-base.
+    for (int64_t bs : {1, 4, 16}) {
+        NlpConfig cfg = paperBertBaseConfig(bs);
+        ModelSpec m = buildBert(cfg, rng, nullptr);
+        row("JetsonOrin", "BERT bs" + std::to_string(bs), m.paramCount,
+            m.graph, m.loss, SparseUpdateScheme::full(),
+            transformerSparseScheme(m, 6, 4));
+    }
+
+    // Jetson AGX Orin: LLaMA-v2 7B shapes (analysis only).
+    {
+        LlamaConfig cfg = paperLlama7bConfig(512);
+        ModelSpec m = buildLlama(cfg, rng, nullptr);
+        row("JetsonOrin", "LlamaV2-7B bs1", m.paramCount, m.graph,
+            m.loss, SparseUpdateScheme::full(),
+            transformerSparseScheme(m, 5, 5));
+    }
+
+    std::printf("\n\"total\" = params + activations + gradients + "
+                "optimizer state; \"sparse(no-reord)\" isolates the "
+                "operator-reordering contribution (Section 3.2).\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Section 5 scenario: instruction-tuning a LLaMA-style chatbot
+ * on-device. Fine-tunes a reduced decoder on the synthetic
+ * instruction corpus with the paper's sparse scheme (biases +
+ * attention/fc1 weights of the last blocks, frozen norms), then
+ * greedily decodes a reply to show the tuned behaviour.
+ */
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "engine/engine.h"
+#include "frontend/models.h"
+
+using namespace pe;
+
+int
+main()
+{
+    LlamaConfig cfg;
+    cfg.batch = 2;
+    cfg.seqLen = 16;
+    cfg.vocab = 64;
+    cfg.dim = 32;
+    cfg.heads = 2;
+    cfg.ffDim = 88;
+    cfg.layers = 3;
+
+    Rng rng(21);
+    auto store = std::make_shared<ParamStore>();
+    ModelSpec m = buildLlama(cfg, rng, store.get());
+    InstructionTask task(99, 8, cfg.vocab, cfg.seqLen);
+
+    // Paper Section 5: sparse scheme + Lion optimizer, frozen norms,
+    // gradient accumulated over micro-batches.
+    SparseUpdateScheme scheme = transformerSparseScheme(m, 2, 2);
+    CompileOptions opt;
+    opt.optim = OptimConfig::lion(0.002);
+    opt.gradAccumSteps = 4;
+    auto prog = compileTraining(m.graph, m.loss, scheme, opt, store);
+    std::printf("compiled chatbot trainer: %d kernel steps/iter, "
+                "arena %lld KB, %d trainable tensors\n",
+                prog.report().kernelSteps,
+                static_cast<long long>(prog.report().arenaBytes / 1024),
+                prog.report().trainableTensors);
+
+    Rng r(5);
+    for (int s = 0; s < 600; ++s) {
+        Batch b = task.sample(cfg.batch, r);
+        float loss = prog.trainStep({{"x", b.x}, {"y", b.y}});
+        if (s % 120 == 0)
+            std::printf("iter %3d  loss %.4f\n", s, loss);
+    }
+
+    // Evaluate the win-rate proxy and decode one reply greedily.
+    auto infer = compileInference(m.graph, {m.logits}, opt, store);
+    Batch b = task.sample(cfg.batch, r);
+    Tensor logits = infer.run({{"x", b.x}})[0];
+    std::printf("reply exact-match (win-rate proxy): %.1f%%\n",
+                100.0 * task.exactMatch(logits, b));
+
+    std::printf("greedy next-token decode of sample 0:\n  input : ");
+    for (int64_t i = 0; i < cfg.seqLen; ++i)
+        std::printf("%d ", static_cast<int>(b.x[i]));
+    std::printf("\n  pred  : ");
+    for (int64_t i = 0; i < cfg.seqLen; ++i) {
+        const float *row = logits.data() + i * cfg.vocab;
+        int64_t am = 0;
+        for (int64_t v = 1; v < cfg.vocab; ++v) {
+            if (row[v] > row[am])
+                am = v;
+        }
+        std::printf("%d ", static_cast<int>(am));
+    }
+    std::printf("\n  target: ");
+    for (int64_t i = 0; i < cfg.seqLen; ++i)
+        std::printf("%d ", static_cast<int>(b.y[i]));
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,470 @@
+#include "autodiff/autodiff.h"
+
+#include <stdexcept>
+
+namespace pe {
+
+namespace {
+
+/** Builder state for one differentiation run. */
+class BackwardBuilder
+{
+  public:
+    BackwardBuilder(Graph &g, int loss_id) : g_(g), loss_(loss_id) {}
+
+    BackwardResult
+    run()
+    {
+        if (numel(g_.node(loss_).shape) != 1)
+            throw std::runtime_error("buildBackward: loss must be scalar");
+        int n = g_.numNodes();
+        computeNeedGrad(n);
+        partials_.resize(n);
+
+        if (!needGrad_[loss_])
+            return result_; // nothing trainable reaches the loss
+
+        int before = g_.numNodes();
+        seedLoss();
+        for (int id = loss_; id >= 0; --id) {
+            if (!needGrad_[id])
+                continue;
+            int grad = gradOf(id);
+            if (grad < 0)
+                continue;
+            // Copy: appending backward nodes reallocates the node
+            // table, so references into it must not be held across
+            // gradient emission.
+            Node node = g_.node(id);
+            if (node.op == OpKind::Param && node.trainable) {
+                result_.paramGrads[id] = grad;
+                continue;
+            }
+            emitInputGrads(node, grad);
+        }
+        result_.nodesEmitted = g_.numNodes() - before;
+        return result_;
+    }
+
+  private:
+    /** needGrad[n] = a trainable param is an ancestor of n. */
+    void
+    computeNeedGrad(int n)
+    {
+        needGrad_.assign(n, false);
+        for (int id = 0; id < n; ++id) {
+            const Node &node = g_.node(id);
+            if (node.op == OpKind::Param && node.trainable) {
+                needGrad_[id] = true;
+                continue;
+            }
+            for (int in : node.inputs) {
+                if (needGrad_[in]) {
+                    needGrad_[id] = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    void
+    seedLoss()
+    {
+        int seed = g_.constantOf(Tensor::ones({1}), "grad_seed");
+        partials_[loss_].push_back(seed);
+    }
+
+    /** Sum accumulated partials for a node (consumers all processed). */
+    int
+    gradOf(int id)
+    {
+        auto &parts = partials_[id];
+        if (parts.empty())
+            return -1;
+        int acc = parts[0];
+        for (size_t i = 1; i < parts.size(); ++i)
+            acc = g_.add(OpKind::Add, {acc, parts[i]});
+        return acc;
+    }
+
+    void
+    addPartial(int id, int grad)
+    {
+        if (needGrad_[id])
+            partials_[id].push_back(grad);
+    }
+
+    int
+    add(OpKind op, std::vector<int> inputs, Attrs attrs = {})
+    {
+        return g_.add(op, std::move(inputs), std::move(attrs));
+    }
+
+    /** Reduce @p grad (shaped like the broadcast result) to @p shape. */
+    int
+    reduceToShape(int grad, const Shape &target)
+    {
+        const Shape &gs = g_.node(grad).shape;
+        if (gs == target)
+            return grad;
+        std::vector<int64_t> axes;
+        size_t off = gs.size() - target.size();
+        for (size_t i = 0; i < gs.size(); ++i) {
+            if (i < off || (target[i - off] == 1 && gs[i] != 1))
+                axes.push_back(static_cast<int64_t>(i));
+        }
+        int r = grad;
+        if (!axes.empty()) {
+            Attrs a;
+            a.set("axes", axes);
+            a.set("keepdims", static_cast<int64_t>(0));
+            r = add(OpKind::ReduceSum, {r}, std::move(a));
+        }
+        if (g_.node(r).shape != target) {
+            Attrs a;
+            a.set("shape", target);
+            r = add(OpKind::Reshape, {r}, std::move(a));
+        }
+        return r;
+    }
+
+    int
+    reshapeTo(int id, const Shape &shape)
+    {
+        Attrs a;
+        a.set("shape", shape);
+        return add(OpKind::Reshape, {id}, std::move(a));
+    }
+
+    void emitInputGrads(const Node &node, int g);
+
+    // NOTE: emitInputGrads receives a copy owned by the caller.
+
+    Graph &g_;
+    int loss_;
+    std::vector<bool> needGrad_;
+    std::vector<std::vector<int>> partials_;
+    BackwardResult result_;
+};
+
+void
+BackwardBuilder::emitInputGrads(const Node &node, int g)
+{
+    const auto &in = node.inputs;
+    // By value: adding nodes invalidates references into the graph.
+    auto shape_of = [&](int i) -> Shape { return g_.node(in[i]).shape; };
+    const int id = node.id;
+
+    switch (node.op) {
+      case OpKind::Input:
+      case OpKind::Param:
+      case OpKind::Const:
+        return;
+
+      case OpKind::Add:
+        addPartial(in[0], reduceToShape(g, shape_of(0)));
+        addPartial(in[1], reduceToShape(g, shape_of(1)));
+        return;
+
+      case OpKind::Sub:
+        addPartial(in[0], reduceToShape(g, shape_of(0)));
+        addPartial(in[1],
+                   reduceToShape(add(OpKind::Neg, {g}), shape_of(1)));
+        return;
+
+      case OpKind::Mul:
+        addPartial(in[0],
+                   reduceToShape(add(OpKind::Mul, {g, in[1]}), shape_of(0)));
+        addPartial(in[1],
+                   reduceToShape(add(OpKind::Mul, {g, in[0]}), shape_of(1)));
+        return;
+
+      case OpKind::Div: {
+        // y = a / b ; da = g / b ; db = -g * a / b^2
+        addPartial(in[0],
+                   reduceToShape(add(OpKind::Div, {g, in[1]}), shape_of(0)));
+        int ga = add(OpKind::Mul, {g, in[0]});
+        int b2 = add(OpKind::Mul, {in[1], in[1]});
+        int db = add(OpKind::Neg, {add(OpKind::Div, {ga, b2})});
+        addPartial(in[1], reduceToShape(db, shape_of(1)));
+        return;
+      }
+
+      case OpKind::Neg:
+        addPartial(in[0], add(OpKind::Neg, {g}));
+        return;
+
+      case OpKind::Relu:
+        // ReluGrad masks where its first input is > 0; the forward
+        // *output* works as the mask and keeps the pre-activation
+        // value dead (which unlocks Conv+Bias+Relu fusion).
+        addPartial(in[0], add(OpKind::ReluGrad, {id, g}));
+        return;
+
+      case OpKind::Gelu:
+        addPartial(in[0], add(OpKind::GeluGrad, {in[0], g}));
+        return;
+      case OpKind::Silu:
+        addPartial(in[0], add(OpKind::SiluGrad, {in[0], g}));
+        return;
+      case OpKind::Sigmoid:
+        addPartial(in[0], add(OpKind::SigmoidGrad, {in[0], g}));
+        return;
+      case OpKind::Tanh:
+        addPartial(in[0], add(OpKind::TanhGrad, {in[0], g}));
+        return;
+
+      case OpKind::Exp:
+        addPartial(in[0], add(OpKind::Mul, {g, id}));
+        return;
+      case OpKind::Log:
+        addPartial(in[0], add(OpKind::Div, {g, in[0]}));
+        return;
+      case OpKind::Sqrt: {
+        Attrs a;
+        a.set("alpha", 0.5);
+        addPartial(in[0], add(OpKind::Scale,
+                              {add(OpKind::Div, {g, id})}, std::move(a)));
+        return;
+      }
+      case OpKind::Scale: {
+        Attrs a;
+        a.set("alpha", node.attrs.getFloat("alpha", 1.0));
+        addPartial(in[0], add(OpKind::Scale, {g}, std::move(a)));
+        return;
+      }
+      case OpKind::AddScalar:
+      case OpKind::Identity:
+        addPartial(in[0], g);
+        return;
+
+      case OpKind::MatMul:
+      case OpKind::BatchMatMul: {
+        OpKind mm = node.op;
+        bool ta = node.attrs.getInt("transA", 0) != 0;
+        bool tb = node.attrs.getInt("transB", 0) != 0;
+        auto mk = [&](int x, int y, bool tx, bool ty) {
+            Attrs a;
+            a.set("transA", static_cast<int64_t>(tx));
+            a.set("transB", static_cast<int64_t>(ty));
+            return add(mm, {x, y}, std::move(a));
+        };
+        // dA = ta ? B (x) g : g (x) B ; dB = tb ? g (x) A : A (x) g
+        addPartial(in[0], ta ? mk(in[1], g, tb, true)
+                             : mk(g, in[1], false, !tb));
+        addPartial(in[1], tb ? mk(g, in[0], true, ta)
+                             : mk(in[0], g, !ta, false));
+        return;
+      }
+
+      case OpKind::Reshape:
+        addPartial(in[0], reshapeTo(g, shape_of(0)));
+        return;
+
+      case OpKind::Permute: {
+        auto perm = node.attrs.getInts("perm");
+        std::vector<int64_t> inv(perm.size());
+        for (size_t i = 0; i < perm.size(); ++i)
+            inv[perm[i]] = static_cast<int64_t>(i);
+        Attrs a;
+        a.set("perm", inv);
+        addPartial(in[0], add(OpKind::Permute, {g}, std::move(a)));
+        return;
+      }
+
+      case OpKind::Slice: {
+        int64_t axis = node.attrs.getInt("axis");
+        int64_t begin = node.attrs.getInt("begin");
+        int64_t end = node.attrs.getInt("end");
+        Attrs a;
+        a.set("axis", axis);
+        a.set("before", begin);
+        a.set("after", shape_of(0)[axis] - end);
+        addPartial(in[0], add(OpKind::Pad, {g}, std::move(a)));
+        return;
+      }
+
+      case OpKind::Pad: {
+        int64_t axis = node.attrs.getInt("axis");
+        int64_t before = node.attrs.getInt("before", 0);
+        Attrs a;
+        a.set("axis", axis);
+        a.set("begin", before);
+        a.set("end", before + shape_of(0)[axis]);
+        addPartial(in[0], add(OpKind::Slice, {g}, std::move(a)));
+        return;
+      }
+
+      case OpKind::BroadcastTo:
+        addPartial(in[0], reduceToShape(g, shape_of(0)));
+        return;
+
+      case OpKind::ReduceSum:
+      case OpKind::ReduceMean: {
+        auto axes = node.attrs.getInts("axes");
+        bool keep = node.attrs.getInt("keepdims", 0) != 0;
+        const Shape &xs = shape_of(0);
+        int r = g;
+        if (!keep) {
+            Shape kshape = xs;
+            for (int64_t ax : axes)
+                kshape[ax] = 1;
+            r = reshapeTo(r, kshape);
+        }
+        Attrs a;
+        a.set("shape", xs);
+        r = add(OpKind::BroadcastTo, {r}, std::move(a));
+        if (node.op == OpKind::ReduceMean) {
+            int64_t count = 1;
+            for (int64_t ax : axes)
+                count *= xs[ax];
+            Attrs s;
+            s.set("alpha", 1.0 / static_cast<double>(count));
+            r = add(OpKind::Scale, {r}, std::move(s));
+        }
+        addPartial(in[0], r);
+        return;
+      }
+
+      case OpKind::Conv2d:
+      case OpKind::DwConv2d: {
+        bool dw = node.op == OpKind::DwConv2d;
+        int64_t stride = node.attrs.getInt("stride", 1);
+        int64_t pad = node.attrs.getInt("pad", 0);
+        if (needGrad_[in[0]]) {
+            Attrs a;
+            a.set("stride", stride);
+            a.set("pad", pad);
+            a.set("xshape", shape_of(0));
+            addPartial(in[0],
+                       add(dw ? OpKind::DwConv2dBwdInput
+                              : OpKind::Conv2dBwdInput,
+                           {in[1], g}, std::move(a)));
+        }
+        const Node &w = g_.node(in[1]);
+        if (w.op == OpKind::Param && w.trainable) {
+            Attrs a;
+            a.set("stride", stride);
+            a.set("pad", pad);
+            a.set("wshape", shape_of(1));
+            int64_t k = w.attrs.getInt("updateChannels", 0);
+            if (k > 0)
+                a.set("limitCo", k);
+            addPartial(in[1],
+                       add(dw ? OpKind::DwConv2dBwdWeight
+                              : OpKind::Conv2dBwdWeight,
+                           {in[0], g}, std::move(a)));
+        } else if (needGrad_[in[1]]) {
+            Attrs a;
+            a.set("stride", stride);
+            a.set("pad", pad);
+            a.set("wshape", shape_of(1));
+            addPartial(in[1],
+                       add(dw ? OpKind::DwConv2dBwdWeight
+                              : OpKind::Conv2dBwdWeight,
+                           {in[0], g}, std::move(a)));
+        }
+        return;
+      }
+
+      case OpKind::AvgPool2d: {
+        Attrs a;
+        a.set("kernel", node.attrs.getInt("kernel"));
+        a.set("stride", node.attrs.getInt("stride",
+                                          node.attrs.getInt("kernel")));
+        a.set("xshape", shape_of(0));
+        addPartial(in[0], add(OpKind::AvgPool2dGrad, {g}, std::move(a)));
+        return;
+      }
+
+      case OpKind::GlobalAvgPool: {
+        Attrs a;
+        a.set("xshape", shape_of(0));
+        addPartial(in[0],
+                   add(OpKind::GlobalAvgPoolGrad, {g}, std::move(a)));
+        return;
+      }
+
+      case OpKind::Softmax:
+        addPartial(in[0], add(OpKind::SoftmaxGrad, {id, g}));
+        return;
+
+      case OpKind::LayerNorm: {
+        double eps = node.attrs.getFloat("eps", 1e-5);
+        Attrs a;
+        a.set("eps", eps);
+        addPartial(in[0], add(OpKind::LayerNormGradX,
+                              {in[0], in[1], g}, std::move(a)));
+        if (needGrad_[in[1]]) {
+            Attrs ag;
+            ag.set("eps", eps);
+            addPartial(in[1], add(OpKind::LayerNormGradGamma,
+                                  {in[0], g}, std::move(ag)));
+        }
+        if (needGrad_[in[2]]) {
+            const Shape &xs = shape_of(0);
+            std::vector<int64_t> axes;
+            for (size_t i = 0; i + 1 < xs.size(); ++i)
+                axes.push_back(static_cast<int64_t>(i));
+            Attrs ab;
+            ab.set("axes", axes);
+            ab.set("keepdims", static_cast<int64_t>(0));
+            addPartial(in[2], add(OpKind::ReduceSum, {g}, std::move(ab)));
+        }
+        return;
+      }
+
+      case OpKind::RMSNorm: {
+        double eps = node.attrs.getFloat("eps", 1e-5);
+        Attrs a;
+        a.set("eps", eps);
+        addPartial(in[0], add(OpKind::RMSNormGradX,
+                              {in[0], in[1], g}, std::move(a)));
+        if (needGrad_[in[1]]) {
+            Attrs ag;
+            ag.set("eps", eps);
+            addPartial(in[1], add(OpKind::RMSNormGradGamma,
+                                  {in[0], g}, std::move(ag)));
+        }
+        return;
+      }
+
+      case OpKind::Embedding: {
+        if (needGrad_[in[0]]) {
+            Attrs a;
+            a.set("vocab", shape_of(0)[0]);
+            addPartial(in[0],
+                       add(OpKind::EmbeddingGrad, {in[1], g}, std::move(a)));
+        }
+        return;
+      }
+
+      case OpKind::CrossEntropy: {
+        int base = add(OpKind::CrossEntropyGrad, {in[0], in[1]});
+        addPartial(in[0], add(OpKind::Mul, {base, g}));
+        return;
+      }
+
+      case OpKind::Mse: {
+        int base = add(OpKind::MseGrad, {in[0], in[1]});
+        addPartial(in[0], add(OpKind::Mul, {base, g}));
+        return;
+      }
+
+      default:
+        throw std::runtime_error(
+            std::string("buildBackward: no gradient rule for op ") +
+            opName(node.op));
+    }
+}
+
+} // namespace
+
+BackwardResult
+buildBackward(Graph &g, int loss_id)
+{
+    BackwardBuilder builder(g, loss_id);
+    return builder.run();
+}
+
+} // namespace pe

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Compile-time reverse-mode differentiation (paper Fig. 7).
+ *
+ * The backward graph is derived once, at compile time, from the same
+ * primitive op set as the forward graph. Gradient propagation follows
+ * need-grad reachability: a node receives a gradient only if a
+ * trainable parameter lies in its ancestry. Under a sparse update
+ * scheme this is exactly the paper's backward-graph pruning — the
+ * chain stops at the earliest trainable layer and frozen layers' dW
+ * subgraphs are never emitted, so DCE afterwards only has to sweep
+ * unreferenced activations.
+ */
+
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace pe {
+
+/** Result of differentiating a graph. */
+struct BackwardResult {
+    /** trainable param node id -> gradient node id */
+    std::unordered_map<int, int> paramGrads;
+    /** number of backward nodes emitted */
+    int nodesEmitted = 0;
+};
+
+/**
+ * Append the backward graph for scalar @p loss_id to @p g.
+ *
+ * Gradients are produced for every Param node with trainable == true.
+ * For Conv2d/DwConv2d weights carrying an "updateChannels" attribute
+ * (set by the sparse-scheme pass), the weight-gradient op is emitted
+ * with "limitCo" so only the first k output channels are computed —
+ * the sub-layer sparse backpropagation of Section 2.6.
+ *
+ * @throws std::runtime_error if @p loss_id is not scalar-shaped.
+ */
+BackwardResult buildBackward(Graph &g, int loss_id);
+
+} // namespace pe

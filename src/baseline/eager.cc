@@ -1,0 +1,179 @@
+#include "baseline/eager.h"
+
+#include <stdexcept>
+
+#include "autodiff/autodiff.h"
+#include "kernels/kernel.h"
+
+namespace pe {
+
+FrameworkProfile
+FrameworkProfile::tensorflow()
+{
+    return {"TensorFlow", 120.0, 0.05, 0.20, true};
+}
+
+FrameworkProfile
+FrameworkProfile::pytorch()
+{
+    return {"PyTorch", 90.0, 0.07, 0.25, true};
+}
+
+FrameworkProfile
+FrameworkProfile::jax()
+{
+    return {"Jax", 100.0, 0.06, 0.25, true};
+}
+
+FrameworkProfile
+FrameworkProfile::mnn()
+{
+    // C++ runtime, inference-tuned kernels, limited training support.
+    return {"MNN", 8.0, 0.30, 0.35, true};
+}
+
+FrameworkProfile
+FrameworkProfile::pockEngine()
+{
+    return {"PockEngine", 0.5, 0.60, 0.65, true};
+}
+
+EagerEngine::EagerEngine(const Graph &forward, int loss_id,
+                         std::shared_ptr<ParamStore> store,
+                         OptimConfig optim,
+                         const std::unordered_map<std::string, bool>
+                             *masked_trainable)
+    : forward_(forward), lossId_(loss_id), store_(std::move(store)),
+      optim_(optim)
+{
+    detail::ensureKernelsRegistered();
+    if (!store_)
+        store_ = std::make_shared<ParamStore>();
+    store_->materialize(forward_);
+    if (masked_trainable) {
+        masked_ = true;
+        mask_ = *masked_trainable;
+    }
+    // Eager full-BP computes every gradient.
+    for (int id : forward_.paramIds())
+        forward_.node(id).trainable = true;
+}
+
+Tensor
+EagerEngine::evalNode(const Graph &g, int id,
+                      std::unordered_map<int, Tensor> &values)
+{
+    const Node &n = g.node(id);
+    Tensor out(n.shape); // fresh per-step allocation (eager design)
+    KernelCtx ctx;
+    ctx.node = &n;
+    for (int in : n.inputs) {
+        ctx.in.push_back(values.at(in).data());
+        ctx.inShapes.push_back(&g.node(in).shape);
+    }
+    ctx.out = out.data();
+    ctx.outShape = &n.shape;
+    ctx.step = step_;
+    std::vector<float> scratch(kernelScratchSize(g, n, ""), 0.0f);
+    bool ready = false;
+    ctx.scratch = scratch.empty() ? nullptr : scratch.data();
+    ctx.scratchReady = &ready;
+    lookupKernel(n.op, "")(ctx); // dynamic dispatch each call
+    ++stats_.opsExecuted;
+    liveBytes_ += out.size() * 4;
+    return out;
+}
+
+void
+EagerEngine::interpret(const Graph &g,
+                       std::unordered_map<int, Tensor> &values,
+                       int from_node, int to_node)
+{
+    for (int id = from_node; id <= to_node; ++id) {
+        const Node &n = g.node(id);
+        switch (n.op) {
+          case OpKind::Input: {
+            if (!values.count(id))
+                throw std::runtime_error("EagerEngine: unbound input " +
+                                         n.name);
+            break;
+          }
+          case OpKind::Param:
+            values[id] = store_->get(n.name); // shared storage
+            break;
+          case OpKind::Const:
+            values[id] = g.hasConstData(id) ? g.constData(id)
+                                            : Tensor::zeros(n.shape);
+            break;
+          default:
+            values[id] = evalNode(g, id, values);
+        }
+    }
+}
+
+float
+EagerEngine::trainStep(
+    const std::unordered_map<std::string, Tensor> &feeds)
+{
+    ++step_;
+    liveBytes_ = 0;
+
+    // Runtime autodiff: re-derive the backward graph on every single
+    // step, exactly like tape-based frameworks (paper Fig. 7a).
+    Graph work = forward_;
+    BackwardResult bwd = buildBackward(work, lossId_);
+    stats_.autodiffNodes = static_cast<double>(bwd.nodesEmitted);
+
+    std::unordered_map<int, Tensor> values;
+    for (int id : work.inputIds()) {
+        auto it = feeds.find(work.node(id).name);
+        if (it != feeds.end())
+            values[id] = it->second;
+    }
+    interpret(work, values, 0, work.numNodes() - 1);
+
+    // Separate optimizer pass: all gradients are live at once.
+    int64_t grad_bytes = 0;
+    for (auto &[pid, gid] : bwd.paramGrads)
+        grad_bytes += numel(work.node(gid).shape) * 4;
+    stats_.gradBytes = grad_bytes;
+
+    int64_t param_bytes = 0;
+    for (int id : work.paramIds())
+        param_bytes += numel(work.node(id).shape) * 4;
+    stats_.peakBytes = std::max(stats_.peakBytes,
+                                liveBytes_ + param_bytes);
+
+    auto lr = static_cast<float>(optim_.lr);
+    for (auto &[pid, gid] : bwd.paramGrads) {
+        const Node &p = work.node(pid);
+        if (masked_) {
+            auto it = mask_.find(p.name);
+            if (it != mask_.end() && !it->second)
+                continue; // gradient was computed, then thrown away
+        }
+        Tensor &w = store_->get(p.name);
+        const Tensor &grad = values.at(gid);
+        for (int64_t i = 0; i < w.size(); ++i)
+            w[i] -= lr * grad[i];
+    }
+    return values.at(lossId_)[0];
+}
+
+Tensor
+EagerEngine::forward(
+    const std::unordered_map<std::string, Tensor> &feeds, int node_id)
+{
+    ++step_;
+    liveBytes_ = 0;
+    std::unordered_map<int, Tensor> values;
+    for (int id : forward_.inputIds()) {
+        auto it = feeds.find(forward_.node(id).name);
+        if (it != feeds.end())
+            values[id] = it->second;
+    }
+    interpret(forward_, values, 0, node_id);
+    return values.at(node_id);
+}
+
+} // namespace pe

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible experiments.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace pe {
+
+/**
+ * A seedable RNG wrapper. All randomness in the library flows through Rng
+ * instances so every experiment is reproducible from a single seed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+    /** Sample from N(mean, std^2). */
+    float
+    normal(float mean = 0.0f, float std = 1.0f)
+    {
+        std::normal_distribution<float> d(mean, std);
+        return d(gen_);
+    }
+
+    /** Sample uniformly from [lo, hi). */
+    float
+    uniform(float lo = 0.0f, float hi = 1.0f)
+    {
+        std::uniform_real_distribution<float> d(lo, hi);
+        return d(gen_);
+    }
+
+    /** Sample an integer uniformly from [0, n). */
+    int64_t
+    randint(int64_t n)
+    {
+        std::uniform_int_distribution<int64_t> d(0, n - 1);
+        return d(gen_);
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return uniform() < static_cast<float>(p); }
+
+    /** Underlying engine, for std::shuffle and friends. */
+    std::mt19937_64 &engine() { return gen_; }
+
+  private:
+    std::mt19937_64 gen_;
+};
+
+} // namespace pe

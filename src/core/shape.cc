@@ -1,0 +1,71 @@
+#include "core/shape.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pe {
+
+int64_t
+numel(const Shape &shape)
+{
+    int64_t n = 1;
+    for (int64_t d : shape)
+        n *= d;
+    return n;
+}
+
+std::string
+shapeToString(const Shape &shape)
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < shape.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << shape[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+Shape
+broadcastShapes(const Shape &a, const Shape &b)
+{
+    size_t rank = std::max(a.size(), b.size());
+    Shape out(rank, 1);
+    for (size_t i = 0; i < rank; ++i) {
+        int64_t da = i < rank - a.size() ? 1 : a[i - (rank - a.size())];
+        int64_t db = i < rank - b.size() ? 1 : b[i - (rank - b.size())];
+        if (da != db && da != 1 && db != 1) {
+            throw std::runtime_error("broadcastShapes: incompatible " +
+                                     shapeToString(a) + " vs " +
+                                     shapeToString(b));
+        }
+        out[i] = std::max(da, db);
+    }
+    return out;
+}
+
+bool
+broadcastableTo(const Shape &from, const Shape &to)
+{
+    if (from.size() > to.size())
+        return false;
+    size_t off = to.size() - from.size();
+    for (size_t i = 0; i < from.size(); ++i) {
+        if (from[i] != to[off + i] && from[i] != 1)
+            return false;
+    }
+    return true;
+}
+
+std::vector<int64_t>
+rowMajorStrides(const Shape &shape)
+{
+    std::vector<int64_t> strides(shape.size(), 1);
+    for (int i = static_cast<int>(shape.size()) - 2; i >= 0; --i)
+        strides[i] = strides[i + 1] * shape[i + 1];
+    return strides;
+}
+
+} // namespace pe

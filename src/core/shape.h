@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Tensor shape utilities shared by the IR and the runtime.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pe {
+
+/** A tensor shape: one extent per dimension, row-major layout. */
+using Shape = std::vector<int64_t>;
+
+/** Total element count of a shape (1 for a scalar / rank-0 shape). */
+int64_t numel(const Shape &shape);
+
+/** Human-readable rendering, e.g. "[8, 3, 32, 32]". */
+std::string shapeToString(const Shape &shape);
+
+/**
+ * Numpy-style right-aligned broadcast of two shapes.
+ *
+ * @return the broadcast shape.
+ * @throws std::runtime_error if the shapes are incompatible.
+ */
+Shape broadcastShapes(const Shape &a, const Shape &b);
+
+/** True if @p from can be broadcast to @p to (right-aligned rules). */
+bool broadcastableTo(const Shape &from, const Shape &to);
+
+/** Row-major strides of a shape (in elements, not bytes). */
+std::vector<int64_t> rowMajorStrides(const Shape &shape);
+
+} // namespace pe

@@ -1,0 +1,159 @@
+#include "core/tensor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pe {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(std::make_shared<std::vector<float>>(numel(shape_), 0.0f))
+{
+}
+
+Tensor
+Tensor::zeros(Shape shape)
+{
+    return Tensor(std::move(shape));
+}
+
+Tensor
+Tensor::ones(Shape shape)
+{
+    return full(std::move(shape), 1.0f);
+}
+
+Tensor
+Tensor::full(Shape shape, float value)
+{
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::fromVector(Shape shape, std::vector<float> values)
+{
+    if (numel(shape) != static_cast<int64_t>(values.size()))
+        throw std::runtime_error("fromVector: size mismatch");
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+    return t;
+}
+
+Tensor
+Tensor::randn(Shape shape, Rng &rng, float std)
+{
+    Tensor t(std::move(shape));
+    for (int64_t i = 0; i < t.size(); ++i)
+        t[i] = rng.normal(0.0f, std);
+    return t;
+}
+
+Tensor
+Tensor::uniform(Shape shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    for (int64_t i = 0; i < t.size(); ++i)
+        t[i] = rng.uniform(lo, hi);
+    return t;
+}
+
+Tensor
+Tensor::kaiming(Shape shape, Rng &rng, int64_t fan_in)
+{
+    float std = std::sqrt(2.0f / static_cast<float>(fan_in));
+    return randn(std::move(shape), rng, std);
+}
+
+float &
+Tensor::at(std::initializer_list<int64_t> idx)
+{
+    auto strides = rowMajorStrides(shape_);
+    int64_t off = 0;
+    size_t i = 0;
+    for (int64_t v : idx)
+        off += v * strides[i++];
+    return (*data_)[off];
+}
+
+float
+Tensor::at(std::initializer_list<int64_t> idx) const
+{
+    return const_cast<Tensor *>(this)->at(idx);
+}
+
+Tensor
+Tensor::clone() const
+{
+    Tensor t;
+    t.shape_ = shape_;
+    t.data_ = data_ ? std::make_shared<std::vector<float>>(*data_) : nullptr;
+    return t;
+}
+
+void
+Tensor::fill(float value)
+{
+    for (auto &v : *data_)
+        v = value;
+}
+
+double
+Tensor::sum() const
+{
+    double s = 0;
+    for (auto v : *data_)
+        s += v;
+    return s;
+}
+
+double
+Tensor::meanAbs() const
+{
+    if (!data_ || data_->empty())
+        return 0;
+    double s = 0;
+    for (auto v : *data_)
+        s += std::fabs(v);
+    return s / static_cast<double>(data_->size());
+}
+
+Tensor
+Tensor::reshaped(Shape shape) const
+{
+    if (numel(shape) != size())
+        throw std::runtime_error("reshaped: numel mismatch");
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.data_ = data_;
+    return t;
+}
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    if (a.shape() != b.shape())
+        throw std::runtime_error("maxAbsDiff: shape mismatch " +
+                                 shapeToString(a.shape()) + " vs " +
+                                 shapeToString(b.shape()));
+    float m = 0;
+    for (int64_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::fabs(a[i] - b[i]));
+    return m;
+}
+
+bool
+allClose(const Tensor &a, const Tensor &b, float rtol, float atol)
+{
+    if (a.shape() != b.shape())
+        return false;
+    for (int64_t i = 0; i < a.size(); ++i) {
+        if (std::fabs(a[i] - b[i]) > atol + rtol * std::fabs(b[i]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace pe

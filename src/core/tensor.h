@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Dense row-major tensor used by the runtime, kernels and tests.
+ *
+ * Storage is float32 throughout; integer-valued tensors (labels, token
+ * ids) hold exact small integers in float storage. This keeps every
+ * kernel monomorphic, which is the same trade-off tiny inference engines
+ * (TF-Lite Micro, TinyEngine's fp32 path) make for code size.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/shape.h"
+
+namespace pe {
+
+/**
+ * A reference-counted dense tensor. Copies share storage (like
+ * torch.Tensor); use clone() for a deep copy.
+ */
+class Tensor
+{
+  public:
+    /** An empty tensor with no storage. */
+    Tensor() = default;
+
+    /** A zero-initialized tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    static Tensor zeros(Shape shape);
+    static Tensor ones(Shape shape);
+    static Tensor full(Shape shape, float value);
+    static Tensor fromVector(Shape shape, std::vector<float> values);
+    /** I.i.d. N(0, std^2) entries. */
+    static Tensor randn(Shape shape, Rng &rng, float std = 1.0f);
+    /** I.i.d. U[lo, hi) entries. */
+    static Tensor uniform(Shape shape, Rng &rng, float lo, float hi);
+    /** Kaiming-style init for a weight with given fan-in. */
+    static Tensor kaiming(Shape shape, Rng &rng, int64_t fan_in);
+
+    bool defined() const { return data_ != nullptr; }
+    const Shape &shape() const { return shape_; }
+    int64_t size() const { return data_ ? (int64_t)data_->size() : 0; }
+    int64_t dim(int i) const { return shape_.at(i); }
+    int rank() const { return static_cast<int>(shape_.size()); }
+
+    float *data() { return data_->data(); }
+    const float *data() const { return data_->data(); }
+
+    float &operator[](int64_t i) { return (*data_)[i]; }
+    float operator[](int64_t i) const { return (*data_)[i]; }
+
+    /** Multi-dimensional accessor (slow; tests and reference code only). */
+    float &at(std::initializer_list<int64_t> idx);
+    float at(std::initializer_list<int64_t> idx) const;
+
+    /** Deep copy. */
+    Tensor clone() const;
+    /** Set every element to @p value. */
+    void fill(float value);
+    /** Sum of all elements. */
+    double sum() const;
+    /** Mean absolute value of all elements. */
+    double meanAbs() const;
+    /** Shares storage; shape must have equal numel. */
+    Tensor reshaped(Shape shape) const;
+
+  private:
+    Shape shape_;
+    std::shared_ptr<std::vector<float>> data_;
+};
+
+/** Max elementwise |a - b|; tensors must have identical shapes. */
+float maxAbsDiff(const Tensor &a, const Tensor &b);
+
+/** True when |a - b| <= atol + rtol * |b| elementwise. */
+bool allClose(const Tensor &a, const Tensor &b, float rtol = 1e-4f,
+              float atol = 1e-5f);
+
+} // namespace pe

@@ -1,0 +1,265 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace pe {
+
+namespace {
+
+uint64_t
+seedOf(const std::string &name)
+{
+    return std::hash<std::string>{}(name);
+}
+
+} // namespace
+
+// ---- SyntheticVision --------------------------------------------------
+
+SyntheticVision::SyntheticVision(uint64_t seed, int64_t classes,
+                                 int64_t channels, int64_t resolution,
+                                 float noise)
+    : classes_(classes), channels_(channels), res_(resolution),
+      noise_(noise)
+{
+    Rng rng(seed);
+    prototypes_.reserve(classes);
+    for (int64_t c = 0; c < classes; ++c) {
+        // Smooth prototype: sum of a few random 2-D cosine waves per
+        // channel, so nearby pixels correlate like natural images.
+        Tensor p({channels_, res_, res_});
+        for (int64_t ch = 0; ch < channels_; ++ch) {
+            for (int wave = 0; wave < 3; ++wave) {
+                float fx = rng.uniform(0.5f, 3.0f);
+                float fy = rng.uniform(0.5f, 3.0f);
+                float phase = rng.uniform(0.0f, 6.28f);
+                float amp = rng.uniform(0.4f, 1.0f);
+                for (int64_t i = 0; i < res_; ++i) {
+                    for (int64_t j = 0; j < res_; ++j) {
+                        float v = amp *
+                                  std::cos(fx * 6.28f * i / res_ +
+                                           fy * 6.28f * j / res_ + phase);
+                        p.at({ch, i, j}) += v;
+                    }
+                }
+            }
+        }
+        prototypes_.push_back(std::move(p));
+    }
+}
+
+Batch
+SyntheticVision::sample(int64_t batch, Rng &rng) const
+{
+    Batch b;
+    b.x = Tensor({batch, channels_, res_, res_});
+    b.y = Tensor({batch});
+    int64_t img = channels_ * res_ * res_;
+    for (int64_t n = 0; n < batch; ++n) {
+        int64_t c = rng.randint(classes_);
+        b.y[n] = static_cast<float>(c);
+        float gain = rng.uniform(0.7f, 1.3f);
+        float shift = rng.uniform(-0.2f, 0.2f);
+        const Tensor &p = prototypes_[c];
+        for (int64_t i = 0; i < img; ++i) {
+            b.x[n * img + i] =
+                gain * p[i] + shift + rng.normal(0.0f, noise_);
+        }
+    }
+    return b;
+}
+
+std::vector<std::string>
+SyntheticVision::taskNames()
+{
+    return {"cars", "cifar", "cub", "flowers", "foods", "pets", "vww"};
+}
+
+SyntheticVision
+SyntheticVision::task(const std::string &name, int64_t channels,
+                      int64_t resolution)
+{
+    // Per-task class counts loosely mirroring the real datasets'
+    // relative difficulty (scaled down).
+    int64_t classes = 10;
+    if (name == "cars" || name == "cub")
+        classes = 12;
+    else if (name == "flowers")
+        classes = 8;
+    else if (name == "foods" || name == "pets")
+        classes = 10;
+    else if (name == "vww")
+        classes = 2;
+    return SyntheticVision(seedOf(name), classes, channels, resolution);
+}
+
+SyntheticVision
+SyntheticVision::pretrain(int64_t channels, int64_t resolution)
+{
+    return SyntheticVision(seedOf("imagenet-proxy"), 10, channels,
+                           resolution);
+}
+
+// ---- SyntheticText ----------------------------------------------------
+
+SyntheticText::SyntheticText(uint64_t seed, int64_t classes,
+                             int64_t vocab, int64_t seq_len,
+                             float motif_prob)
+    : classes_(classes), vocab_(vocab), seqLen_(seq_len),
+      motifProb_(motif_prob)
+{
+    if (seq_len < 3)
+        throw std::runtime_error("SyntheticText: seq_len too short");
+    Rng rng(seed);
+    motifs_.reserve(classes);
+    for (int64_t c = 0; c < classes; ++c)
+        motifs_.emplace_back(rng.randint(vocab), rng.randint(vocab));
+}
+
+SyntheticText::SyntheticText(
+    std::vector<std::pair<int64_t, int64_t>> motifs, int64_t vocab,
+    int64_t seq_len, float motif_prob)
+    : classes_(static_cast<int64_t>(motifs.size())), vocab_(vocab),
+      seqLen_(seq_len), motifProb_(motif_prob),
+      motifs_(std::move(motifs))
+{
+}
+
+namespace {
+
+/** The shared motif pool every text task draws from. */
+std::vector<std::pair<int64_t, int64_t>>
+motifPool(int64_t vocab)
+{
+    Rng rng(seedOf("bookcorpus-proxy"));
+    std::vector<std::pair<int64_t, int64_t>> pool;
+    pool.reserve(16);
+    for (int i = 0; i < 16; ++i)
+        pool.emplace_back(rng.randint(vocab), rng.randint(vocab));
+    return pool;
+}
+
+} // namespace
+
+Batch
+SyntheticText::sample(int64_t batch, Rng &rng) const
+{
+    Batch b;
+    b.x = Tensor({batch, seqLen_});
+    b.y = Tensor({batch});
+    for (int64_t n = 0; n < batch; ++n) {
+        int64_t c = rng.randint(classes_);
+        b.y[n] = static_cast<float>(c);
+        for (int64_t i = 0; i < seqLen_; ++i)
+            b.x[n * seqLen_ + i] = static_cast<float>(rng.randint(vocab_));
+        if (rng.chance(motifProb_)) {
+            int64_t pos = rng.randint(seqLen_ - 1);
+            b.x[n * seqLen_ + pos] = static_cast<float>(motifs_[c].first);
+            b.x[n * seqLen_ + pos + 1] =
+                static_cast<float>(motifs_[c].second);
+        }
+    }
+    return b;
+}
+
+std::vector<std::string>
+SyntheticText::taskNames()
+{
+    return {"cola", "mnli", "mrpc", "qnli", "qqp", "rte", "sst2"};
+}
+
+SyntheticText
+SyntheticText::task(const std::string &name, int64_t vocab,
+                    int64_t seq_len)
+{
+    int64_t classes = name == "mnli" ? 3 : 2;
+    auto pool = motifPool(vocab);
+    Rng pick(seedOf(name));
+    std::vector<std::pair<int64_t, int64_t>> motifs;
+    std::vector<bool> used(pool.size(), false);
+    for (int64_t c = 0; c < classes; ++c) {
+        int64_t i = pick.randint(static_cast<int64_t>(pool.size()));
+        while (used[i])
+            i = (i + 1) % static_cast<int64_t>(pool.size());
+        used[i] = true;
+        motifs.push_back(pool[i]);
+    }
+    return SyntheticText(std::move(motifs), vocab, seq_len, 0.9f);
+}
+
+SyntheticText
+SyntheticText::pretrain(int64_t vocab, int64_t seq_len)
+{
+    return SyntheticText(motifPool(vocab), vocab, seq_len, 0.9f);
+}
+
+// ---- InstructionTask --------------------------------------------------
+
+InstructionTask::InstructionTask(uint64_t seed, int64_t num_keys,
+                                 int64_t vocab, int64_t seq_len)
+    : numKeys_(num_keys), vocab_(vocab), seqLen_(seq_len),
+      promptLen_(seq_len / 4)
+{
+    if (num_keys > vocab)
+        throw std::runtime_error("InstructionTask: keys exceed vocab");
+    Rng rng(seed);
+    replies_.resize(num_keys);
+    for (auto &reply : replies_) {
+        reply.resize(seqLen_ - promptLen_);
+        for (auto &t : reply)
+            t = rng.randint(vocab_);
+    }
+}
+
+Batch
+InstructionTask::sample(int64_t batch, Rng &rng) const
+{
+    Batch b;
+    b.x = Tensor({batch, seqLen_});
+    b.y = Tensor({batch * seqLen_});
+    for (int64_t n = 0; n < batch; ++n) {
+        int64_t key = rng.randint(numKeys_);
+        std::vector<int64_t> tokens(seqLen_);
+        // Prompt: the key token repeated with filler; reply follows.
+        for (int64_t i = 0; i < promptLen_; ++i)
+            tokens[i] = i % 2 == 0 ? key : rng.randint(vocab_);
+        tokens[0] = key;
+        for (int64_t i = promptLen_; i < seqLen_; ++i)
+            tokens[i] = replies_[key][i - promptLen_];
+        for (int64_t i = 0; i < seqLen_; ++i) {
+            b.x[n * seqLen_ + i] = static_cast<float>(tokens[i]);
+            int64_t next = i + 1 < seqLen_ ? tokens[i + 1] : tokens[i];
+            b.y[n * seqLen_ + i] = static_cast<float>(next);
+        }
+    }
+    return b;
+}
+
+double
+InstructionTask::exactMatch(const Tensor &logits, const Batch &batch) const
+{
+    int64_t rows = logits.dim(0);
+    int64_t v = logits.dim(1);
+    int64_t correct = 0, counted = 0;
+    for (int64_t r = 0; r < rows; ++r) {
+        int64_t pos = r % seqLen_;
+        if (pos < promptLen_ - 1 || pos == seqLen_ - 1)
+            continue; // only score reply tokens
+        const float *row = logits.data() + r * v;
+        int64_t argmax = 0;
+        for (int64_t j = 1; j < v; ++j) {
+            if (row[j] > row[argmax])
+                argmax = j;
+        }
+        ++counted;
+        if (argmax == static_cast<int64_t>(batch.y[r]))
+            ++correct;
+    }
+    return counted ? static_cast<double>(correct) /
+                         static_cast<double>(counted)
+                   : 0.0;
+}
+
+} // namespace pe

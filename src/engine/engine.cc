@@ -1,0 +1,254 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pe {
+
+TrainingProgram::TrainingProgram(Graph g, int loss_id,
+                                 std::vector<int> order,
+                                 std::shared_ptr<ParamStore> store,
+                                 ExecOptions exec_options,
+                                 CompileReport report, Graph apply_graph,
+                                 int grad_accum_steps,
+                                 std::vector<std::string> accum_buffers)
+    : graph_(std::move(g)), lossId_(loss_id), store_(std::move(store)),
+      applyGraph_(std::move(apply_graph)),
+      gradAccumSteps_(grad_accum_steps),
+      accumBuffers_(std::move(accum_buffers)),
+      report_(std::move(report))
+{
+    executor_ = std::make_unique<Executor>(graph_, std::move(order),
+                                           *store_,
+                                           std::move(exec_options));
+    if (applyGraph_.numNodes() > 0) {
+        applyExecutor_ = std::make_unique<Executor>(
+            applyGraph_, naturalOrder(applyGraph_), *store_);
+    }
+    report_.kernelSteps = executor_->numSteps();
+    const MemoryPlan &mp = executor_->memoryPlan();
+    report_.arenaBytes = mp.arenaBytes;
+    report_.paramBytes = mp.paramBytes;
+    report_.totalBytes = mp.totalBytes();
+}
+
+float
+TrainingProgram::trainStep(
+    const std::unordered_map<std::string, Tensor> &feeds)
+{
+    for (const auto &[name, t] : feeds)
+        executor_->bindInput(name, t);
+    executor_->run();
+    float loss = executor_->fetch(lossId_)[0];
+    if (applyExecutor_ && ++microStep_ % gradAccumSteps_ == 0) {
+        applyExecutor_->run();
+        for (const std::string &name : accumBuffers_)
+            store_->get(name).fill(0.0f);
+    }
+    return loss;
+}
+
+InferenceProgram::InferenceProgram(Graph g,
+                                   std::shared_ptr<ParamStore> store,
+                                   ExecOptions exec_options)
+    : graph_(std::move(g)), store_(std::move(store))
+{
+    executor_ = std::make_unique<Executor>(graph_,
+                                           reorderForMemory(graph_),
+                                           *store_,
+                                           std::move(exec_options));
+}
+
+std::vector<Tensor>
+InferenceProgram::run(
+    const std::unordered_map<std::string, Tensor> &feeds)
+{
+    for (const auto &[name, t] : feeds)
+        executor_->bindInput(name, t);
+    executor_->run();
+    std::vector<Tensor> outs;
+    outs.reserve(graph_.outputs().size());
+    for (int id : graph_.outputs())
+        outs.push_back(executor_->fetch(id));
+    return outs;
+}
+
+CompiledGraph
+compileGraphOnly(const Graph &forward, int loss_id,
+                 const SparseUpdateScheme &scheme,
+                 const CompileOptions &options)
+{
+    CompiledGraph out;
+    Graph g = forward;
+    CompileReport report;
+    report.forwardNodes = g.numNodes();
+
+    // Name the loss so its id can be tracked across graph compaction.
+    g.node(loss_id).name = "__loss__";
+    g.outputs().clear();
+    g.markOutput(loss_id);
+
+    // 1. Sparse update scheme: trainable flags + channel ratios.
+    report.trainableTensors = scheme.apply(g);
+
+    // 2. Compile-time autodiff (prunes frozen branches by never
+    //    emitting them).
+    BackwardResult bwd = buildBackward(g, loss_id);
+    report.backwardNodes = bwd.nodesEmitted;
+
+    // 3. In-place optimizer emission — or, under gradient
+    //    accumulation, scaled AccumGrad into persistent buffers (the
+    //    optimizer then lives in a separate tiny apply program).
+    if (options.gradAccumSteps > 1) {
+        std::vector<std::pair<int, int>> pairs(bwd.paramGrads.begin(),
+                                               bwd.paramGrads.end());
+        std::sort(pairs.begin(), pairs.end());
+        double inv = 1.0 / static_cast<double>(options.gradAccumSteps);
+        for (auto [pid, gid] : pairs) {
+            const std::string base = g.node(pid).name;
+            const Shape gshape = g.node(gid).shape;
+            int gacc = g.param(gshape, base + ".gacc", false);
+            Attrs sa;
+            sa.set("alpha", inv);
+            int scaled = g.add(OpKind::Scale, {gid}, std::move(sa));
+            int acc = g.add(OpKind::AccumGrad, {gacc, scaled}, {},
+                            base + ".gaccum");
+            g.markOutput(acc);
+        }
+    } else {
+        emitOptimizer(g, options.optim, bwd.paramGrads);
+    }
+
+    // 4. Graph optimizations on the unified IR.
+    simplify(g);
+    if (options.foldConstants)
+        report.folded = constantFold(g);
+    if (options.fuse)
+        report.fusions = fuseOperators(g);
+    report.prunedNodes = dce(g);
+
+    // Re-locate the loss node after compaction.
+    int loss = -1;
+    for (int i = 0; i < g.numNodes(); ++i) {
+        if (g.node(i).name == "__loss__") {
+            loss = i;
+            break;
+        }
+    }
+    if (loss < 0)
+        throw std::runtime_error("compileGraphOnly: loss eliminated");
+
+    // 5. Scheduling (+ ablation number for the report). The greedy
+    //    memory-aware schedule is not guaranteed to beat creation
+    //    order on every graph, so plan both and keep the cheaper —
+    //    both are computed at compile time anyway.
+    report.arenaBytesNoReorder = planMemory(g, naturalOrder(g)).arenaBytes;
+    std::vector<int> order = naturalOrder(g);
+    if (options.reorder) {
+        std::vector<int> reordered = reorderForMemory(g);
+        if (planMemory(g, reordered).arenaBytes <
+            report.arenaBytesNoReorder) {
+            order = std::move(reordered);
+        }
+    }
+
+    // 6. Backend switching.
+    BackendOptions bopt;
+    bopt.enableWinograd = options.winograd;
+    bopt.enableBlocked = options.blocked;
+    out.variants = switchBackends(g, bopt, &report.backend);
+
+    report.flopsPerStep = g.totalFlops();
+    MemoryPlan plan = planMemory(g, order);
+    report.arenaBytes = plan.arenaBytes;
+    report.paramBytes = plan.paramBytes;
+    report.totalBytes = plan.totalBytes();
+    report.kernelSteps = 0;
+    for (int id : order) {
+        if (!isSourceOp(g.node(id).op))
+            ++report.kernelSteps;
+    }
+
+    out.graph = std::move(g);
+    out.lossId = loss;
+    out.order = std::move(order);
+    out.report = std::move(report);
+    return out;
+}
+
+TrainingProgram
+compileTraining(const Graph &forward, int loss_id,
+                const SparseUpdateScheme &scheme,
+                const CompileOptions &options,
+                std::shared_ptr<ParamStore> store)
+{
+    if (!store)
+        store = std::make_shared<ParamStore>();
+    CompiledGraph c = compileGraphOnly(forward, loss_id, scheme, options);
+    ExecOptions eopt;
+    eopt.variants = std::move(c.variants);
+
+    // Under gradient accumulation, build the small apply program that
+    // consumes the ".gacc" buffers every N-th step.
+    Graph apply_graph;
+    std::vector<std::string> accum_buffers;
+    if (options.gradAccumSteps > 1) {
+        std::unordered_map<int, int> param_grads;
+        for (int id : c.graph.paramIds()) {
+            const Node &n = c.graph.node(id);
+            const std::string suffix = ".gacc";
+            if (n.name.size() <= suffix.size() ||
+                n.name.compare(n.name.size() - suffix.size(),
+                               suffix.size(), suffix) != 0) {
+                continue;
+            }
+            std::string base =
+                n.name.substr(0, n.name.size() - suffix.size());
+            int base_id = c.graph.findParam(base);
+            int p = apply_graph.param(c.graph.node(base_id).shape, base);
+            int gacc = apply_graph.param(n.shape, n.name, false);
+            param_grads[p] = gacc;
+            accum_buffers.push_back(n.name);
+        }
+        emitOptimizer(apply_graph, options.optim, param_grads);
+    }
+    return TrainingProgram(std::move(c.graph), c.lossId,
+                           std::move(c.order), std::move(store),
+                           std::move(eopt), std::move(c.report),
+                           std::move(apply_graph),
+                           options.gradAccumSteps,
+                           std::move(accum_buffers));
+}
+
+InferenceProgram
+compileInference(const Graph &forward,
+                 const std::vector<int> &output_ids,
+                 const CompileOptions &options,
+                 std::shared_ptr<ParamStore> store)
+{
+    if (!store)
+        store = std::make_shared<ParamStore>();
+
+    Graph g = forward;
+    g.outputs() = output_ids;
+    for (int id : g.paramIds())
+        g.node(id).trainable = false;
+
+    simplify(g);
+    if (options.foldConstants)
+        constantFold(g);
+    if (options.fuse)
+        fuseOperators(g);
+    dce(g);
+
+    BackendOptions bopt;
+    bopt.enableWinograd = options.winograd;
+    bopt.enableBlocked = options.blocked;
+    ExecOptions eopt;
+    eopt.variants = switchBackends(g, bopt);
+
+    return InferenceProgram(std::move(g), std::move(store),
+                            std::move(eopt));
+}
+
+} // namespace pe

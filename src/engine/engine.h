@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The PockEngine facade: compile a forward graph + loss + sparse
+ * update scheme into an executable training program (paper Fig. 4).
+ *
+ * Pipeline: apply scheme -> compile-time autodiff -> emit in-place
+ * optimizer -> simplify -> constant fold -> operator fusion -> DCE
+ * (prunes the frozen layers' backward subgraphs) -> memory-aware
+ * reordering -> backend/kernel switching -> memory planning -> bind.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "autodiff/autodiff.h"
+#include "engine/scheme.h"
+#include "optim/optim.h"
+#include "passes/passes.h"
+#include "runtime/executor.h"
+
+namespace pe {
+
+/** Compilation switches (all graph optimizations are ablatable). */
+struct CompileOptions {
+    bool fuse = true;          ///< operator fusion
+    bool reorder = true;       ///< memory-aware scheduling + in-place
+    bool winograd = true;      ///< bind frozen 3x3 convs to Winograd
+    bool blocked = true;       ///< blocked GEMM variant
+    bool foldConstants = true;
+    OptimConfig optim = OptimConfig::sgd(0.01);
+    /**
+     * Gradient accumulation (paper Section 5 fine-tunes LLaMA with
+     * 16-step accumulation). When > 1, the compiled step accumulates
+     * scaled gradients into persistent buffers and a second, tiny
+     * compiled program applies the optimizer every N-th trainStep().
+     */
+    int gradAccumSteps = 1;
+};
+
+/** What the compiler did — consumed by benches and EXPERIMENTS.md. */
+struct CompileReport {
+    int forwardNodes = 0;     ///< nodes before autodiff
+    int backwardNodes = 0;    ///< nodes emitted by autodiff
+    int trainableTensors = 0;
+    int prunedNodes = 0;      ///< removed by DCE (frozen subgraphs)
+    int fusions = 0;
+    int folded = 0;
+    PassStats backend;
+    int kernelSteps = 0;      ///< runtime kernel invocations per step
+    double flopsPerStep = 0;
+    int64_t arenaBytes = 0;          ///< planned activation memory
+    int64_t arenaBytesNoReorder = 0; ///< ablation: natural order
+    int64_t paramBytes = 0;
+    int64_t totalBytes = 0;          ///< Table 4 metric
+};
+
+/** A compiled training step. */
+class TrainingProgram
+{
+  public:
+    TrainingProgram(Graph g, int loss_id, std::vector<int> order,
+                    std::shared_ptr<ParamStore> store,
+                    ExecOptions exec_options, CompileReport report,
+                    Graph apply_graph = {}, int grad_accum_steps = 1,
+                    std::vector<std::string> accum_buffers = {});
+
+    /**
+     * Bind inputs, run one compiled step, return the loss. Under
+     * gradient accumulation the optimizer fires on every N-th call.
+     */
+    float trainStep(
+        const std::unordered_map<std::string, Tensor> &feeds);
+
+    const CompileReport &report() const { return report_; }
+    ParamStore &params() { return *store_; }
+    std::shared_ptr<ParamStore> paramsPtr() { return store_; }
+    const Graph &graph() const { return graph_; }
+    Executor &executor() { return *executor_; }
+
+  private:
+    Graph graph_;
+    int lossId_;
+    std::shared_ptr<ParamStore> store_;
+    std::unique_ptr<Executor> executor_;
+    Graph applyGraph_;                        ///< accumulation only
+    std::unique_ptr<Executor> applyExecutor_; ///< accumulation only
+    int gradAccumSteps_ = 1;
+    int64_t microStep_ = 0;
+    std::vector<std::string> accumBuffers_;
+    CompileReport report_;
+};
+
+/** A compiled forward-only program (evaluation / deployment). */
+class InferenceProgram
+{
+  public:
+    InferenceProgram(Graph g, std::shared_ptr<ParamStore> store,
+                     ExecOptions exec_options);
+
+    /** Bind inputs, run, return the graph outputs in order. */
+    std::vector<Tensor> run(
+        const std::unordered_map<std::string, Tensor> &feeds);
+
+    const Graph &graph() const { return graph_; }
+    Executor &executor() { return *executor_; }
+
+  private:
+    Graph graph_;
+    std::shared_ptr<ParamStore> store_;
+    std::unique_ptr<Executor> executor_;
+};
+
+/**
+ * Compile a training program.
+ *
+ * @param forward  forward graph; must contain a scalar loss node
+ * @param loss_id  id of the loss node inside @p forward
+ * @param scheme   sparse update scheme (which tensors train)
+ * @param options  optimizer + graph-optimization switches
+ * @param store    parameter storage (shared with inference programs);
+ *                 created if null
+ */
+TrainingProgram compileTraining(const Graph &forward, int loss_id,
+                                const SparseUpdateScheme &scheme,
+                                const CompileOptions &options,
+                                std::shared_ptr<ParamStore> store);
+
+/**
+ * Compile an inference program over @p output_ids of @p forward.
+ * All parameters are treated as frozen (enables Winograd everywhere
+ * eligible).
+ */
+InferenceProgram compileInference(const Graph &forward,
+                                  const std::vector<int> &output_ids,
+                                  const CompileOptions &options,
+                                  std::shared_ptr<ParamStore> store);
+
+/** Intermediate compile product shared by execution and analysis. */
+struct CompiledGraph {
+    Graph graph;
+    int lossId = -1;
+    std::vector<int> order;
+    std::vector<std::string> variants;
+    CompileReport report;
+};
+
+/**
+ * Run the full compile pipeline without materializing parameters or
+ * binding an executor. This is how full-size (7B-parameter) models
+ * are analyzed for memory (Table 4) and projected latency (Fig. 9 /
+ * Table 5) on hardware this host could never execute.
+ */
+CompiledGraph compileGraphOnly(const Graph &forward, int loss_id,
+                               const SparseUpdateScheme &scheme,
+                               const CompileOptions &options);
+
+} // namespace pe

@@ -1,0 +1,134 @@
+#include "engine/scheme.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace pe {
+
+bool
+isBiasParam(const std::string &name)
+{
+    auto ends_with = [&](const std::string &suffix) {
+        return name.size() >= suffix.size() &&
+               name.compare(name.size() - suffix.size(), suffix.size(),
+                            suffix) == 0;
+    };
+    return ends_with(".bias") || ends_with(".beta");
+}
+
+SparseUpdateScheme
+SparseUpdateScheme::full()
+{
+    return SparseUpdateScheme{};
+}
+
+SparseUpdateScheme
+SparseUpdateScheme::biasOnly()
+{
+    SparseUpdateScheme s;
+    s.defaultWeights_ = false;
+    s.defaultBiases_ = true;
+    return s;
+}
+
+SparseUpdateScheme
+SparseUpdateScheme::frozen()
+{
+    SparseUpdateScheme s;
+    s.defaultWeights_ = false;
+    s.defaultBiases_ = false;
+    return s;
+}
+
+SparseUpdateScheme &
+SparseUpdateScheme::set(const std::string &name, TensorRule rule)
+{
+    exact_[name] = rule;
+    return *this;
+}
+
+SparseUpdateScheme &
+SparseUpdateScheme::updatePrefix(const std::string &prefix, double ratio)
+{
+    prefixWeights_[prefix] = TensorRule{true, ratio};
+    return *this;
+}
+
+SparseUpdateScheme &
+SparseUpdateScheme::updateBiasPrefix(const std::string &prefix)
+{
+    prefixBiases_[prefix] = true;
+    return *this;
+}
+
+SparseUpdateScheme &
+SparseUpdateScheme::updateContaining(const std::string &substr)
+{
+    contains_.push_back(substr);
+    return *this;
+}
+
+TensorRule
+SparseUpdateScheme::ruleFor(const std::string &name) const
+{
+    auto it = exact_.find(name);
+    if (it != exact_.end())
+        return it->second;
+    for (const std::string &sub : contains_) {
+        if (name.find(sub) != std::string::npos)
+            return TensorRule{true, 1.0};
+    }
+    bool bias = isBiasParam(name);
+    if (bias) {
+        for (const auto &[prefix, on] : prefixBiases_) {
+            if (name.rfind(prefix, 0) == 0)
+                return TensorRule{on, 1.0};
+        }
+    } else {
+        for (const auto &[prefix, rule] : prefixWeights_) {
+            if (name.rfind(prefix, 0) == 0)
+                return rule;
+        }
+    }
+    return TensorRule{bias ? defaultBiases_ : defaultWeights_, 1.0};
+}
+
+int
+SparseUpdateScheme::apply(Graph &g) const
+{
+    int trainable = 0;
+    for (int id : g.paramIds()) {
+        Node &n = g.node(id);
+        TensorRule rule = ruleFor(n.name);
+        n.trainable = rule.update;
+        if (rule.update)
+            ++trainable;
+        if (rule.update && rule.ratio < 1.0 && n.shape.size() == 4) {
+            auto k = static_cast<int64_t>(
+                std::ceil(rule.ratio * static_cast<double>(n.shape[0])));
+            k = std::max<int64_t>(1, std::min(k, n.shape[0]));
+            n.attrs.set("updateChannels", k);
+        }
+    }
+    return trainable;
+}
+
+std::string
+SparseUpdateScheme::describe() const
+{
+    std::ostringstream os;
+    os << "default(weights=" << (defaultWeights_ ? "update" : "freeze")
+       << ", biases=" << (defaultBiases_ ? "update" : "freeze") << ")";
+    for (const auto &[p, r] : prefixWeights_)
+        os << " +weights:" << p << "@" << r.ratio;
+    for (const auto &[p, on] : prefixBiases_)
+        os << (on ? " +bias:" : " -bias:") << p;
+    for (const auto &[name, r] : exact_) {
+        os << " " << name << "=" << (r.update ? "update" : "freeze");
+        if (r.ratio < 1.0)
+            os << "@" << r.ratio;
+    }
+    return os.str();
+}
+
+} // namespace pe

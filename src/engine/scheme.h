@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sparse-backpropagation update schemes (paper Sections 2.6 / 3.1).
+ *
+ * A scheme names, per parameter, whether it is updated and (for
+ * convolution weights) what fraction of output channels receive
+ * gradients. Applying a scheme only toggles trainable flags and the
+ * "updateChannels" attribute — the compile-time autodiff plus DCE do
+ * the actual backward-graph pruning, which is exactly the paper's
+ * mechanism for turning theoretical savings into measured ones.
+ *
+ * Naming convention (used by the frontend): weights are
+ * "<layer>.weight", biases "<layer>.bias", norm scales "<layer>.gamma"
+ * / "<layer>.beta".
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ir/graph.h"
+
+namespace pe {
+
+/** Update rule for a single parameter tensor. */
+struct TensorRule {
+    bool update = true;
+    double ratio = 1.0; ///< fraction of output channels (conv weights)
+};
+
+class SparseUpdateScheme
+{
+  public:
+    /** Update everything (conventional full backpropagation). */
+    static SparseUpdateScheme full();
+    /** Update only bias parameters (paper Fig. 2b). */
+    static SparseUpdateScheme biasOnly();
+    /** Freeze everything; overrides select what trains. */
+    static SparseUpdateScheme frozen();
+
+    /** Per-name override (exact parameter name). */
+    SparseUpdateScheme &set(const std::string &name, TensorRule rule);
+    /** Enable weight+bias update for every param with this prefix. */
+    SparseUpdateScheme &updatePrefix(const std::string &prefix,
+                                     double ratio = 1.0);
+    /** Enable bias update for every param with this prefix. */
+    SparseUpdateScheme &updateBiasPrefix(const std::string &prefix);
+    /** Enable update for every param whose name contains @p substr. */
+    SparseUpdateScheme &updateContaining(const std::string &substr);
+
+    /** Resolve the rule for one parameter name. */
+    TensorRule ruleFor(const std::string &name) const;
+
+    /**
+     * Set trainable flags / updateChannels attributes on @p g.
+     * @return number of trainable parameter tensors.
+     */
+    int apply(Graph &g) const;
+
+    /** Human-readable summary for reports. */
+    std::string describe() const;
+
+  private:
+    bool defaultWeights_ = true;
+    bool defaultBiases_ = true;
+    std::map<std::string, TensorRule> exact_;
+    std::map<std::string, TensorRule> prefixWeights_;
+    std::map<std::string, bool> prefixBiases_;
+    std::vector<std::string> contains_;
+};
+
+/** True for names ending in ".bias" or ".beta". */
+bool isBiasParam(const std::string &name);
+
+} // namespace pe

@@ -1,0 +1,100 @@
+#include "hw/device.h"
+
+namespace pe {
+
+DeviceModel
+DeviceModel::raspberryPi4()
+{
+    // 4x Cortex-A72 @ 1.5 GHz, NEON: ~24 GFLOPS peak, LPDDR4 ~4 GB/s.
+    return {"RaspberryPi4-CPU", DeviceKind::Cpu, 24.0, 4.0, 4.0, 1024.0, true};
+}
+
+DeviceModel
+DeviceModel::jetsonNano()
+{
+    // 128-core Maxwell @ 0.92 GHz: 236 GFLOPS fp32, 25.6 GB/s.
+    return {"JetsonNano-GPU", DeviceKind::Accel, 236.0, 25.6, 15.0, 2048.0, true};
+}
+
+DeviceModel
+DeviceModel::jetsonOrin()
+{
+    // AGX Orin: ~2.1 TFLOPS fp32 (Ampere iGPU), 204.8 GB/s.
+    return {"JetsonOrin-GPU", DeviceKind::Accel, 2100.0, 204.8, 10.0, 49152.0, true};
+}
+
+DeviceModel
+DeviceModel::appleM1()
+{
+    // M1 8-core GPU: 2.6 TFLOPS fp32, 68.25 GB/s unified.
+    return {"AppleM1-GPU", DeviceKind::Accel, 2600.0, 68.25, 12.0, 8192.0, true};
+}
+
+DeviceModel
+DeviceModel::snapdragonCpu()
+{
+    // 8Gen1 Kryo CPU complex: ~60 GFLOPS fp32, 51.2 GB/s LPDDR5.
+    return {"Snapdragon8Gen1-CPU", DeviceKind::Cpu, 60.0, 51.2, 3.0, 4096.0, true};
+}
+
+DeviceModel
+DeviceModel::snapdragonDsp()
+{
+    // Hexagon HTP through SNPE: vector engine, very low dispatch
+    // cost once compiled; effective ~1 TFLOPS-equivalent on fused
+    // linear ops.
+    return {"Snapdragon8Gen1-DSP", DeviceKind::Accel, 1000.0, 51.2, 2.0, 2048.0, false};
+}
+
+DeviceModel
+DeviceModel::stm32f746()
+{
+    // 216 MHz Cortex-M7, ~0.2 GFLOPS with DSP extensions, 320 KB
+    // SRAM; kernels run from TinyEngine-style codegen.
+    return {"STM32F746-MCU", DeviceKind::Mcu, 0.2, 0.3, 0.05, 0.32, false};
+}
+
+std::vector<DeviceModel>
+DeviceModel::all()
+{
+    return {raspberryPi4(),  jetsonNano(),    jetsonOrin(), appleM1(),
+            snapdragonCpu(), snapdragonDsp(), stm32f746()};
+}
+
+double
+projectLatencyUs(const Graph &g, const std::vector<int> &order,
+                 const DeviceModel &device,
+                 const FrameworkProfile &framework,
+                 const std::vector<std::string> &variants,
+                 double extra_ops)
+{
+    double total_us = 0;
+    for (int id : order) {
+        const Node &n = g.node(id);
+        if (isSourceOp(n.op))
+            continue;
+        double flops = nodeFlops(g, n);
+        double bytes = nodeBytes(g, n);
+        if (id < static_cast<int>(variants.size()) &&
+            variants[id] == "winograd" && device.supportsWinograd) {
+            flops /= 2.25; // F(2x2,3x3): 16 mults for 36
+        }
+        double eff = device.kind == DeviceKind::Accel
+                         ? framework.accelEfficiency
+                         : framework.cpuEfficiency;
+        double compute_s = flops / (device.gflops * 1e9 * eff);
+        double memory_s = bytes / (device.gbps * 1e9);
+        total_us += std::max(compute_s, memory_s) * 1e6;
+        total_us += device.launchUs + framework.hostOverheadUs;
+    }
+    total_us += extra_ops * framework.hostOverheadUs;
+    return total_us;
+}
+
+double
+throughputPerSec(double latency_us, int64_t batch)
+{
+    return static_cast<double>(batch) / (latency_us * 1e-6);
+}
+
+} // namespace pe

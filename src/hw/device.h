@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Analytical edge-device models and latency projection.
+ *
+ * The paper measures on a fleet of physical devices (Raspberry Pi 4,
+ * Jetson Nano / AGX Orin, Apple M1, Snapdragon 8Gen1 CPU + HTP/DSP,
+ * STM32F746). This module substitutes calibrated roofline models:
+ * each kernel invocation costs
+ *
+ *     max(flops / (peak_gflops * framework_efficiency),
+ *         bytes / bandwidth)  +  launch_overhead  +  host_overhead
+ *
+ * Peak compute / bandwidth figures come from public spec sheets; the
+ * host-overhead term is what separates compiled PockEngine from
+ * interpreted frameworks, and the per-node flops/bytes come from the
+ * actual compiled (or eager) graph — so relative speedups (the
+ * quantity Fig. 9 and Table 5 report) are driven by the same
+ * mechanisms as on real hardware: fewer ops after fusion/pruning,
+ * fewer bytes after planning, and no per-op host tax.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baseline/eager.h"
+#include "ir/graph.h"
+
+namespace pe {
+
+/** Device class: selects which framework kernel-efficiency applies. */
+enum class DeviceKind { Cpu, Accel, Mcu };
+
+/** One edge device. */
+struct DeviceModel {
+    std::string name;
+    DeviceKind kind = DeviceKind::Cpu;
+    double gflops;      ///< fp32 peak, GFLOP/s
+    double gbps;        ///< DRAM bandwidth, GB/s
+    double launchUs;    ///< per-kernel runtime dispatch cost
+    double memLimitMB;  ///< usable training memory
+    bool supportsWinograd = true; ///< vector units benefit from F(2,3)
+
+    static DeviceModel raspberryPi4();
+    static DeviceModel jetsonNano();
+    static DeviceModel jetsonOrin();
+    static DeviceModel appleM1();
+    static DeviceModel snapdragonCpu();
+    static DeviceModel snapdragonDsp();
+    static DeviceModel stm32f746();
+
+    /** All seven, in the paper's Fig. 9 order. */
+    static std::vector<DeviceModel> all();
+};
+
+/**
+ * Project one training-step latency (microseconds) for a scheduled
+ * graph on a device under a framework profile.
+ *
+ * @param variants  per-node kernel variants ("winograd" reduces the
+ *                  effective multiply count by 2.25x on 3x3 convs)
+ * @param extra_ops additional dispatches outside the graph (e.g. the
+ *                  eager baseline's runtime-autodiff bookkeeping)
+ */
+double projectLatencyUs(const Graph &g, const std::vector<int> &order,
+                        const DeviceModel &device,
+                        const FrameworkProfile &framework,
+                        const std::vector<std::string> &variants = {},
+                        double extra_ops = 0);
+
+/** Throughput in samples/sec given a per-step latency and batch. */
+double throughputPerSec(double latency_us, int64_t batch);
+
+} // namespace pe

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Typed attribute map attached to IR nodes.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pe {
+
+/** One attribute value: integer, float, int list, or string. */
+using AttrValue =
+    std::variant<int64_t, double, std::vector<int64_t>, std::string>;
+
+/**
+ * A small ordered attribute map. Linear scan is fine: nodes carry at most
+ * a handful of attributes and the map is only consulted at compile time.
+ */
+class Attrs
+{
+  public:
+    Attrs() = default;
+    Attrs(std::initializer_list<std::pair<std::string, AttrValue>> init)
+        : items_(init.begin(), init.end())
+    {
+    }
+
+    bool has(const std::string &key) const { return find(key) != nullptr; }
+
+    void
+    set(const std::string &key, AttrValue value)
+    {
+        for (auto &kv : items_) {
+            if (kv.first == key) {
+                kv.second = std::move(value);
+                return;
+            }
+        }
+        items_.emplace_back(key, std::move(value));
+    }
+
+    int64_t
+    getInt(const std::string &key, int64_t dflt) const
+    {
+        const AttrValue *v = find(key);
+        return v ? std::get<int64_t>(*v) : dflt;
+    }
+
+    int64_t
+    getInt(const std::string &key) const
+    {
+        const AttrValue *v = find(key);
+        if (!v)
+            throw std::runtime_error("missing int attr: " + key);
+        return std::get<int64_t>(*v);
+    }
+
+    double
+    getFloat(const std::string &key, double dflt) const
+    {
+        const AttrValue *v = find(key);
+        return v ? std::get<double>(*v) : dflt;
+    }
+
+    std::vector<int64_t>
+    getInts(const std::string &key) const
+    {
+        const AttrValue *v = find(key);
+        if (!v)
+            throw std::runtime_error("missing ints attr: " + key);
+        return std::get<std::vector<int64_t>>(*v);
+    }
+
+    std::vector<int64_t>
+    getInts(const std::string &key, std::vector<int64_t> dflt) const
+    {
+        const AttrValue *v = find(key);
+        return v ? std::get<std::vector<int64_t>>(*v) : dflt;
+    }
+
+    std::string
+    getString(const std::string &key, const std::string &dflt = "") const
+    {
+        const AttrValue *v = find(key);
+        return v ? std::get<std::string>(*v) : dflt;
+    }
+
+    const std::vector<std::pair<std::string, AttrValue>> &
+    items() const
+    {
+        return items_;
+    }
+
+  private:
+    const AttrValue *
+    find(const std::string &key) const
+    {
+        for (const auto &kv : items_) {
+            if (kv.first == key)
+                return &kv.second;
+        }
+        return nullptr;
+    }
+
+    std::vector<std::pair<std::string, AttrValue>> items_;
+};
+
+} // namespace pe

@@ -1,0 +1,288 @@
+#include "ir/graph.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "ir/infer.h"
+
+namespace pe {
+
+int
+Graph::add(OpKind op, std::vector<int> inputs, Attrs attrs,
+           std::string name)
+{
+    for (int i : inputs) {
+        if (i < 0 || i >= numNodes())
+            throw std::runtime_error("Graph::add: bad input id");
+    }
+    Node n;
+    n.id = numNodes();
+    n.op = op;
+    n.inputs = std::move(inputs);
+    n.attrs = std::move(attrs);
+    n.name = std::move(name);
+    n.shape = inferShape(*this, op, n.inputs, n.attrs);
+    nodes_.push_back(std::move(n));
+    return nodes_.back().id;
+}
+
+int
+Graph::input(Shape shape, std::string name)
+{
+    Attrs a;
+    a.set("shape", shape);
+    return add(OpKind::Input, {}, std::move(a), std::move(name));
+}
+
+int
+Graph::param(Shape shape, std::string name, bool trainable)
+{
+    if (name.empty())
+        throw std::runtime_error("Graph::param: params must be named");
+    if (findParam(name) >= 0)
+        throw std::runtime_error("Graph::param: duplicate name " + name);
+    Attrs a;
+    a.set("shape", shape);
+    int id = add(OpKind::Param, {}, std::move(a), std::move(name));
+    nodes_[id].trainable = trainable;
+    return id;
+}
+
+int
+Graph::constant(Shape shape, std::string name)
+{
+    Attrs a;
+    a.set("shape", shape);
+    return add(OpKind::Const, {}, std::move(a), std::move(name));
+}
+
+std::vector<int>
+Graph::paramIds() const
+{
+    std::vector<int> ids;
+    for (const Node &n : nodes_) {
+        if (n.op == OpKind::Param)
+            ids.push_back(n.id);
+    }
+    return ids;
+}
+
+std::vector<int>
+Graph::inputIds() const
+{
+    std::vector<int> ids;
+    for (const Node &n : nodes_) {
+        if (n.op == OpKind::Input)
+            ids.push_back(n.id);
+    }
+    return ids;
+}
+
+int
+Graph::findParam(const std::string &name) const
+{
+    for (const Node &n : nodes_) {
+        if (n.op == OpKind::Param && n.name == name)
+            return n.id;
+    }
+    return -1;
+}
+
+std::vector<std::vector<int>>
+Graph::consumers() const
+{
+    std::vector<std::vector<int>> users(nodes_.size());
+    for (const Node &n : nodes_) {
+        for (int i : n.inputs)
+            users[i].push_back(n.id);
+    }
+    return users;
+}
+
+std::vector<int>
+Graph::topoOrder() const
+{
+    std::vector<int> order(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i)
+        order[i] = static_cast<int>(i);
+    return order;
+}
+
+std::vector<int>
+Graph::compact(const std::vector<bool> &live)
+{
+    std::vector<int> remap(nodes_.size(), -1);
+    std::vector<Node> kept;
+    kept.reserve(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (!live[i])
+            continue;
+        Node n = std::move(nodes_[i]);
+        remap[i] = static_cast<int>(kept.size());
+        n.id = remap[i];
+        for (int &in : n.inputs) {
+            if (remap[in] < 0)
+                throw std::runtime_error("compact: dead input kept alive");
+            in = remap[in];
+        }
+        kept.push_back(std::move(n));
+    }
+    nodes_ = std::move(kept);
+    std::vector<int> new_outputs;
+    for (int o : outputs_) {
+        if (remap[o] >= 0)
+            new_outputs.push_back(remap[o]);
+    }
+    outputs_ = std::move(new_outputs);
+    std::unordered_map<int, Tensor> new_const;
+    for (auto &[id, t] : constData_) {
+        if (remap[id] >= 0)
+            new_const.emplace(remap[id], std::move(t));
+    }
+    constData_ = std::move(new_const);
+    return remap;
+}
+
+void
+Graph::setConstData(int id, Tensor t)
+{
+    if (node(id).op != OpKind::Const)
+        throw std::runtime_error("setConstData: node is not a Const");
+    if (t.shape() != node(id).shape)
+        throw std::runtime_error("setConstData: shape mismatch");
+    constData_[id] = std::move(t);
+}
+
+int
+Graph::constantOf(Tensor t, std::string name)
+{
+    int id = constant(t.shape(), std::move(name));
+    setConstData(id, std::move(t));
+    return id;
+}
+
+double
+Graph::totalFlops() const
+{
+    double total = 0;
+    for (const Node &n : nodes_)
+        total += nodeFlops(*this, n);
+    return total;
+}
+
+std::string
+Graph::toString() const
+{
+    std::ostringstream os;
+    for (const Node &n : nodes_) {
+        os << "%" << n.id << " = " << opName(n.op) << "(";
+        for (size_t i = 0; i < n.inputs.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << "%" << n.inputs[i];
+        }
+        os << ") : " << shapeToString(n.shape);
+        if (!n.name.empty())
+            os << "  # " << n.name << (n.trainable ? " [trainable]" : "");
+        os << "\n";
+    }
+    os << "outputs:";
+    for (int o : outputs_)
+        os << " %" << o;
+    os << "\n";
+    return os.str();
+}
+
+double
+nodeFlops(const Graph &g, const Node &n)
+{
+    auto out = static_cast<double>(numel(n.shape));
+    auto inShape = [&](size_t i) { return g.node(n.inputs[i]).shape; };
+
+    switch (n.op) {
+      case OpKind::MatMul:
+      case OpKind::MatMulBiasAct: {
+        Shape a = inShape(0);
+        int64_t k = n.attrs.getInt("transA", 0) ? a[0] : a[1];
+        return 2.0 * out * static_cast<double>(k);
+      }
+      case OpKind::BatchMatMul: {
+        Shape a = inShape(0);
+        int64_t k = n.attrs.getInt("transA", 0) ? a[1] : a[2];
+        return 2.0 * out * static_cast<double>(k);
+      }
+      case OpKind::Conv2d:
+      case OpKind::ConvBiasAct: {
+        Shape w = inShape(1);
+        return 2.0 * out * static_cast<double>(w[1] * w[2] * w[3]);
+      }
+      case OpKind::Conv2dBwdInput: {
+        Shape w = inShape(0);
+        double dy = static_cast<double>(numel(inShape(1)));
+        return 2.0 * dy * static_cast<double>(w[1] * w[2] * w[3]);
+      }
+      case OpKind::Conv2dBwdWeight: {
+        double dy = static_cast<double>(numel(inShape(1)));
+        Shape w = n.shape;
+        Shape full_w = n.attrs.getInts("wshape");
+        double frac = static_cast<double>(w[0]) /
+                      static_cast<double>(full_w[0]);
+        return 2.0 * dy * frac *
+               static_cast<double>(full_w[1] * full_w[2] * full_w[3]);
+      }
+      case OpKind::DwConv2d:
+      case OpKind::DwConvBiasAct: {
+        Shape w = inShape(1);
+        return 2.0 * out * static_cast<double>(w[2] * w[3]);
+      }
+      case OpKind::DwConv2dBwdInput:
+      case OpKind::DwConv2dBwdWeight: {
+        Shape w = n.op == OpKind::DwConv2dBwdInput
+                      ? inShape(0)
+                      : Shape(n.attrs.getInts("wshape"));
+        double dy = static_cast<double>(numel(inShape(1)));
+        return 2.0 * dy * static_cast<double>(w[2] * w[3]);
+      }
+      case OpKind::LayerNorm:
+      case OpKind::LayerNormGradX:
+      case OpKind::RMSNorm:
+      case OpKind::RMSNormGradX:
+        return 8.0 * out;
+      case OpKind::Softmax:
+      case OpKind::SoftmaxGrad:
+      case OpKind::Gelu:
+      case OpKind::GeluGrad:
+      case OpKind::Silu:
+      case OpKind::SiluGrad:
+        return 5.0 * out;
+      case OpKind::CrossEntropy:
+      case OpKind::CrossEntropyGrad:
+        return 5.0 * static_cast<double>(numel(inShape(0)));
+      case OpKind::Input:
+      case OpKind::Param:
+      case OpKind::Const:
+      case OpKind::Reshape:
+      case OpKind::Identity:
+        return 0.0;
+      case OpKind::ApplyAdam:
+      case OpKind::ApplyLion:
+        return 8.0 * out;
+      default:
+        return out; // one flop per output element
+    }
+}
+
+double
+nodeBytes(const Graph &g, const Node &n)
+{
+    double bytes = 4.0 * static_cast<double>(numel(n.shape));
+    for (int i : n.inputs)
+        bytes += 4.0 * static_cast<double>(numel(g.node(i).shape));
+    if (n.op == OpKind::Reshape || n.op == OpKind::Identity ||
+        isSourceOp(n.op)) {
+        return 0.0;
+    }
+    return bytes;
+}
+
+} // namespace pe

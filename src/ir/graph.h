@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The PockEngine graph IR: a static DAG of single-output nodes.
+ *
+ * The entire training program (forward, backward, optimizer step) is one
+ * Graph, derived at compile time (paper Fig. 7). Passes rewrite the
+ * graph; the runtime consumes a scheduled, planned form of it.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/shape.h"
+#include "core/tensor.h"
+#include "ir/attrs.h"
+#include "ir/op.h"
+
+namespace pe {
+
+/** One IR node producing a single tensor value. */
+struct Node {
+    int id = -1;
+    OpKind op = OpKind::Identity;
+    std::vector<int> inputs;
+    Attrs attrs;
+    Shape shape;          ///< inferred output shape
+    std::string name;     ///< unique for Param nodes; else informational
+    bool trainable = false; ///< Param only: does it receive gradients?
+};
+
+/**
+ * A DAG of nodes. Node ids are indices into the node table; dead nodes
+ * (after DCE) are dropped by compact(). Param nodes are keyed by their
+ * unique name so rewrites can be tracked across id remappings.
+ */
+class Graph
+{
+  public:
+    /** Append a node, infer its output shape, and return its id. */
+    int add(OpKind op, std::vector<int> inputs, Attrs attrs = {},
+            std::string name = "");
+
+    /** Add an Input node with an explicit shape. */
+    int input(Shape shape, std::string name);
+    /** Add a Param node (trainable by default). */
+    int param(Shape shape, std::string name, bool trainable = true);
+    /** Add a Const node with an explicit shape. */
+    int constant(Shape shape, std::string name = "");
+
+    const Node &node(int id) const { return nodes_.at(id); }
+    Node &node(int id) { return nodes_.at(id); }
+    int numNodes() const { return static_cast<int>(nodes_.size()); }
+    const std::vector<Node> &nodes() const { return nodes_; }
+
+    /** Graph outputs (values that must stay live at the end). */
+    std::vector<int> &outputs() { return outputs_; }
+    const std::vector<int> &outputs() const { return outputs_; }
+    void markOutput(int id) { outputs_.push_back(id); }
+
+    /** Ids of all Param nodes, in creation order. */
+    std::vector<int> paramIds() const;
+    /** Ids of all Input nodes, in creation order. */
+    std::vector<int> inputIds() const;
+    /** Look up a Param node by name; -1 if absent. */
+    int findParam(const std::string &name) const;
+
+    /** consumers[id] = ids of nodes using id as an input. */
+    std::vector<std::vector<int>> consumers() const;
+
+    /**
+     * Nodes in a valid topological order (creation order is already
+     * topological since inputs must exist when a node is added).
+     */
+    std::vector<int> topoOrder() const;
+
+    /**
+     * Drop nodes not in @p live, remapping ids.
+     * @return map from old id to new id (-1 for removed nodes).
+     */
+    std::vector<int> compact(const std::vector<bool> &live);
+
+    /** Total FLOPs of the graph under the catalogue's cost heuristics. */
+    double totalFlops() const;
+
+    /** Attach compile-time data to a Const node. */
+    void setConstData(int id, Tensor t);
+    bool hasConstData(int id) const { return constData_.count(id) > 0; }
+    const Tensor &constData(int id) const { return constData_.at(id); }
+    /** Convenience: add a Const node holding @p t. */
+    int constantOf(Tensor t, std::string name = "");
+
+    /** Human-readable multi-line dump. */
+    std::string toString() const;
+
+  private:
+    std::vector<Node> nodes_;
+    std::vector<int> outputs_;
+    std::unordered_map<int, Tensor> constData_;
+};
+
+/** Approximate FLOPs for one node (used by cost & device models). */
+double nodeFlops(const Graph &g, const Node &n);
+
+/** Bytes touched by one node (inputs + output), for roofline models. */
+double nodeBytes(const Graph &g, const Node &n);
+
+} // namespace pe

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Compile-time shape inference for every op in the catalogue.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "core/shape.h"
+#include "ir/attrs.h"
+#include "ir/op.h"
+
+namespace pe {
+
+class Graph;
+
+/**
+ * Infer the output shape of a prospective node.
+ *
+ * @param g       graph providing the input nodes' shapes
+ * @param op      operator kind
+ * @param inputs  input node ids (must already exist in @p g)
+ * @param attrs   node attributes
+ * @throws std::runtime_error on rank/extent mismatches (this is the IR's
+ *         type checker; malformed graphs fail at compile time, not run
+ *         time).
+ */
+Shape inferShape(const Graph &g, OpKind op, const std::vector<int> &inputs,
+                 const Attrs &attrs);
+
+/** Output spatial extent of a convolution/pool window. */
+int64_t convOutDim(int64_t in, int64_t kernel, int64_t stride, int64_t pad);
+
+} // namespace pe

@@ -1,0 +1,131 @@
+#include "ir/op.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pe {
+
+namespace {
+
+const std::unordered_map<OpKind, const char *> &
+nameTable()
+{
+    static const std::unordered_map<OpKind, const char *> table = {
+        {OpKind::Input, "Input"},
+        {OpKind::Param, "Param"},
+        {OpKind::Const, "Const"},
+        {OpKind::Add, "Add"},
+        {OpKind::Sub, "Sub"},
+        {OpKind::Mul, "Mul"},
+        {OpKind::Div, "Div"},
+        {OpKind::Neg, "Neg"},
+        {OpKind::Relu, "Relu"},
+        {OpKind::Gelu, "Gelu"},
+        {OpKind::Silu, "Silu"},
+        {OpKind::Sigmoid, "Sigmoid"},
+        {OpKind::Tanh, "Tanh"},
+        {OpKind::Exp, "Exp"},
+        {OpKind::Log, "Log"},
+        {OpKind::Sqrt, "Sqrt"},
+        {OpKind::Scale, "Scale"},
+        {OpKind::AddScalar, "AddScalar"},
+        {OpKind::ReluGrad, "ReluGrad"},
+        {OpKind::GeluGrad, "GeluGrad"},
+        {OpKind::SiluGrad, "SiluGrad"},
+        {OpKind::SigmoidGrad, "SigmoidGrad"},
+        {OpKind::TanhGrad, "TanhGrad"},
+        {OpKind::MatMul, "MatMul"},
+        {OpKind::BatchMatMul, "BatchMatMul"},
+        {OpKind::Reshape, "Reshape"},
+        {OpKind::Permute, "Permute"},
+        {OpKind::Slice, "Slice"},
+        {OpKind::Pad, "Pad"},
+        {OpKind::BroadcastTo, "BroadcastTo"},
+        {OpKind::ReduceSum, "ReduceSum"},
+        {OpKind::ReduceMean, "ReduceMean"},
+        {OpKind::Conv2d, "Conv2d"},
+        {OpKind::Conv2dBwdInput, "Conv2dBwdInput"},
+        {OpKind::Conv2dBwdWeight, "Conv2dBwdWeight"},
+        {OpKind::DwConv2d, "DwConv2d"},
+        {OpKind::DwConv2dBwdInput, "DwConv2dBwdInput"},
+        {OpKind::DwConv2dBwdWeight, "DwConv2dBwdWeight"},
+        {OpKind::AvgPool2d, "AvgPool2d"},
+        {OpKind::AvgPool2dGrad, "AvgPool2dGrad"},
+        {OpKind::GlobalAvgPool, "GlobalAvgPool"},
+        {OpKind::GlobalAvgPoolGrad, "GlobalAvgPoolGrad"},
+        {OpKind::Softmax, "Softmax"},
+        {OpKind::SoftmaxGrad, "SoftmaxGrad"},
+        {OpKind::LayerNorm, "LayerNorm"},
+        {OpKind::LayerNormGradX, "LayerNormGradX"},
+        {OpKind::LayerNormGradGamma, "LayerNormGradGamma"},
+        {OpKind::RMSNorm, "RMSNorm"},
+        {OpKind::RMSNormGradX, "RMSNormGradX"},
+        {OpKind::RMSNormGradGamma, "RMSNormGradGamma"},
+        {OpKind::Embedding, "Embedding"},
+        {OpKind::EmbeddingGrad, "EmbeddingGrad"},
+        {OpKind::CrossEntropy, "CrossEntropy"},
+        {OpKind::CrossEntropyGrad, "CrossEntropyGrad"},
+        {OpKind::Mse, "Mse"},
+        {OpKind::MseGrad, "MseGrad"},
+        {OpKind::ApplySgd, "ApplySgd"},
+        {OpKind::ApplyMomentum, "ApplyMomentum"},
+        {OpKind::ApplyAdam, "ApplyAdam"},
+        {OpKind::ApplyLion, "ApplyLion"},
+        {OpKind::AccumGrad, "AccumGrad"},
+        {OpKind::ConvBiasAct, "ConvBiasAct"},
+        {OpKind::DwConvBiasAct, "DwConvBiasAct"},
+        {OpKind::MatMulBiasAct, "MatMulBiasAct"},
+        {OpKind::Identity, "Identity"},
+    };
+    return table;
+}
+
+} // namespace
+
+const char *
+opName(OpKind op)
+{
+    auto it = nameTable().find(op);
+    if (it == nameTable().end())
+        throw std::runtime_error("opName: unknown op");
+    return it->second;
+}
+
+OpKind
+opFromName(const std::string &name)
+{
+    static const auto reverse = [] {
+        std::unordered_map<std::string, OpKind> r;
+        for (const auto &[k, v] : nameTable())
+            r[v] = k;
+        return r;
+    }();
+    auto it = reverse.find(name);
+    if (it == reverse.end())
+        throw std::runtime_error("opFromName: unknown op " + name);
+    return it->second;
+}
+
+bool
+isSourceOp(OpKind op)
+{
+    return op == OpKind::Input || op == OpKind::Param ||
+           op == OpKind::Const;
+}
+
+bool
+isInPlaceOp(OpKind op)
+{
+    switch (op) {
+      case OpKind::ApplySgd:
+      case OpKind::ApplyMomentum:
+      case OpKind::ApplyAdam:
+      case OpKind::ApplyLion:
+      case OpKind::AccumGrad:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace pe

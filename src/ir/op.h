@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The primitive operator catalogue of the PockEngine IR.
+ *
+ * Forward and backward graphs are built from this single op set
+ * (Section 2.5 of the paper: "the same set of primitive operations as
+ * inference"), which is what lets inference-style backends execute
+ * training graphs. Gradient-specific ops (e.g. Conv2dBwdWeight) are
+ * ordinary catalogue members with ordinary kernels.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace pe {
+
+/** Every operator the IR can express. */
+enum class OpKind {
+    // --- graph sources -------------------------------------------------
+    Input,      ///< runtime-fed tensor (data, labels)
+    Param,      ///< persistent tensor (weights, optimizer state)
+    Const,      ///< compile-time constant
+
+    // --- elementwise binary (numpy broadcast) ---------------------------
+    Add, Sub, Mul, Div,
+
+    // --- elementwise unary ----------------------------------------------
+    Neg, Relu, Gelu, Silu, Sigmoid, Tanh, Exp, Log, Sqrt,
+    Scale,      ///< y = alpha * x        (attr "alpha")
+    AddScalar,  ///< y = x + alpha        (attr "alpha")
+
+    // --- activation backward helpers ------------------------------------
+    ReluGrad,    ///< dx = dy * (x > 0)           inputs: x, dy
+    GeluGrad,    ///< dx = dy * gelu'(x)          inputs: x, dy
+    SiluGrad,    ///< dx = dy * silu'(x)          inputs: x, dy
+    SigmoidGrad, ///< dx = dy * s(x)(1-s(x))      inputs: x, dy
+    TanhGrad,    ///< dx = dy * (1 - tanh(x)^2)   inputs: x, dy
+
+    // --- linear algebra ---------------------------------------------------
+    MatMul,      ///< 2-D GEMM, attrs "transA"/"transB"
+    BatchMatMul, ///< 3-D batched GEMM [B,M,K]x[B,K,N], same trans attrs
+
+    // --- shape ------------------------------------------------------------
+    Reshape,     ///< attr "shape" (one -1 allowed)
+    Permute,     ///< attr "perm", rank <= 4
+    Slice,       ///< attr "axis","begin","end"
+    Pad,         ///< zero-pad one axis, attr "axis","before","after"
+    BroadcastTo, ///< attr "shape"
+
+    // --- reductions ---------------------------------------------------------
+    ReduceSum,   ///< attr "axes", "keepdims"
+    ReduceMean,  ///< attr "axes", "keepdims"
+
+    // --- convolution (NCHW) ---------------------------------------------
+    Conv2d,           ///< attrs "stride","pad"; W:[Co,Ci,Kh,Kw]
+    Conv2dBwdInput,   ///< inputs: W, dy  -> dx
+    Conv2dBwdWeight,  ///< inputs: x, dy  -> dW; attr "limitCo" for
+                      ///< sub-layer (channel-sparse) backprop
+    DwConv2d,         ///< depthwise, W:[C,1,Kh,Kw]
+    DwConv2dBwdInput,
+    DwConv2dBwdWeight, ///< attr "limitCo"
+
+    // --- pooling -------------------------------------------------------------
+    AvgPool2d,     ///< attrs "kernel","stride"
+    AvgPool2dGrad,
+    GlobalAvgPool,     ///< [N,C,H,W] -> [N,C]
+    GlobalAvgPoolGrad, ///< inputs: dy, x(for shape) -> dx
+
+    // --- softmax / normalization ------------------------------------------
+    Softmax,        ///< over last axis
+    SoftmaxGrad,    ///< inputs: y, dy
+    LayerNorm,      ///< inputs: x, gamma, beta; attr "eps"
+    LayerNormGradX,     ///< inputs: x, gamma, dy
+    LayerNormGradGamma, ///< inputs: x, dy
+    RMSNorm,        ///< inputs: x, gamma; attr "eps"
+    RMSNormGradX,       ///< inputs: x, gamma, dy
+    RMSNormGradGamma,   ///< inputs: x, dy
+
+    // --- embedding ----------------------------------------------------------
+    Embedding,     ///< inputs: table [V,D], ids [B,S] -> [B,S,D]
+    EmbeddingGrad, ///< inputs: ids, dy -> dTable [V,D]
+
+    // --- losses ---------------------------------------------------------------
+    CrossEntropy,     ///< inputs: logits [N,C], labels [N] -> [1]
+    CrossEntropyGrad, ///< -> dLogits (softmax - onehot) / N
+    Mse,              ///< inputs: pred, target -> [1]
+    MseGrad,
+
+    // --- optimizer application (in-place on first input) --------------------
+    ApplySgd,      ///< inputs: param, grad; attrs lr, wd, "offset","count"
+    ApplyMomentum, ///< inputs: param, grad, vel; attrs lr, momentum
+    ApplyAdam,     ///< inputs: param, grad, m, v; attrs lr, b1, b2, eps
+    ApplyLion,     ///< inputs: param, grad, m; attrs lr, b1, b2, wd
+    AccumGrad,     ///< inputs: buf, grad; buf += grad (in-place)
+
+    // --- fused ops created by the fusion pass --------------------------------
+    ConvBiasAct,   ///< Conv2d + bias + activation; attr "act"
+    DwConvBiasAct,
+    MatMulBiasAct, ///< MatMul + bias + activation; attr "act"
+
+    Identity,
+};
+
+/** Activation codes for the fused ops' "act" attribute. */
+enum ActKind : int64_t { kActNone = 0, kActRelu = 1, kActGelu = 2,
+                         kActSilu = 3 };
+
+/** Printable mnemonic, e.g. "MatMul". */
+const char *opName(OpKind op);
+
+/** Parse a mnemonic back to an OpKind (for deserialization). */
+OpKind opFromName(const std::string &name);
+
+/** True for Input/Param/Const. */
+bool isSourceOp(OpKind op);
+
+/** True for the in-place optimizer ops (output aliases input 0). */
+bool isInPlaceOp(OpKind op);
+
+/** Approximate FLOP count heuristics live with the op table. */
+} // namespace pe

@@ -1,0 +1,270 @@
+#include "ir/serialize.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace pe {
+
+namespace {
+
+void
+writeEscaped(std::ostringstream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+void
+writeAttrValue(std::ostringstream &os, const AttrValue &v)
+{
+    if (std::holds_alternative<int64_t>(v)) {
+        os << "{\"i\":" << std::get<int64_t>(v) << "}";
+    } else if (std::holds_alternative<double>(v)) {
+        os << "{\"f\":" << std::get<double>(v) << "}";
+    } else if (std::holds_alternative<std::vector<int64_t>>(v)) {
+        os << "{\"ints\":[";
+        const auto &xs = std::get<std::vector<int64_t>>(v);
+        for (size_t i = 0; i < xs.size(); ++i) {
+            if (i)
+                os << ",";
+            os << xs[i];
+        }
+        os << "]}";
+    } else {
+        os << "{\"s\":";
+        writeEscaped(os, std::get<std::string>(v));
+        os << "}";
+    }
+}
+
+/** A tiny recursive-descent JSON reader sufficient for our schema. */
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : text_(text) {}
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            throw std::runtime_error("json: unexpected end");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            throw std::runtime_error(std::string("json: expected '") + c +
+                                     "' at " + std::to_string(pos_));
+        ++pos_;
+    }
+
+    bool
+    tryConsume(char c)
+    {
+        if (peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    readString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\')
+                ++pos_;
+            out += text_[pos_++];
+        }
+        expect('"');
+        return out;
+    }
+
+    double
+    readNumber()
+    {
+        skipWs();
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        return std::stod(text_.substr(start, pos_ - start));
+    }
+
+    int64_t readInt() { return static_cast<int64_t>(readNumber()); }
+
+    std::vector<int64_t>
+    readIntArray()
+    {
+        std::vector<int64_t> out;
+        expect('[');
+        if (tryConsume(']'))
+            return out;
+        do {
+            out.push_back(readInt());
+        } while (tryConsume(','));
+        expect(']');
+        return out;
+    }
+
+  private:
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+AttrValue
+readAttrValue(JsonReader &r)
+{
+    r.expect('{');
+    std::string tag = r.readString();
+    r.expect(':');
+    AttrValue v;
+    if (tag == "i") {
+        v = r.readInt();
+    } else if (tag == "f") {
+        v = r.readNumber();
+    } else if (tag == "ints") {
+        v = r.readIntArray();
+    } else if (tag == "s") {
+        v = r.readString();
+    } else {
+        throw std::runtime_error("json: bad attr tag " + tag);
+    }
+    r.expect('}');
+    return v;
+}
+
+} // namespace
+
+std::string
+graphToJson(const Graph &g)
+{
+    std::ostringstream os;
+    os << "{\"nodes\":[\n";
+    for (int i = 0; i < g.numNodes(); ++i) {
+        const Node &n = g.node(i);
+        if (i)
+            os << ",\n";
+        os << "{\"op\":";
+        writeEscaped(os, opName(n.op));
+        os << ",\"inputs\":[";
+        for (size_t j = 0; j < n.inputs.size(); ++j) {
+            if (j)
+                os << ",";
+            os << n.inputs[j];
+        }
+        os << "],\"name\":";
+        writeEscaped(os, n.name);
+        os << ",\"trainable\":" << (n.trainable ? 1 : 0);
+        os << ",\"attrs\":{";
+        bool first = true;
+        for (const auto &[k, v] : n.attrs.items()) {
+            if (!first)
+                os << ",";
+            first = false;
+            writeEscaped(os, k);
+            os << ":";
+            writeAttrValue(os, v);
+        }
+        os << "}}";
+    }
+    os << "\n],\"outputs\":[";
+    for (size_t i = 0; i < g.outputs().size(); ++i) {
+        if (i)
+            os << ",";
+        os << g.outputs()[i];
+    }
+    os << "]}";
+    return os.str();
+}
+
+Graph
+graphFromJson(const std::string &json)
+{
+    JsonReader r(json);
+    Graph g;
+    r.expect('{');
+    if (r.readString() != "nodes")
+        throw std::runtime_error("json: expected nodes key");
+    r.expect(':');
+    r.expect('[');
+    bool first = true;
+    while (true) {
+        if (first && r.tryConsume(']'))
+            break;
+        first = false;
+        r.expect('{');
+        OpKind op = OpKind::Identity;
+        std::vector<int> inputs;
+        std::string name;
+        bool trainable = false;
+        Attrs attrs;
+        do {
+            std::string key = r.readString();
+            r.expect(':');
+            if (key == "op") {
+                op = opFromName(r.readString());
+            } else if (key == "inputs") {
+                for (int64_t v : r.readIntArray())
+                    inputs.push_back(static_cast<int>(v));
+            } else if (key == "name") {
+                name = r.readString();
+            } else if (key == "trainable") {
+                trainable = r.readInt() != 0;
+            } else if (key == "attrs") {
+                r.expect('{');
+                if (!r.tryConsume('}')) {
+                    do {
+                        std::string ak = r.readString();
+                        r.expect(':');
+                        attrs.set(ak, readAttrValue(r));
+                    } while (r.tryConsume(','));
+                    r.expect('}');
+                }
+            } else {
+                throw std::runtime_error("json: bad node key " + key);
+            }
+        } while (r.tryConsume(','));
+        r.expect('}');
+        int id = g.add(op, std::move(inputs), std::move(attrs), name);
+        g.node(id).trainable = trainable;
+        if (!r.tryConsume(',')) {
+            r.expect(']');
+            break;
+        }
+    }
+    r.expect(',');
+    if (r.readString() != "outputs")
+        throw std::runtime_error("json: expected outputs key");
+    r.expect(':');
+    for (int64_t v : r.readIntArray())
+        g.markOutput(static_cast<int>(v));
+    r.expect('}');
+    return g;
+}
+
+} // namespace pe

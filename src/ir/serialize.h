@@ -1,0 +1,28 @@
+/**
+ * @file
+ * JSON (de)serialization of graphs — the repository's ONNX stand-in.
+ *
+ * The paper's frontend accepts ONNX / torchscript / tf.graph; here any
+ * external producer can hand PockEngine a DAG through this exchange
+ * format and get the identical compile pipeline.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "ir/graph.h"
+
+namespace pe {
+
+/** Serialize a graph to a JSON document. */
+std::string graphToJson(const Graph &g);
+
+/**
+ * Parse a graph from JSON produced by graphToJson (or by an external
+ * exporter following the same schema). Shapes are re-inferred and
+ * validated on load.
+ */
+Graph graphFromJson(const std::string &json);
+
+} // namespace pe

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * NCHW convolution kernels: naive direct (default), im2col+GEMM
+ * ("im2col"), their input/weight backward counterparts, and depthwise
+ * variants. Conv2dBwdWeight honors the "limitCo" attribute so
+ * sub-layer (channel-sparse) backpropagation computes gradients for
+ * only the first k output channels (paper Section 2.6).
+ */
+
+#include <cstring>
+
+#include "kernels/kernel.h"
+
+namespace pe {
+namespace {
+
+struct ConvDims {
+    int64_t n, ci, h, w;      // input
+    int64_t co, kh, kw;       // weight
+    int64_t ho, wo;           // output
+    int64_t stride, pad;
+};
+
+ConvDims
+dimsOf(const Shape &x, const Shape &w, const Shape &y, int64_t stride,
+       int64_t pad)
+{
+    return {x[0], x[1], x[2], x[3], w[0], w[2], w[3], y[2], y[3],
+            stride, pad};
+}
+
+void
+conv2dNaive(const KernelCtx &c)
+{
+    const Shape &xs = *c.inShapes[0];
+    const Shape &ws = *c.inShapes[1];
+    ConvDims d = dimsOf(xs, ws, *c.outShape,
+                        c.node->attrs.getInt("stride", 1),
+                        c.node->attrs.getInt("pad", 0));
+    const float *x = c.in[0], *w = c.in[1];
+    for (int64_t n = 0; n < d.n; ++n) {
+        for (int64_t co = 0; co < d.co; ++co) {
+            for (int64_t ho = 0; ho < d.ho; ++ho) {
+                for (int64_t wo = 0; wo < d.wo; ++wo) {
+                    float acc = 0;
+                    for (int64_t ci = 0; ci < d.ci; ++ci) {
+                        for (int64_t kh = 0; kh < d.kh; ++kh) {
+                            int64_t ih = ho * d.stride - d.pad + kh;
+                            if (ih < 0 || ih >= d.h)
+                                continue;
+                            for (int64_t kw = 0; kw < d.kw; ++kw) {
+                                int64_t iw = wo * d.stride - d.pad + kw;
+                                if (iw < 0 || iw >= d.w)
+                                    continue;
+                                acc += x[((n * d.ci + ci) * d.h + ih) *
+                                             d.w + iw] *
+                                       w[((co * d.ci + ci) * d.kh + kh) *
+                                             d.kw + kw];
+                            }
+                        }
+                    }
+                    c.out[((n * d.co + co) * d.ho + ho) * d.wo + wo] = acc;
+                }
+            }
+        }
+    }
+}
+
+/** im2col + GEMM; scratch holds the column matrix for one image. */
+void
+conv2dIm2col(const KernelCtx &c)
+{
+    const Shape &xs = *c.inShapes[0];
+    const Shape &ws = *c.inShapes[1];
+    ConvDims d = dimsOf(xs, ws, *c.outShape,
+                        c.node->attrs.getInt("stride", 1),
+                        c.node->attrs.getInt("pad", 0));
+    const float *x = c.in[0], *w = c.in[1];
+    int64_t k = d.ci * d.kh * d.kw;
+    int64_t cols = d.ho * d.wo;
+    float *col = c.scratch;
+    for (int64_t n = 0; n < d.n; ++n) {
+        const float *xn = x + n * d.ci * d.h * d.w;
+        // Unfold.
+        int64_t r = 0;
+        for (int64_t ci = 0; ci < d.ci; ++ci) {
+            for (int64_t kh = 0; kh < d.kh; ++kh) {
+                for (int64_t kw = 0; kw < d.kw; ++kw, ++r) {
+                    float *dst = col + r * cols;
+                    for (int64_t ho = 0; ho < d.ho; ++ho) {
+                        int64_t ih = ho * d.stride - d.pad + kh;
+                        for (int64_t wo = 0; wo < d.wo; ++wo) {
+                            int64_t iw = wo * d.stride - d.pad + kw;
+                            bool ok = ih >= 0 && ih < d.h && iw >= 0 &&
+                                      iw < d.w;
+                            dst[ho * d.wo + wo] =
+                                ok ? xn[(ci * d.h + ih) * d.w + iw] : 0.0f;
+                        }
+                    }
+                }
+            }
+        }
+        // GEMM: out[co, cols] = w[co, k] x col[k, cols].
+        float *out = c.out + n * d.co * cols;
+        for (int64_t co = 0; co < d.co; ++co) {
+            float *dst = out + co * cols;
+            std::memset(dst, 0, sizeof(float) * cols);
+            const float *wrow = w + co * k;
+            for (int64_t kk = 0; kk < k; ++kk) {
+                float wv = wrow[kk];
+                const float *src = col + kk * cols;
+                for (int64_t j = 0; j < cols; ++j)
+                    dst[j] += wv * src[j];
+            }
+        }
+    }
+}
+
+void
+conv2dBwdInput(const KernelCtx &c)
+{
+    const Shape &ws = *c.inShapes[0];
+    const Shape &dys = *c.inShapes[1];
+    const Shape &xs = *c.outShape;
+    ConvDims d = dimsOf(xs, ws, dys, c.node->attrs.getInt("stride", 1),
+                        c.node->attrs.getInt("pad", 0));
+    const float *w = c.in[0], *dy = c.in[1];
+    std::memset(c.out, 0, sizeof(float) * numel(xs));
+    for (int64_t n = 0; n < d.n; ++n) {
+        for (int64_t co = 0; co < d.co; ++co) {
+            for (int64_t ho = 0; ho < d.ho; ++ho) {
+                for (int64_t wo = 0; wo < d.wo; ++wo) {
+                    float g = dy[((n * d.co + co) * d.ho + ho) * d.wo + wo];
+                    if (g == 0.0f)
+                        continue;
+                    for (int64_t kh = 0; kh < d.kh; ++kh) {
+                        int64_t ih = ho * d.stride - d.pad + kh;
+                        if (ih < 0 || ih >= d.h)
+                            continue;
+                        for (int64_t kw = 0; kw < d.kw; ++kw) {
+                            int64_t iw = wo * d.stride - d.pad + kw;
+                            if (iw < 0 || iw >= d.w)
+                                continue;
+                            for (int64_t ci = 0; ci < d.ci; ++ci) {
+                                c.out[((n * d.ci + ci) * d.h + ih) * d.w +
+                                      iw] +=
+                                    g * w[((co * d.ci + ci) * d.kh + kh) *
+                                              d.kw + kw];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+conv2dBwdWeight(const KernelCtx &c)
+{
+    const Shape &xs = *c.inShapes[0];
+    const Shape &dys = *c.inShapes[1];
+    Shape ws = c.node->attrs.getInts("wshape");
+    ConvDims d = dimsOf(xs, ws, dys, c.node->attrs.getInt("stride", 1),
+                        c.node->attrs.getInt("pad", 0));
+    int64_t limit = (*c.outShape)[0]; // <= Co under "limitCo"
+    const float *x = c.in[0], *dy = c.in[1];
+    std::memset(c.out, 0,
+                sizeof(float) * limit * d.ci * d.kh * d.kw);
+    for (int64_t n = 0; n < d.n; ++n) {
+        for (int64_t co = 0; co < limit; ++co) {
+            for (int64_t ho = 0; ho < d.ho; ++ho) {
+                for (int64_t wo = 0; wo < d.wo; ++wo) {
+                    float g = dy[((n * d.co + co) * d.ho + ho) * d.wo + wo];
+                    if (g == 0.0f)
+                        continue;
+                    for (int64_t ci = 0; ci < d.ci; ++ci) {
+                        for (int64_t kh = 0; kh < d.kh; ++kh) {
+                            int64_t ih = ho * d.stride - d.pad + kh;
+                            if (ih < 0 || ih >= d.h)
+                                continue;
+                            for (int64_t kw = 0; kw < d.kw; ++kw) {
+                                int64_t iw = wo * d.stride - d.pad + kw;
+                                if (iw < 0 || iw >= d.w)
+                                    continue;
+                                c.out[((co * d.ci + ci) * d.kh + kh) *
+                                          d.kw + kw] +=
+                                    g * x[((n * d.ci + ci) * d.h + ih) *
+                                              d.w + iw];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+dwConv2d(const KernelCtx &c)
+{
+    const Shape &xs = *c.inShapes[0];
+    const Shape &ws = *c.inShapes[1];
+    int64_t stride = c.node->attrs.getInt("stride", 1);
+    int64_t pad = c.node->attrs.getInt("pad", 0);
+    int64_t n = xs[0], ch = xs[1], h = xs[2], w = xs[3];
+    int64_t kh = ws[2], kw = ws[3];
+    int64_t ho = (*c.outShape)[2], wo = (*c.outShape)[3];
+    for (int64_t ni = 0; ni < n; ++ni) {
+        for (int64_t ci = 0; ci < ch; ++ci) {
+            const float *xp = c.in[0] + (ni * ch + ci) * h * w;
+            const float *wp = c.in[1] + ci * kh * kw;
+            float *op = c.out + (ni * ch + ci) * ho * wo;
+            for (int64_t i = 0; i < ho; ++i) {
+                for (int64_t j = 0; j < wo; ++j) {
+                    float acc = 0;
+                    for (int64_t a = 0; a < kh; ++a) {
+                        int64_t ih = i * stride - pad + a;
+                        if (ih < 0 || ih >= h)
+                            continue;
+                        for (int64_t b = 0; b < kw; ++b) {
+                            int64_t iw = j * stride - pad + b;
+                            if (iw < 0 || iw >= w)
+                                continue;
+                            acc += xp[ih * w + iw] * wp[a * kw + b];
+                        }
+                    }
+                    op[i * wo + j] = acc;
+                }
+            }
+        }
+    }
+}
+
+void
+dwConv2dBwdInput(const KernelCtx &c)
+{
+    const Shape &ws = *c.inShapes[0];
+    const Shape &dys = *c.inShapes[1];
+    const Shape &xs = *c.outShape;
+    int64_t stride = c.node->attrs.getInt("stride", 1);
+    int64_t pad = c.node->attrs.getInt("pad", 0);
+    int64_t n = xs[0], ch = xs[1], h = xs[2], w = xs[3];
+    int64_t kh = ws[2], kw = ws[3];
+    int64_t ho = dys[2], wo = dys[3];
+    std::memset(c.out, 0, sizeof(float) * numel(xs));
+    for (int64_t ni = 0; ni < n; ++ni) {
+        for (int64_t ci = 0; ci < ch; ++ci) {
+            const float *wp = c.in[0] + ci * kh * kw;
+            const float *gp = c.in[1] + (ni * ch + ci) * ho * wo;
+            float *dp = c.out + (ni * ch + ci) * h * w;
+            for (int64_t i = 0; i < ho; ++i) {
+                for (int64_t j = 0; j < wo; ++j) {
+                    float g = gp[i * wo + j];
+                    if (g == 0.0f)
+                        continue;
+                    for (int64_t a = 0; a < kh; ++a) {
+                        int64_t ih = i * stride - pad + a;
+                        if (ih < 0 || ih >= h)
+                            continue;
+                        for (int64_t b = 0; b < kw; ++b) {
+                            int64_t iw = j * stride - pad + b;
+                            if (iw < 0 || iw >= w)
+                                continue;
+                            dp[ih * w + iw] += g * wp[a * kw + b];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+dwConv2dBwdWeight(const KernelCtx &c)
+{
+    const Shape &xs = *c.inShapes[0];
+    const Shape &dys = *c.inShapes[1];
+    Shape ws = c.node->attrs.getInts("wshape");
+    int64_t stride = c.node->attrs.getInt("stride", 1);
+    int64_t pad = c.node->attrs.getInt("pad", 0);
+    int64_t n = xs[0], ch = xs[1], h = xs[2], w = xs[3];
+    int64_t kh = ws[2], kw = ws[3];
+    int64_t ho = dys[2], wo = dys[3];
+    int64_t limit = (*c.outShape)[0];
+    std::memset(c.out, 0, sizeof(float) * limit * kh * kw);
+    for (int64_t ni = 0; ni < n; ++ni) {
+        for (int64_t ci = 0; ci < limit; ++ci) {
+            const float *xp = c.in[0] + (ni * ch + ci) * h * w;
+            const float *gp = c.in[1] + (ni * ch + ci) * ho * wo;
+            float *dw = c.out + ci * kh * kw;
+            for (int64_t i = 0; i < ho; ++i) {
+                for (int64_t j = 0; j < wo; ++j) {
+                    float g = gp[i * wo + j];
+                    if (g == 0.0f)
+                        continue;
+                    for (int64_t a = 0; a < kh; ++a) {
+                        int64_t ih = i * stride - pad + a;
+                        if (ih < 0 || ih >= h)
+                            continue;
+                        for (int64_t b = 0; b < kw; ++b) {
+                            int64_t iw = j * stride - pad + b;
+                            if (iw < 0 || iw >= w)
+                                continue;
+                            dw[a * kw + b] += g * xp[ih * w + iw];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerConvKernels()
+{
+    registerKernel(OpKind::Conv2d, "", conv2dNaive);
+    registerKernel(OpKind::Conv2d, "im2col", conv2dIm2col);
+    registerKernel(OpKind::Conv2dBwdInput, "", conv2dBwdInput);
+    registerKernel(OpKind::Conv2dBwdWeight, "", conv2dBwdWeight);
+    registerKernel(OpKind::DwConv2d, "", dwConv2d);
+    registerKernel(OpKind::DwConv2dBwdInput, "", dwConv2dBwdInput);
+    registerKernel(OpKind::DwConv2dBwdWeight, "", dwConv2dBwdWeight);
+}
+
+} // namespace detail
+} // namespace pe

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Embedding lookup and its scatter-add gradient. Token ids are
+ * integer-valued floats (see core/tensor.h).
+ */
+
+#include <cstring>
+
+#include "kernels/kernel.h"
+
+namespace pe {
+namespace {
+
+void
+embeddingK(const KernelCtx &c)
+{
+    const Shape &ts = *c.inShapes[0]; // [V, D]
+    const Shape &ids = *c.inShapes[1];
+    int64_t d = ts[1];
+    int64_t n = numel(ids);
+    for (int64_t i = 0; i < n; ++i) {
+        auto id = static_cast<int64_t>(c.in[1][i]);
+        std::memcpy(c.out + i * d, c.in[0] + id * d, sizeof(float) * d);
+    }
+}
+
+void
+embeddingGradK(const KernelCtx &c)
+{
+    const Shape &ids = *c.inShapes[0];
+    const Shape &dys = *c.inShapes[1];
+    int64_t d = dys.back();
+    int64_t n = numel(ids);
+    std::memset(c.out, 0, sizeof(float) * numel(*c.outShape));
+    for (int64_t i = 0; i < n; ++i) {
+        auto id = static_cast<int64_t>(c.in[0][i]);
+        const float *g = c.in[1] + i * d;
+        float *dst = c.out + id * d;
+        for (int64_t j = 0; j < d; ++j)
+            dst[j] += g[j];
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerEmbeddingKernels()
+{
+    registerKernel(OpKind::Embedding, "", embeddingK);
+    registerKernel(OpKind::EmbeddingGrad, "", embeddingGradK);
+}
+
+} // namespace detail
+} // namespace pe

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Kernel ABI and registry.
+ *
+ * Every op in the catalogue has at least one CPU kernel; several have
+ * multiple named variants (e.g. Conv2d: "naive", "im2col", "winograd")
+ * which the backend-switching pass selects between — this is the
+ * repository's stand-in for the paper's per-backend kernel libraries
+ * (SNPE / TensorRT / TVM-tuned / TinyEngine).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/shape.h"
+#include "ir/graph.h"
+
+namespace pe {
+
+/** Everything a kernel needs to run one node. */
+struct KernelCtx {
+    const Node *node = nullptr;       ///< attrs
+    std::vector<const float *> in;    ///< input buffers
+    std::vector<const Shape *> inShapes;
+    float *out = nullptr;             ///< output buffer
+    const Shape *outShape = nullptr;
+    int64_t step = 0;                 ///< global optimizer step (Adam)
+    float *scratch = nullptr;         ///< per-node scratch, may be null
+    bool *scratchReady = nullptr;     ///< persistent flag for cached
+                                      ///< precomputation (Winograd)
+};
+
+using KernelFn = void (*)(const KernelCtx &);
+
+/**
+ * Look up the kernel for an op. @p variant "" selects the default;
+ * unknown variants fall back to the default with no error (a backend
+ * without the tuned kernel still runs the model).
+ */
+KernelFn lookupKernel(OpKind op, const std::string &variant = "");
+
+/** True if a kernel is registered for (op, variant) exactly. */
+bool hasKernelVariant(OpKind op, const std::string &variant);
+
+/** Scratch floats needed by (node, variant); 0 for most kernels. */
+int64_t kernelScratchSize(const Graph &g, const Node &n,
+                          const std::string &variant);
+
+/** Registration hook used by the kernel translation units. */
+void registerKernel(OpKind op, const std::string &variant, KernelFn fn);
+
+namespace detail {
+/** Force-link all kernel TUs (each defines a registrar object). */
+void ensureKernelsRegistered();
+} // namespace detail
+
+} // namespace pe

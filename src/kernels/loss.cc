@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Loss kernels. CrossEntropy fuses log-softmax with NLL (the standard
+ * numerically-stable formulation); its gradient op emits
+ * (softmax - onehot) / N directly so the backward graph needs no
+ * separate softmax node for the loss head.
+ */
+
+#include <cmath>
+
+#include "kernels/kernel.h"
+
+namespace pe {
+namespace {
+
+void
+crossEntropyK(const KernelCtx &c)
+{
+    const Shape &ls = *c.inShapes[0]; // [N, C]
+    int64_t n = ls[0], cls = ls[1];
+    double total = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        const float *row = c.in[0] + i * cls;
+        float mx = row[0];
+        for (int64_t j = 1; j < cls; ++j)
+            mx = std::max(mx, row[j]);
+        double lse = 0;
+        for (int64_t j = 0; j < cls; ++j)
+            lse += std::exp(row[j] - mx);
+        lse = std::log(lse) + mx;
+        auto label = static_cast<int64_t>(c.in[1][i]);
+        total += lse - row[label];
+    }
+    c.out[0] = static_cast<float>(total / static_cast<double>(n));
+}
+
+void
+crossEntropyGradK(const KernelCtx &c)
+{
+    const Shape &ls = *c.inShapes[0];
+    int64_t n = ls[0], cls = ls[1];
+    float inv = 1.0f / static_cast<float>(n);
+    for (int64_t i = 0; i < n; ++i) {
+        const float *row = c.in[0] + i * cls;
+        float *out = c.out + i * cls;
+        float mx = row[0];
+        for (int64_t j = 1; j < cls; ++j)
+            mx = std::max(mx, row[j]);
+        float sum = 0;
+        for (int64_t j = 0; j < cls; ++j) {
+            out[j] = std::exp(row[j] - mx);
+            sum += out[j];
+        }
+        float norm = 1.0f / sum;
+        auto label = static_cast<int64_t>(c.in[1][i]);
+        for (int64_t j = 0; j < cls; ++j)
+            out[j] = (out[j] * norm - (j == label ? 1.0f : 0.0f)) * inv;
+    }
+}
+
+void
+mseK(const KernelCtx &c)
+{
+    int64_t n = numel(*c.inShapes[0]);
+    double total = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        double d = c.in[0][i] - c.in[1][i];
+        total += d * d;
+    }
+    c.out[0] = static_cast<float>(total / static_cast<double>(n));
+}
+
+void
+mseGradK(const KernelCtx &c)
+{
+    int64_t n = numel(*c.inShapes[0]);
+    float inv = 2.0f / static_cast<float>(n);
+    for (int64_t i = 0; i < n; ++i)
+        c.out[i] = inv * (c.in[0][i] - c.in[1][i]);
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerLossKernels()
+{
+    registerKernel(OpKind::CrossEntropy, "", crossEntropyK);
+    registerKernel(OpKind::CrossEntropyGrad, "", crossEntropyGradK);
+    registerKernel(OpKind::Mse, "", mseK);
+    registerKernel(OpKind::MseGrad, "", mseGradK);
+}
+
+} // namespace detail
+} // namespace pe

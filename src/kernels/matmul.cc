@@ -1,0 +1,120 @@
+/**
+ * @file
+ * GEMM kernels: a naive triple loop (default) and a cache-blocked
+ * variant ("blocked") the backend-switching pass selects on CPU-class
+ * devices. Transpose flags are handled without materializing
+ * transposed copies, which is how the backward graph reuses the
+ * forward MatMul primitive (paper Fig. 3: dW = G * X^T).
+ */
+
+#include <cstring>
+
+#include "kernels/kernel.h"
+
+namespace pe {
+namespace {
+
+struct GemmView {
+    const float *data;
+    int64_t rows, cols; ///< logical (post-transpose) extents
+    bool trans;         ///< storage is [cols, rows]
+
+    float
+    at(int64_t r, int64_t c) const
+    {
+        return trans ? data[c * rows + r] : data[r * cols + c];
+    }
+};
+
+void
+gemmNaive(const GemmView &a, const GemmView &b, float *out)
+{
+    for (int64_t i = 0; i < a.rows; ++i) {
+        for (int64_t j = 0; j < b.cols; ++j) {
+            float acc = 0;
+            for (int64_t k = 0; k < a.cols; ++k)
+                acc += a.at(i, k) * b.at(k, j);
+            out[i * b.cols + j] = acc;
+        }
+    }
+}
+
+/** Blocked GEMM with k-innermost accumulation into the output tile. */
+void
+gemmBlocked(const GemmView &a, const GemmView &b, float *out)
+{
+    constexpr int64_t kBlock = 48;
+    int64_t m = a.rows, n = b.cols, kk = a.cols;
+    std::memset(out, 0, sizeof(float) * m * n);
+    for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
+        int64_t i1 = std::min(i0 + kBlock, m);
+        for (int64_t k0 = 0; k0 < kk; k0 += kBlock) {
+            int64_t k1 = std::min(k0 + kBlock, kk);
+            for (int64_t j0 = 0; j0 < n; j0 += kBlock) {
+                int64_t j1 = std::min(j0 + kBlock, n);
+                for (int64_t i = i0; i < i1; ++i) {
+                    for (int64_t k = k0; k < k1; ++k) {
+                        float av = a.at(i, k);
+                        for (int64_t j = j0; j < j1; ++j)
+                            out[i * n + j] += av * b.at(k, j);
+                    }
+                }
+            }
+        }
+    }
+}
+
+GemmView
+viewOf(const float *data, const Shape &s, bool trans)
+{
+    if (trans)
+        return {data, s[1], s[0], true};
+    return {data, s[0], s[1], false};
+}
+
+template <void (*Gemm)(const GemmView &, const GemmView &, float *)>
+void
+matmulK(const KernelCtx &c)
+{
+    bool ta = c.node->attrs.getInt("transA", 0) != 0;
+    bool tb = c.node->attrs.getInt("transB", 0) != 0;
+    GemmView a = viewOf(c.in[0], *c.inShapes[0], ta);
+    GemmView b = viewOf(c.in[1], *c.inShapes[1], tb);
+    Gemm(a, b, c.out);
+}
+
+template <void (*Gemm)(const GemmView &, const GemmView &, float *)>
+void
+batchMatmulK(const KernelCtx &c)
+{
+    bool ta = c.node->attrs.getInt("transA", 0) != 0;
+    bool tb = c.node->attrs.getInt("transB", 0) != 0;
+    const Shape &as = *c.inShapes[0];
+    const Shape &bs = *c.inShapes[1];
+    int64_t batch = as[0];
+    int64_t a_stride = as[1] * as[2];
+    int64_t b_stride = bs[1] * bs[2];
+    int64_t o_stride = (*c.outShape)[1] * (*c.outShape)[2];
+    for (int64_t n = 0; n < batch; ++n) {
+        GemmView a = viewOf(c.in[0] + n * a_stride, {as[1], as[2]}, ta);
+        GemmView b = viewOf(c.in[1] + n * b_stride, {bs[1], bs[2]}, tb);
+        Gemm(a, b, c.out + n * o_stride);
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerMatmulKernels()
+{
+    registerKernel(OpKind::MatMul, "", matmulK<gemmNaive>);
+    registerKernel(OpKind::MatMul, "blocked", matmulK<gemmBlocked>);
+    registerKernel(OpKind::BatchMatMul, "", batchMatmulK<gemmNaive>);
+    registerKernel(OpKind::BatchMatMul, "blocked",
+                   batchMatmulK<gemmBlocked>);
+}
+
+} // namespace detail
+} // namespace pe

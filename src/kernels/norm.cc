@@ -1,0 +1,196 @@
+/**
+ * @file
+ * LayerNorm and RMSNorm kernels (forward + backward). The backward
+ * kernels recompute row statistics rather than saving them — the
+ * memory planner then never has to keep mean/rstd alive, matching the
+ * engine's activation-lean design.
+ */
+
+#include <cmath>
+
+#include "kernels/kernel.h"
+
+namespace pe {
+namespace {
+
+void
+layerNormK(const KernelCtx &c)
+{
+    const Shape &xs = *c.inShapes[0];
+    int64_t d = xs.back();
+    int64_t rows = numel(xs) / d;
+    float eps = static_cast<float>(c.node->attrs.getFloat("eps", 1e-5));
+    const float *gamma = c.in[1], *beta = c.in[2];
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *x = c.in[0] + r * d;
+        float *y = c.out + r * d;
+        float mean = 0;
+        for (int64_t i = 0; i < d; ++i)
+            mean += x[i];
+        mean /= static_cast<float>(d);
+        float var = 0;
+        for (int64_t i = 0; i < d; ++i)
+            var += (x[i] - mean) * (x[i] - mean);
+        var /= static_cast<float>(d);
+        float rstd = 1.0f / std::sqrt(var + eps);
+        for (int64_t i = 0; i < d; ++i)
+            y[i] = (x[i] - mean) * rstd * gamma[i] + beta[i];
+    }
+}
+
+/** dx for layernorm; inputs x, gamma, dy. */
+void
+layerNormGradXK(const KernelCtx &c)
+{
+    const Shape &xs = *c.inShapes[0];
+    int64_t d = xs.back();
+    int64_t rows = numel(xs) / d;
+    float eps = static_cast<float>(c.node->attrs.getFloat("eps", 1e-5));
+    const float *gamma = c.in[1];
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *x = c.in[0] + r * d;
+        const float *dy = c.in[2] + r * d;
+        float *dx = c.out + r * d;
+        float mean = 0;
+        for (int64_t i = 0; i < d; ++i)
+            mean += x[i];
+        mean /= static_cast<float>(d);
+        float var = 0;
+        for (int64_t i = 0; i < d; ++i)
+            var += (x[i] - mean) * (x[i] - mean);
+        var /= static_cast<float>(d);
+        float rstd = 1.0f / std::sqrt(var + eps);
+        // dx = rstd * (g*dy - mean(g*dy) - xhat * mean(g*dy*xhat))
+        float sum1 = 0, sum2 = 0;
+        for (int64_t i = 0; i < d; ++i) {
+            float gd = gamma[i] * dy[i];
+            float xhat = (x[i] - mean) * rstd;
+            sum1 += gd;
+            sum2 += gd * xhat;
+        }
+        sum1 /= static_cast<float>(d);
+        sum2 /= static_cast<float>(d);
+        for (int64_t i = 0; i < d; ++i) {
+            float gd = gamma[i] * dy[i];
+            float xhat = (x[i] - mean) * rstd;
+            dx[i] = rstd * (gd - sum1 - xhat * sum2);
+        }
+    }
+}
+
+/** dGamma = sum over rows of dy * xhat; inputs x, dy. */
+void
+layerNormGradGammaK(const KernelCtx &c)
+{
+    const Shape &xs = *c.inShapes[0];
+    int64_t d = xs.back();
+    int64_t rows = numel(xs) / d;
+    float eps = static_cast<float>(c.node->attrs.getFloat("eps", 1e-5));
+    for (int64_t i = 0; i < d; ++i)
+        c.out[i] = 0;
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *x = c.in[0] + r * d;
+        const float *dy = c.in[1] + r * d;
+        float mean = 0;
+        for (int64_t i = 0; i < d; ++i)
+            mean += x[i];
+        mean /= static_cast<float>(d);
+        float var = 0;
+        for (int64_t i = 0; i < d; ++i)
+            var += (x[i] - mean) * (x[i] - mean);
+        var /= static_cast<float>(d);
+        float rstd = 1.0f / std::sqrt(var + eps);
+        for (int64_t i = 0; i < d; ++i)
+            c.out[i] += dy[i] * (x[i] - mean) * rstd;
+    }
+}
+
+void
+rmsNormK(const KernelCtx &c)
+{
+    const Shape &xs = *c.inShapes[0];
+    int64_t d = xs.back();
+    int64_t rows = numel(xs) / d;
+    float eps = static_cast<float>(c.node->attrs.getFloat("eps", 1e-5));
+    const float *gamma = c.in[1];
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *x = c.in[0] + r * d;
+        float *y = c.out + r * d;
+        float ms = 0;
+        for (int64_t i = 0; i < d; ++i)
+            ms += x[i] * x[i];
+        ms /= static_cast<float>(d);
+        float rstd = 1.0f / std::sqrt(ms + eps);
+        for (int64_t i = 0; i < d; ++i)
+            y[i] = x[i] * rstd * gamma[i];
+    }
+}
+
+/** dx for rmsnorm; inputs x, gamma, dy. */
+void
+rmsNormGradXK(const KernelCtx &c)
+{
+    const Shape &xs = *c.inShapes[0];
+    int64_t d = xs.back();
+    int64_t rows = numel(xs) / d;
+    float eps = static_cast<float>(c.node->attrs.getFloat("eps", 1e-5));
+    const float *gamma = c.in[1];
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *x = c.in[0] + r * d;
+        const float *dy = c.in[2] + r * d;
+        float *dx = c.out + r * d;
+        float ms = 0;
+        for (int64_t i = 0; i < d; ++i)
+            ms += x[i] * x[i];
+        ms /= static_cast<float>(d);
+        float rstd = 1.0f / std::sqrt(ms + eps);
+        float dot = 0;
+        for (int64_t i = 0; i < d; ++i)
+            dot += gamma[i] * dy[i] * x[i];
+        dot /= static_cast<float>(d);
+        float r3 = rstd * rstd * rstd;
+        for (int64_t i = 0; i < d; ++i)
+            dx[i] = gamma[i] * dy[i] * rstd - x[i] * dot * r3;
+    }
+}
+
+/** dGamma = sum over rows of dy * x * rstd; inputs x, dy. */
+void
+rmsNormGradGammaK(const KernelCtx &c)
+{
+    const Shape &xs = *c.inShapes[0];
+    int64_t d = xs.back();
+    int64_t rows = numel(xs) / d;
+    float eps = static_cast<float>(c.node->attrs.getFloat("eps", 1e-5));
+    for (int64_t i = 0; i < d; ++i)
+        c.out[i] = 0;
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *x = c.in[0] + r * d;
+        const float *dy = c.in[1] + r * d;
+        float ms = 0;
+        for (int64_t i = 0; i < d; ++i)
+            ms += x[i] * x[i];
+        ms /= static_cast<float>(d);
+        float rstd = 1.0f / std::sqrt(ms + eps);
+        for (int64_t i = 0; i < d; ++i)
+            c.out[i] += dy[i] * x[i] * rstd;
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerNormKernels()
+{
+    registerKernel(OpKind::LayerNorm, "", layerNormK);
+    registerKernel(OpKind::LayerNormGradX, "", layerNormGradXK);
+    registerKernel(OpKind::LayerNormGradGamma, "", layerNormGradGammaK);
+    registerKernel(OpKind::RMSNorm, "", rmsNormK);
+    registerKernel(OpKind::RMSNormGradX, "", rmsNormGradXK);
+    registerKernel(OpKind::RMSNormGradGamma, "", rmsNormGradGammaK);
+}
+
+} // namespace detail
+} // namespace pe

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * In-place optimizer-application kernels. These are ordinary catalogue
+ * ops, so the operator-reordering pass can schedule each parameter's
+ * update immediately after its gradient is produced and the gradient
+ * buffer can be recycled (paper Section 3.2, "Operator Reordering and
+ * In-place Update").
+ *
+ * Conventions:
+ *  - input 0 is the parameter; the node's output aliases it.
+ *  - optimizer state tensors (velocity, Adam moments) are persistent
+ *    Param inputs that the kernel updates in place. They are never
+ *    arena-allocated, so the const_cast below mutates only storage the
+ *    ParamStore owns.
+ *  - "offset" selects a contiguous sub-range of the parameter for
+ *    sub-layer (channel-sparse) updates; the gradient's numel gives
+ *    the range length.
+ */
+
+#include <cmath>
+
+#include "kernels/kernel.h"
+
+namespace pe {
+namespace {
+
+struct ApplyView {
+    float *param;
+    const float *grad;
+    int64_t n; ///< elements to update
+};
+
+ApplyView
+viewOf(const KernelCtx &c)
+{
+    int64_t offset = c.node->attrs.getInt("offset", 0);
+    int64_t n = numel(*c.inShapes[1]);
+    return {const_cast<float *>(c.in[0]) + offset, c.in[1], n};
+}
+
+void
+applySgdK(const KernelCtx &c)
+{
+    ApplyView v = viewOf(c);
+    auto lr = static_cast<float>(c.node->attrs.getFloat("lr", 0.01));
+    auto wd = static_cast<float>(c.node->attrs.getFloat("wd", 0.0));
+    for (int64_t i = 0; i < v.n; ++i)
+        v.param[i] -= lr * (v.grad[i] + wd * v.param[i]);
+}
+
+void
+applyMomentumK(const KernelCtx &c)
+{
+    ApplyView v = viewOf(c);
+    auto lr = static_cast<float>(c.node->attrs.getFloat("lr", 0.01));
+    auto mom = static_cast<float>(c.node->attrs.getFloat("momentum", 0.9));
+    int64_t offset = c.node->attrs.getInt("offset", 0);
+    float *vel = const_cast<float *>(c.in[2]) + offset;
+    for (int64_t i = 0; i < v.n; ++i) {
+        vel[i] = mom * vel[i] + v.grad[i];
+        v.param[i] -= lr * vel[i];
+    }
+}
+
+void
+applyAdamK(const KernelCtx &c)
+{
+    ApplyView v = viewOf(c);
+    auto lr = static_cast<float>(c.node->attrs.getFloat("lr", 1e-3));
+    auto b1 = static_cast<float>(c.node->attrs.getFloat("b1", 0.9));
+    auto b2 = static_cast<float>(c.node->attrs.getFloat("b2", 0.999));
+    auto eps = static_cast<float>(c.node->attrs.getFloat("eps", 1e-8));
+    int64_t offset = c.node->attrs.getInt("offset", 0);
+    float *m = const_cast<float *>(c.in[2]) + offset;
+    float *vv = const_cast<float *>(c.in[3]) + offset;
+    auto t = static_cast<float>(c.step);
+    float bc1 = 1.0f - std::pow(b1, t);
+    float bc2 = 1.0f - std::pow(b2, t);
+    for (int64_t i = 0; i < v.n; ++i) {
+        m[i] = b1 * m[i] + (1.0f - b1) * v.grad[i];
+        vv[i] = b2 * vv[i] + (1.0f - b2) * v.grad[i] * v.grad[i];
+        float mhat = m[i] / bc1;
+        float vhat = vv[i] / bc2;
+        v.param[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+}
+
+void
+applyLionK(const KernelCtx &c)
+{
+    ApplyView v = viewOf(c);
+    auto lr = static_cast<float>(c.node->attrs.getFloat("lr", 1e-4));
+    auto b1 = static_cast<float>(c.node->attrs.getFloat("b1", 0.9));
+    auto b2 = static_cast<float>(c.node->attrs.getFloat("b2", 0.99));
+    auto wd = static_cast<float>(c.node->attrs.getFloat("wd", 0.0));
+    int64_t offset = c.node->attrs.getInt("offset", 0);
+    float *m = const_cast<float *>(c.in[2]) + offset;
+    for (int64_t i = 0; i < v.n; ++i) {
+        float u = b1 * m[i] + (1.0f - b1) * v.grad[i];
+        float sign = u > 0 ? 1.0f : (u < 0 ? -1.0f : 0.0f);
+        v.param[i] -= lr * (sign + wd * v.param[i]);
+        m[i] = b2 * m[i] + (1.0f - b2) * v.grad[i];
+    }
+}
+
+void
+accumGradK(const KernelCtx &c)
+{
+    ApplyView v = viewOf(c);
+    for (int64_t i = 0; i < v.n; ++i)
+        v.param[i] += v.grad[i];
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerOptimApplyKernels()
+{
+    registerKernel(OpKind::ApplySgd, "", applySgdK);
+    registerKernel(OpKind::ApplyMomentum, "", applyMomentumK);
+    registerKernel(OpKind::ApplyAdam, "", applyAdamK);
+    registerKernel(OpKind::ApplyLion, "", applyLionK);
+    registerKernel(OpKind::AccumGrad, "", accumGradK);
+}
+
+} // namespace detail
+} // namespace pe

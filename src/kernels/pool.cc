@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Average-pooling kernels (forward and backward), NCHW.
+ */
+
+#include <cstring>
+
+#include "kernels/kernel.h"
+
+namespace pe {
+namespace {
+
+void
+avgPool2d(const KernelCtx &c)
+{
+    const Shape &xs = *c.inShapes[0];
+    int64_t k = c.node->attrs.getInt("kernel");
+    int64_t s = c.node->attrs.getInt("stride", k);
+    int64_t n = xs[0], ch = xs[1], h = xs[2], w = xs[3];
+    int64_t ho = (*c.outShape)[2], wo = (*c.outShape)[3];
+    float inv = 1.0f / static_cast<float>(k * k);
+    for (int64_t nc = 0; nc < n * ch; ++nc) {
+        const float *xp = c.in[0] + nc * h * w;
+        float *op = c.out + nc * ho * wo;
+        for (int64_t i = 0; i < ho; ++i) {
+            for (int64_t j = 0; j < wo; ++j) {
+                float acc = 0;
+                for (int64_t a = 0; a < k; ++a) {
+                    for (int64_t b = 0; b < k; ++b)
+                        acc += xp[(i * s + a) * w + (j * s + b)];
+                }
+                op[i * wo + j] = acc * inv;
+            }
+        }
+    }
+}
+
+void
+avgPool2dGrad(const KernelCtx &c)
+{
+    const Shape &dys = *c.inShapes[0];
+    const Shape &xs = *c.outShape;
+    int64_t k = c.node->attrs.getInt("kernel");
+    int64_t s = c.node->attrs.getInt("stride", k);
+    int64_t n = xs[0], ch = xs[1], h = xs[2], w = xs[3];
+    int64_t ho = dys[2], wo = dys[3];
+    float inv = 1.0f / static_cast<float>(k * k);
+    std::memset(c.out, 0, sizeof(float) * numel(xs));
+    for (int64_t nc = 0; nc < n * ch; ++nc) {
+        const float *gp = c.in[0] + nc * ho * wo;
+        float *dp = c.out + nc * h * w;
+        for (int64_t i = 0; i < ho; ++i) {
+            for (int64_t j = 0; j < wo; ++j) {
+                float g = gp[i * wo + j] * inv;
+                for (int64_t a = 0; a < k; ++a) {
+                    for (int64_t b = 0; b < k; ++b)
+                        dp[(i * s + a) * w + (j * s + b)] += g;
+                }
+            }
+        }
+    }
+}
+
+void
+globalAvgPool(const KernelCtx &c)
+{
+    const Shape &xs = *c.inShapes[0];
+    int64_t n = xs[0], ch = xs[1], hw = xs[2] * xs[3];
+    float inv = 1.0f / static_cast<float>(hw);
+    for (int64_t nc = 0; nc < n * ch; ++nc) {
+        const float *xp = c.in[0] + nc * hw;
+        float acc = 0;
+        for (int64_t i = 0; i < hw; ++i)
+            acc += xp[i];
+        c.out[nc] = acc * inv;
+    }
+}
+
+void
+globalAvgPoolGrad(const KernelCtx &c)
+{
+    const Shape &xs = *c.outShape;
+    int64_t n = xs[0], ch = xs[1], hw = xs[2] * xs[3];
+    float inv = 1.0f / static_cast<float>(hw);
+    for (int64_t nc = 0; nc < n * ch; ++nc) {
+        float g = c.in[0][nc] * inv;
+        float *dp = c.out + nc * hw;
+        for (int64_t i = 0; i < hw; ++i)
+            dp[i] = g;
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerPoolKernels()
+{
+    registerKernel(OpKind::AvgPool2d, "", avgPool2d);
+    registerKernel(OpKind::AvgPool2dGrad, "", avgPool2dGrad);
+    registerKernel(OpKind::GlobalAvgPool, "", globalAvgPool);
+    registerKernel(OpKind::GlobalAvgPoolGrad, "", globalAvgPoolGrad);
+}
+
+} // namespace detail
+} // namespace pe

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reduction kernels (sum / mean over an axis set).
+ */
+
+#include <cstring>
+
+#include "kernels/kernel.h"
+
+namespace pe {
+namespace {
+
+void
+reduce(const KernelCtx &c, bool mean)
+{
+    const Shape &xs = *c.inShapes[0];
+    auto axes = c.node->attrs.getInts("axes");
+    std::vector<bool> reduced(xs.size(), false);
+    int64_t reduce_count = 1;
+    for (int64_t a : axes) {
+        reduced[a] = true;
+        reduce_count *= xs[a];
+    }
+    int64_t out_n = numel(*c.outShape);
+    std::memset(c.out, 0, sizeof(float) * out_n);
+
+    // Map each input element to its output slot.
+    auto xstrides = rowMajorStrides(xs);
+    std::vector<int64_t> ostride(xs.size(), 0);
+    int64_t acc = 1;
+    for (int i = static_cast<int>(xs.size()) - 1; i >= 0; --i) {
+        if (!reduced[i]) {
+            ostride[i] = acc;
+            acc *= xs[i];
+        }
+    }
+    int64_t n = numel(xs);
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t rem = i, oi = 0;
+        for (size_t d = 0; d < xs.size(); ++d) {
+            int64_t coord = rem / xstrides[d];
+            rem -= coord * xstrides[d];
+            oi += coord * ostride[d];
+        }
+        c.out[oi] += c.in[0][i];
+    }
+    if (mean) {
+        float inv = 1.0f / static_cast<float>(reduce_count);
+        for (int64_t i = 0; i < out_n; ++i)
+            c.out[i] *= inv;
+    }
+}
+
+void
+reduceSumK(const KernelCtx &c)
+{
+    reduce(c, false);
+}
+
+void
+reduceMeanK(const KernelCtx &c)
+{
+    reduce(c, true);
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerReduceKernels()
+{
+    registerKernel(OpKind::ReduceSum, "", reduceSumK);
+    registerKernel(OpKind::ReduceMean, "", reduceMeanK);
+}
+
+} // namespace detail
+} // namespace pe

@@ -1,0 +1,92 @@
+#include "kernels/kernel.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace pe {
+
+namespace {
+
+using Key = std::pair<OpKind, std::string>;
+
+std::map<Key, KernelFn> &
+registry()
+{
+    static std::map<Key, KernelFn> r;
+    return r;
+}
+
+} // namespace
+
+void
+registerKernel(OpKind op, const std::string &variant, KernelFn fn)
+{
+    registry()[{op, variant}] = fn;
+}
+
+namespace detail {
+
+// Declared here, defined one per kernel translation unit. A static
+// library can silently drop TUs whose symbols are never referenced, so
+// registration is pulled in explicitly instead of relying on static
+// initializers.
+void registerElementwiseKernels();
+void registerMatmulKernels();
+void registerConvKernels();
+void registerWinogradKernels();
+void registerPoolKernels();
+void registerSoftmaxKernels();
+void registerNormKernels();
+void registerEmbeddingKernels();
+void registerLossKernels();
+void registerReduceKernels();
+void registerShapeOpKernels();
+void registerOptimApplyKernels();
+void registerFusedKernels();
+
+void
+ensureKernelsRegistered()
+{
+    static const bool done = [] {
+        registerElementwiseKernels();
+        registerMatmulKernels();
+        registerConvKernels();
+        registerWinogradKernels();
+        registerPoolKernels();
+        registerSoftmaxKernels();
+        registerNormKernels();
+        registerEmbeddingKernels();
+        registerLossKernels();
+        registerReduceKernels();
+        registerShapeOpKernels();
+        registerOptimApplyKernels();
+        registerFusedKernels();
+        return true;
+    }();
+    (void)done;
+}
+
+} // namespace detail
+
+KernelFn
+lookupKernel(OpKind op, const std::string &variant)
+{
+    detail::ensureKernelsRegistered();
+    auto it = registry().find({op, variant});
+    if (it == registry().end() && !variant.empty())
+        it = registry().find({op, ""});
+    if (it == registry().end()) {
+        throw std::runtime_error(std::string("no kernel for op ") +
+                                 opName(op));
+    }
+    return it->second;
+}
+
+bool
+hasKernelVariant(OpKind op, const std::string &variant)
+{
+    detail::ensureKernelsRegistered();
+    return registry().count({op, variant}) > 0;
+}
+
+} // namespace pe

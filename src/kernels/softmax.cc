@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Softmax over the last axis, with its backward kernel.
+ */
+
+#include <cmath>
+
+#include "kernels/kernel.h"
+
+namespace pe {
+namespace {
+
+void
+softmaxK(const KernelCtx &c)
+{
+    const Shape &xs = *c.inShapes[0];
+    int64_t d = xs.back();
+    int64_t rows = numel(xs) / d;
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *x = c.in[0] + r * d;
+        float *y = c.out + r * d;
+        float mx = x[0];
+        for (int64_t i = 1; i < d; ++i)
+            mx = std::max(mx, x[i]);
+        float sum = 0;
+        for (int64_t i = 0; i < d; ++i) {
+            y[i] = std::exp(x[i] - mx);
+            sum += y[i];
+        }
+        float inv = 1.0f / sum;
+        for (int64_t i = 0; i < d; ++i)
+            y[i] *= inv;
+    }
+}
+
+/** dx = y * (dy - sum(dy * y)). Inputs: y (forward output), dy. */
+void
+softmaxGradK(const KernelCtx &c)
+{
+    const Shape &ys = *c.inShapes[0];
+    int64_t d = ys.back();
+    int64_t rows = numel(ys) / d;
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *y = c.in[0] + r * d;
+        const float *dy = c.in[1] + r * d;
+        float *dx = c.out + r * d;
+        float dot = 0;
+        for (int64_t i = 0; i < d; ++i)
+            dot += y[i] * dy[i];
+        for (int64_t i = 0; i < d; ++i)
+            dx[i] = y[i] * (dy[i] - dot);
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerSoftmaxKernels()
+{
+    registerKernel(OpKind::Softmax, "", softmaxK);
+    registerKernel(OpKind::SoftmaxGrad, "", softmaxGradK);
+}
+
+} // namespace detail
+} // namespace pe

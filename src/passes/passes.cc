@@ -1,0 +1,408 @@
+#include "passes/passes.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "kernels/kernel.h"
+
+namespace pe {
+
+std::vector<bool>
+liveSet(const Graph &g)
+{
+    std::vector<bool> live(g.numNodes(), false);
+    std::vector<int> stack = g.outputs();
+    while (!stack.empty()) {
+        int id = stack.back();
+        stack.pop_back();
+        if (live[id])
+            continue;
+        live[id] = true;
+        for (int in : g.node(id).inputs)
+            stack.push_back(in);
+    }
+    return live;
+}
+
+int
+dce(Graph &g)
+{
+    auto live = liveSet(g);
+    int removed = 0;
+    for (bool l : live) {
+        if (!l)
+            ++removed;
+    }
+    if (removed)
+        g.compact(live);
+    return removed;
+}
+
+namespace {
+
+bool
+isConstValue(const Graph &g, int id, float value)
+{
+    const Node &n = g.node(id);
+    if (n.op != OpKind::Const || !g.hasConstData(id))
+        return false;
+    const Tensor &t = g.constData(id);
+    for (int64_t i = 0; i < t.size(); ++i) {
+        if (t[i] != value)
+            return false;
+    }
+    return true;
+}
+
+void
+toIdentity(Graph &g, int id, int src)
+{
+    Node &n = g.node(id);
+    n.op = OpKind::Identity;
+    n.inputs = {src};
+    n.attrs = Attrs{};
+}
+
+} // namespace
+
+int
+simplify(Graph &g)
+{
+    int rewrites = 0;
+    for (int id = 0; id < g.numNodes(); ++id) {
+        Node &n = g.node(id);
+        if (n.op == OpKind::Mul) {
+            for (int side = 0; side < 2; ++side) {
+                int c = n.inputs[side], x = n.inputs[1 - side];
+                if (isConstValue(g, c, 1.0f) &&
+                    g.node(x).shape == n.shape) {
+                    toIdentity(g, id, x);
+                    ++rewrites;
+                    break;
+                }
+            }
+        } else if (n.op == OpKind::Add) {
+            for (int side = 0; side < 2; ++side) {
+                int c = n.inputs[side], x = n.inputs[1 - side];
+                if (isConstValue(g, c, 0.0f) &&
+                    g.node(x).shape == n.shape) {
+                    toIdentity(g, id, x);
+                    ++rewrites;
+                    break;
+                }
+            }
+        } else if (n.op == OpKind::Scale &&
+                   n.attrs.getFloat("alpha", 1.0) == 1.0) {
+            toIdentity(g, id, n.inputs[0]);
+            ++rewrites;
+        }
+    }
+    // Bypass Identity chains.
+    auto resolve = [&](int id) {
+        while (g.node(id).op == OpKind::Identity)
+            id = g.node(id).inputs[0];
+        return id;
+    };
+    for (int id = 0; id < g.numNodes(); ++id) {
+        for (int &in : g.node(id).inputs) {
+            int r = resolve(in);
+            if (r != in) {
+                in = r;
+                ++rewrites;
+            }
+        }
+    }
+    for (int &out : g.outputs())
+        out = resolve(out);
+    return rewrites;
+}
+
+int
+constantFold(Graph &g)
+{
+    detail::ensureKernelsRegistered();
+    int folded = 0;
+    for (int id = 0; id < g.numNodes(); ++id) {
+        Node &n = g.node(id);
+        if (isSourceOp(n.op) || isInPlaceOp(n.op) || n.inputs.empty())
+            continue;
+        bool all_const = true;
+        for (int in : n.inputs) {
+            if (g.node(in).op != OpKind::Const || !g.hasConstData(in)) {
+                all_const = false;
+                break;
+            }
+        }
+        if (!all_const)
+            continue;
+        KernelCtx ctx;
+        ctx.node = &n;
+        for (int in : n.inputs) {
+            ctx.in.push_back(g.constData(in).data());
+            ctx.inShapes.push_back(&g.node(in).shape);
+        }
+        Tensor out(n.shape);
+        ctx.out = out.data();
+        ctx.outShape = &n.shape;
+        std::vector<float> scratch(kernelScratchSize(g, n, ""), 0.0f);
+        bool ready = false;
+        ctx.scratch = scratch.empty() ? nullptr : scratch.data();
+        ctx.scratchReady = &ready;
+        lookupKernel(n.op, "")(ctx);
+        Shape shape = n.shape;
+        n.op = OpKind::Const;
+        n.inputs.clear();
+        Attrs a;
+        a.set("shape", shape);
+        n.attrs = std::move(a);
+        g.setConstData(id, std::move(out));
+        ++folded;
+    }
+    return folded;
+}
+
+namespace {
+
+/** Map an activation op to its fused-op act code; kActNone if n/a. */
+int64_t
+actCodeOf(OpKind op)
+{
+    switch (op) {
+      case OpKind::Relu:
+        return kActRelu;
+      case OpKind::Gelu:
+        return kActGelu;
+      case OpKind::Silu:
+        return kActSilu;
+      default:
+        return kActNone;
+    }
+}
+
+OpKind
+fusedKindOf(OpKind linear)
+{
+    switch (linear) {
+      case OpKind::Conv2d:
+        return OpKind::ConvBiasAct;
+      case OpKind::DwConv2d:
+        return OpKind::DwConvBiasAct;
+      case OpKind::MatMul:
+        return OpKind::MatMulBiasAct;
+      default:
+        return OpKind::Identity;
+    }
+}
+
+/** Output-channel count of a linear node, for bias validation. */
+int64_t
+channelsOf(const Graph &g, const Node &linear)
+{
+    if (linear.op == OpKind::MatMul)
+        return linear.shape.back();
+    return linear.shape[1]; // NCHW
+}
+
+} // namespace
+
+int
+fuseOperators(Graph &g)
+{
+    int fused = 0;
+    auto users = g.consumers();
+    std::vector<bool> is_output(g.numNodes(), false);
+    for (int o : g.outputs())
+        is_output[o] = true;
+
+    auto singleUse = [&](int id) {
+        return users[id].size() == 1 && !is_output[id];
+    };
+    auto isBiasFor = [&](int bias, const Node &linear) {
+        const Node &b = g.node(bias);
+        if (b.op != OpKind::Param && b.op != OpKind::Const)
+            return false;
+        return numel(b.shape) == channelsOf(g, linear) &&
+               broadcastableTo(b.shape, linear.shape);
+    };
+
+    // Pattern: Act(Add(linear, bias)) and bare Add(linear, bias).
+    for (int id = 0; id < g.numNodes(); ++id) {
+        Node &root = g.node(id);
+        int64_t act = actCodeOf(root.op);
+        int add_id = -1;
+        if (act != kActNone) {
+            int in0 = root.inputs[0];
+            if (g.node(in0).op == OpKind::Add && singleUse(in0))
+                add_id = in0;
+        } else if (root.op == OpKind::Add) {
+            // Leave bias-Adds that feed a single activation to the
+            // activation root so the act gets fused in too.
+            if (users[id].size() == 1 &&
+                actCodeOf(g.node(users[id][0]).op) != kActNone) {
+                continue;
+            }
+            add_id = id;
+        }
+        if (add_id < 0)
+            continue;
+
+        const Node &add = g.node(add_id);
+        for (int side = 0; side < 2; ++side) {
+            int lin_id = add.inputs[side];
+            int bias_id = add.inputs[1 - side];
+            const Node &lin = g.node(lin_id);
+            OpKind fk = fusedKindOf(lin.op);
+            if (fk == OpKind::Identity || !singleUse(lin_id) ||
+                !isBiasFor(bias_id, lin)) {
+                continue;
+            }
+            // Rewrite the root node into the fused op.
+            Attrs attrs = lin.attrs;
+            attrs.set("act", act);
+            Shape shape = root.shape;
+            root.op = fk;
+            root.inputs = {lin.inputs[0], lin.inputs[1], bias_id};
+            root.attrs = std::move(attrs);
+            root.shape = shape;
+            ++fused;
+            break;
+        }
+    }
+    return fused;
+}
+
+std::vector<int>
+naturalOrder(const Graph &g)
+{
+    return g.topoOrder();
+}
+
+std::vector<int>
+reorderForMemory(const Graph &g)
+{
+    int n = g.numNodes();
+    auto users = g.consumers();
+    std::vector<bool> is_output(n, false);
+    for (int o : g.outputs())
+        is_output[o] = true;
+
+    auto isArena = [&](int id) {
+        const Node &node = g.node(id);
+        return !isSourceOp(node.op) && !isInPlaceOp(node.op);
+    };
+
+    std::vector<int> remaining_inputs(n, 0);
+    std::vector<int> remaining_users(n, 0);
+    for (int id = 0; id < n; ++id) {
+        remaining_inputs[id] = static_cast<int>(g.node(id).inputs.size());
+        remaining_users[id] = static_cast<int>(users[id].size());
+    }
+
+    std::vector<bool> scheduled(n, false);
+    std::vector<int> ready;
+    for (int id = 0; id < n; ++id) {
+        if (remaining_inputs[id] == 0)
+            ready.push_back(id);
+    }
+
+    // An in-place op mutates its parameter; it may only run after
+    // every other reader of that parameter within the step.
+    auto inPlaceReady = [&](int id) {
+        const Node &node = g.node(id);
+        if (!isInPlaceOp(node.op))
+            return true;
+        for (int u : users[node.inputs[0]]) {
+            if (u != id && !scheduled[u])
+                return false;
+        }
+        return true;
+    };
+
+    std::vector<int> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+        int best = -1;
+        int64_t best_score = 0;
+        bool best_inplace = false;
+        size_t best_pos = 0;
+        for (size_t i = 0; i < ready.size(); ++i) {
+            int id = ready[i];
+            if (!inPlaceReady(id))
+                continue;
+            const Node &node = g.node(id);
+            bool inplace = isInPlaceOp(node.op);
+            int64_t alloc = isArena(id) ? numel(node.shape) * 4 : 0;
+            int64_t freed = 0;
+            for (int in : node.inputs) {
+                if (remaining_users[in] == 1 && isArena(in) &&
+                    !is_output[in]) {
+                    freed += numel(g.node(in).shape) * 4;
+                }
+            }
+            int64_t score = freed - alloc;
+            bool better;
+            if (best < 0) {
+                better = true;
+            } else if (inplace != best_inplace) {
+                better = inplace; // updates first: recycle grads now
+            } else {
+                better = score > best_score ||
+                         (score == best_score && id < best);
+            }
+            if (better) {
+                best = id;
+                best_score = score;
+                best_inplace = inplace;
+                best_pos = i;
+            }
+        }
+        if (best < 0)
+            throw std::runtime_error("reorderForMemory: deadlock");
+        ready.erase(ready.begin() + static_cast<long>(best_pos));
+        scheduled[best] = true;
+        order.push_back(best);
+        for (int in : g.node(best).inputs)
+            --remaining_users[in];
+        for (int u : users[best]) {
+            if (--remaining_inputs[u] == 0)
+                ready.push_back(u);
+        }
+    }
+    if (static_cast<int>(order.size()) != n)
+        throw std::runtime_error("reorderForMemory: cycle detected");
+    return order;
+}
+
+std::vector<std::string>
+switchBackends(Graph &g, const BackendOptions &opts, PassStats *stats)
+{
+    std::vector<std::string> variants(g.numNodes());
+    for (int id = 0; id < g.numNodes(); ++id) {
+        Node &n = g.node(id);
+        if ((n.op == OpKind::Conv2d || n.op == OpKind::ConvBiasAct) &&
+            opts.enableWinograd) {
+            const Node &w = g.node(n.inputs[1]);
+            bool frozen = w.op == OpKind::Param && !w.trainable;
+            bool shape_ok = w.shape[2] == 3 && w.shape[3] == 3 &&
+                            n.attrs.getInt("stride", 1) == 1;
+            if (frozen && shape_ok) {
+                variants[id] = "winograd";
+                n.attrs.set("staticWeight", static_cast<int64_t>(1));
+                if (stats)
+                    ++stats->winogradBound;
+            }
+        } else if ((n.op == OpKind::MatMul ||
+                    n.op == OpKind::BatchMatMul) &&
+                   opts.enableBlocked) {
+            if (numel(n.shape) >=
+                opts.blockedMinDim * opts.blockedMinDim) {
+                variants[id] = "blocked";
+                if (stats)
+                    ++stats->blockedBound;
+            }
+        }
+    }
+    return variants;
+}
+
+} // namespace pe

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Training-graph optimization passes (paper Section 3.2).
+ *
+ * All passes run at compile time on the unified IR, after autodiff:
+ *  - dce():            dead-code elimination; with a sparse update
+ *                      scheme this is what physically removes frozen
+ *                      layers' gradient subgraphs and activation
+ *                      buffers (Section 2.6 / 3.1).
+ *  - simplify():       algebraic identities (x*1, x+0, Identity
+ *                      chains) — cleans up autodiff seeds.
+ *  - fuseOperators():  Conv/DwConv/MatMul + bias + activation fusion.
+ *  - reorderForMemory(): memory-aware list scheduling; applies each
+ *                      parameter update as soon as its gradient is
+ *                      ready so gradient buffers are recycled
+ *                      ("Operator Reordering and In-place Update").
+ *  - switchBackends(): per-node kernel-variant selection, including
+ *                      binding frozen 3x3 convolutions to Winograd.
+ *  - constantFold():   evaluate Const-only subgraphs at compile time.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace pe {
+
+/** Per-pass bookkeeping, aggregated by the engine for reporting. */
+struct PassStats {
+    int nodesRemoved = 0;
+    int nodesFused = 0;
+    int nodesFolded = 0;
+    int winogradBound = 0;
+    int blockedBound = 0;
+};
+
+/** Nodes reachable from the graph outputs (plus in-place effects). */
+std::vector<bool> liveSet(const Graph &g);
+
+/** Remove unreachable nodes. @return number removed. */
+int dce(Graph &g);
+
+/** Algebraic simplifications; run before fusion. @return rewrites. */
+int simplify(Graph &g);
+
+/**
+ * Fuse (Conv2d|DwConv2d|MatMul) + bias-Add [+ activation] into the
+ * fused ops. Only fires when the intermediate values have no other
+ * consumers — in a training graph that is exactly the frozen layers
+ * plus every layer whose pre-activation is not needed by backward
+ * (ReLU layers qualify; see autodiff.cc).
+ * @return number of fusions performed.
+ */
+int fuseOperators(Graph &g);
+
+/** Evaluate nodes whose inputs are all data-carrying Consts. */
+int constantFold(Graph &g);
+
+/**
+ * Memory-aware list scheduling. Greedy: among ready nodes, prefer
+ * in-place parameter updates, then the node with the best
+ * (bytes freed - bytes allocated) balance.
+ */
+std::vector<int> reorderForMemory(const Graph &g);
+
+/** The unoptimized baseline order (creation order). */
+std::vector<int> naturalOrder(const Graph &g);
+
+/** Backend-switching options. */
+struct BackendOptions {
+    bool enableWinograd = true; ///< frozen 3x3 s1 convs -> Winograd
+    bool enableBlocked = true;  ///< large GEMMs -> blocked variant
+    int64_t blockedMinDim = 64; ///< GEMM size threshold
+};
+
+/**
+ * Choose a kernel variant per node. Frozen-weight 3x3 stride-1
+ * convolutions get "winograd" (weight transform cached across steps);
+ * large GEMMs get "blocked"; everything else keeps the default.
+ */
+std::vector<std::string> switchBackends(Graph &g,
+                                        const BackendOptions &opts,
+                                        PassStats *stats = nullptr);
+
+} // namespace pe

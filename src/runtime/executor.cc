@@ -1,0 +1,128 @@
+#include "runtime/executor.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pe {
+
+Executor::Executor(const Graph &g, std::vector<int> order,
+                   ParamStore &store, ExecOptions options)
+    : g_(g), order_(std::move(order)), store_(store),
+      variants_(std::move(options.variants))
+{
+    detail::ensureKernelsRegistered();
+    variants_.resize(g_.numNodes());
+    store_.materialize(g_);
+    plan_ = planMemory(g_, order_);
+    arena_.assign(plan_.arenaBytes / 4 + 1, 0.0f);
+
+    constBufs_.resize(g_.numNodes());
+    inputPtrs_.assign(g_.numNodes(), nullptr);
+    valuePtr_.assign(g_.numNodes(), nullptr);
+    scratch_.resize(g_.numNodes());
+    scratchReady_.assign(g_.numNodes(), 0);
+
+    // Materialize constants and input staging buffers.
+    for (int id = 0; id < g_.numNodes(); ++id) {
+        const Node &n = g_.node(id);
+        if (n.op == OpKind::Const) {
+            constBufs_[id] = g_.hasConstData(id)
+                                 ? g_.constData(id).clone()
+                                 : Tensor::zeros(n.shape);
+        } else if (n.op == OpKind::Input) {
+            constBufs_[id] = Tensor::zeros(n.shape); // staging buffer
+        }
+    }
+    bindSteps();
+}
+
+float *
+Executor::resolve(int id)
+{
+    const Node &n = g_.node(id);
+    const ValuePlacement &v = plan_.values[id];
+    switch (v.storage) {
+      case Storage::Param:
+        return store_.get(n.name).data();
+      case Storage::ConstBuf:
+      case Storage::External:
+        return constBufs_[id].data();
+      case Storage::Alias:
+        return resolve(n.inputs[0]);
+      case Storage::Arena:
+        return arena_.data() + v.offset / 4;
+    }
+    throw std::runtime_error("Executor::resolve: bad storage");
+}
+
+void
+Executor::bindSteps()
+{
+    steps_.clear();
+    steps_.reserve(order_.size());
+    for (int id : order_) {
+        const Node &n = g_.node(id);
+        if (isSourceOp(n.op))
+            continue;
+        BoundStep s;
+        s.node = id;
+        s.fn = lookupKernel(n.op, variants_[id]);
+        s.ctx.node = &g_.node(id);
+        for (int in : n.inputs) {
+            s.ctx.in.push_back(resolve(in));
+            s.ctx.inShapes.push_back(&g_.node(in).shape);
+        }
+        s.ctx.out = resolve(id);
+        s.ctx.outShape = &g_.node(id).shape;
+        int64_t scratch = kernelScratchSize(g_, n, variants_[id]);
+        if (scratch > 0) {
+            scratch_[id].assign(scratch, 0.0f);
+            s.ctx.scratch = scratch_[id].data();
+        }
+        s.ctx.scratchReady = reinterpret_cast<bool *>(&scratchReady_[id]);
+        steps_.push_back(std::move(s));
+    }
+    bound_ = true;
+}
+
+void
+Executor::bindInput(const std::string &name, const Tensor &t)
+{
+    for (int id : g_.inputIds()) {
+        const Node &n = g_.node(id);
+        if (n.name != name)
+            continue;
+        if (t.shape() != n.shape) {
+            throw std::runtime_error("bindInput: shape mismatch for " +
+                                     name + ": got " +
+                                     shapeToString(t.shape()) +
+                                     " want " + shapeToString(n.shape));
+        }
+        std::memcpy(constBufs_[id].data(), t.data(),
+                    sizeof(float) * t.size());
+        return;
+    }
+    throw std::runtime_error("bindInput: no input named " + name);
+}
+
+void
+Executor::run()
+{
+    ++step_;
+    for (BoundStep &s : steps_) {
+        s.ctx.step = step_;
+        s.fn(s.ctx);
+    }
+}
+
+Tensor
+Executor::fetch(int node_id) const
+{
+    const Node &n = g_.node(node_id);
+    Tensor out(n.shape);
+    const float *src = const_cast<Executor *>(this)->resolve(node_id);
+    std::memcpy(out.data(), src, sizeof(float) * out.size());
+    return out;
+}
+
+} // namespace pe

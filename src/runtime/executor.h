@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The compiled-program executor: a flat list of kernel invocations
+ * over one pre-planned arena. No graph interpretation, no dispatch
+ * tables, no per-step allocation happens at run time — everything was
+ * resolved at compile time (the paper's central systems argument).
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+#include "ir/graph.h"
+#include "kernels/kernel.h"
+#include "runtime/paramstore.h"
+#include "runtime/planner.h"
+
+namespace pe {
+
+/** Executor construction options. */
+struct ExecOptions {
+    /** Kernel variant per node id ("" = default); from backend switch. */
+    std::vector<std::string> variants;
+};
+
+/**
+ * Executes a scheduled graph. Pointers are resolved once at
+ * construction; run() is a straight loop over bound kernel calls.
+ */
+class Executor
+{
+  public:
+    Executor(const Graph &g, std::vector<int> order, ParamStore &store,
+             ExecOptions options = {});
+
+    /** Point an Input node at caller-owned data (shape-checked). */
+    void bindInput(const std::string &name, const Tensor &t);
+
+    /** Execute one step (forward [+ backward + update] as compiled). */
+    void run();
+
+    /** Copy a value out of the arena/store (by node id). */
+    Tensor fetch(int node_id) const;
+
+    const MemoryPlan &memoryPlan() const { return plan_; }
+    const Graph &graph() const { return g_; }
+    const std::vector<int> &order() const { return order_; }
+    int64_t stepCount() const { return step_; }
+
+    /** Number of kernel invocations per step. */
+    int numSteps() const { return static_cast<int>(steps_.size()); }
+
+  private:
+    struct BoundStep {
+        int node;
+        KernelFn fn;
+        KernelCtx ctx;
+        std::vector<const Shape *> shapes;
+    };
+
+    float *resolve(int id);
+
+    const Graph &g_;
+    std::vector<int> order_;
+    ParamStore &store_;
+    MemoryPlan plan_;
+    std::vector<float> arena_;
+    std::vector<Tensor> constBufs_;        ///< by node id (sparse)
+    std::vector<const float *> inputPtrs_; ///< by node id
+    std::vector<float *> valuePtr_;        ///< by node id
+    std::vector<BoundStep> steps_;
+    std::vector<std::vector<float>> scratch_; ///< by node id
+    std::vector<char> scratchReady_;          ///< by node id
+    std::vector<std::string> variants_;
+    int64_t step_ = 0;
+    bool bound_ = false;
+
+    void bindSteps();
+};
+
+} // namespace pe

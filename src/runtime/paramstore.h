@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Persistent parameter storage, keyed by the unique Param-node name.
+ *
+ * Parameters, optimizer state and frozen weights live here, outside
+ * the activation arena; the in-place optimizer ops mutate these
+ * buffers directly so no separate "gradient application" runtime pass
+ * exists (paper Section 3.2).
+ */
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "core/tensor.h"
+#include "ir/graph.h"
+
+namespace pe {
+
+class ParamStore
+{
+  public:
+    /** Register (or replace) a parameter tensor. */
+    void
+    set(const std::string &name, Tensor t)
+    {
+        store_[name] = std::move(t);
+    }
+
+    bool has(const std::string &name) const { return store_.count(name); }
+
+    Tensor &
+    get(const std::string &name)
+    {
+        auto it = store_.find(name);
+        if (it == store_.end())
+            throw std::runtime_error("ParamStore: missing param " + name);
+        return it->second;
+    }
+
+    const Tensor &
+    get(const std::string &name) const
+    {
+        return const_cast<ParamStore *>(this)->get(name);
+    }
+
+    /**
+     * Ensure every Param node in @p g has a tensor; missing entries
+     * are zero-initialized (optimizer state relies on this).
+     * @return bytes of parameter storage referenced by @p g.
+     */
+    int64_t
+    materialize(const Graph &g)
+    {
+        int64_t bytes = 0;
+        for (int id : g.paramIds()) {
+            const Node &n = g.node(id);
+            if (!has(n.name))
+                set(n.name, Tensor::zeros(n.shape));
+            if (get(n.name).shape() != n.shape)
+                throw std::runtime_error("ParamStore: shape mismatch for " +
+                                         n.name);
+            bytes += numel(n.shape) * 4;
+        }
+        return bytes;
+    }
+
+    size_t size() const { return store_.size(); }
+
+    const std::unordered_map<std::string, Tensor> &
+    all() const
+    {
+        return store_;
+    }
+
+  private:
+    std::unordered_map<std::string, Tensor> store_;
+};
+
+} // namespace pe

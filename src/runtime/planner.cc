@@ -1,0 +1,162 @@
+#include "runtime/planner.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace pe {
+
+namespace {
+
+constexpr int64_t kAlign = 64;
+
+int64_t
+alignUp(int64_t v)
+{
+    return (v + kAlign - 1) / kAlign * kAlign;
+}
+
+/**
+ * A simple address-ordered best-fit free list over one arena.
+ * Allocation extends the arena when no block fits; frees coalesce
+ * with neighbours.
+ */
+class FreeList
+{
+  public:
+    int64_t
+    alloc(int64_t bytes)
+    {
+        bytes = alignUp(bytes);
+        // Best fit: smallest free block that fits.
+        auto best = free_.end();
+        for (auto it = free_.begin(); it != free_.end(); ++it) {
+            if (it->second >= bytes &&
+                (best == free_.end() || it->second < best->second)) {
+                best = it;
+            }
+        }
+        if (best != free_.end()) {
+            int64_t off = best->first;
+            int64_t rest = best->second - bytes;
+            free_.erase(best);
+            if (rest > 0)
+                free_[off + bytes] = rest;
+            return off;
+        }
+        int64_t off = top_;
+        top_ += bytes;
+        return off;
+    }
+
+    void
+    release(int64_t off, int64_t bytes)
+    {
+        bytes = alignUp(bytes);
+        auto [it, ok] = free_.emplace(off, bytes);
+        if (!ok)
+            throw std::runtime_error("FreeList: double free");
+        // Coalesce with next.
+        auto next = std::next(it);
+        if (next != free_.end() && it->first + it->second == next->first) {
+            it->second += next->second;
+            free_.erase(next);
+        }
+        // Coalesce with prev.
+        if (it != free_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->first + prev->second == it->first) {
+                prev->second += it->second;
+                free_.erase(it);
+            }
+        }
+    }
+
+    int64_t top() const { return top_; }
+
+  private:
+    std::map<int64_t, int64_t> free_; ///< offset -> size
+    int64_t top_ = 0;
+};
+
+} // namespace
+
+MemoryPlan
+planMemory(const Graph &g, const std::vector<int> &order)
+{
+    int n = g.numNodes();
+    MemoryPlan plan;
+    plan.values.resize(n);
+
+    std::vector<int> pos(n, -1);
+    for (size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = static_cast<int>(i);
+
+    // Classify storage and compute sizes.
+    for (int id = 0; id < n; ++id) {
+        const Node &node = g.node(id);
+        ValuePlacement &v = plan.values[id];
+        v.bytes = numel(node.shape) * 4;
+        v.defPos = pos[id];
+        if (node.op == OpKind::Param) {
+            v.storage = Storage::Param;
+            plan.paramBytes += v.bytes;
+        } else if (node.op == OpKind::Const) {
+            v.storage = Storage::ConstBuf;
+            plan.constBytes += v.bytes;
+        } else if (node.op == OpKind::Input) {
+            v.storage = Storage::External;
+            plan.inputBytes += v.bytes;
+        } else if (isInPlaceOp(node.op)) {
+            v.storage = Storage::Alias;
+        } else {
+            v.storage = Storage::Arena;
+        }
+    }
+
+    // Lifetimes: last position among consumers (and self).
+    for (int id = 0; id < n; ++id) {
+        if (pos[id] < 0)
+            continue;
+        plan.values[id].lastUsePos = pos[id];
+    }
+    for (int oid : order) {
+        const Node &node = g.node(oid);
+        for (int in : node.inputs) {
+            plan.values[in].lastUsePos =
+                std::max(plan.values[in].lastUsePos, pos[oid]);
+        }
+        // An in-place op extends the lifetime of the aliased value's
+        // chain implicitly; params are persistent anyway.
+    }
+    for (int out : g.outputs()) {
+        plan.values[out].lastUsePos = static_cast<int>(order.size());
+    }
+
+    // Greedy allocation sweep in execution order.
+    FreeList arena;
+    // Group frees by position for O(n) sweep.
+    std::vector<std::vector<int>> frees_at(order.size() + 2);
+    for (int id = 0; id < n; ++id) {
+        const ValuePlacement &v = plan.values[id];
+        if (v.storage == Storage::Arena && v.defPos >= 0 &&
+            v.lastUsePos <= static_cast<int>(order.size())) {
+            size_t slot = std::min<size_t>(v.lastUsePos + 1,
+                                           frees_at.size() - 1);
+            frees_at[slot].push_back(id);
+        }
+    }
+    for (size_t step = 0; step < order.size(); ++step) {
+        for (int id : frees_at[step]) {
+            arena.release(plan.values[id].offset, plan.values[id].bytes);
+        }
+        int oid = order[step];
+        ValuePlacement &v = plan.values[oid];
+        if (v.storage == Storage::Arena)
+            v.offset = arena.alloc(v.bytes);
+    }
+    plan.arenaBytes = arena.top();
+    return plan;
+}
+
+} // namespace pe

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tensor lifetime analysis and arena memory planning.
+ *
+ * Given an execution order, every non-persistent value gets a
+ * [firstDef, lastUse] interval and a byte offset inside one arena via
+ * greedy best-fit. The arena size IS the measured activation/gradient
+ * memory of the training step, so the operator-reordering ablation and
+ * Table 4 read their numbers from here.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace pe {
+
+/** Where a value's storage lives. */
+enum class Storage {
+    Arena,    ///< activation/gradient/temporary, planned offsets
+    Param,    ///< persistent, owned by the ParamStore
+    ConstBuf, ///< compile-time constant
+    External, ///< Input node, bound by the caller
+    Alias,    ///< in-place op output; storage of its input 0
+};
+
+/** One value's placement. */
+struct ValuePlacement {
+    Storage storage = Storage::Arena;
+    int64_t offset = 0;  ///< arena byte offset (Storage::Arena only)
+    int64_t bytes = 0;
+    int defPos = -1;     ///< position in the execution order
+    int lastUsePos = -1;
+};
+
+/** Result of planning a graph against an execution order. */
+struct MemoryPlan {
+    std::vector<ValuePlacement> values; ///< indexed by node id
+    int64_t arenaBytes = 0;             ///< peak activation memory
+    int64_t paramBytes = 0;             ///< weights + optimizer state
+    int64_t constBytes = 0;
+    int64_t inputBytes = 0;
+
+    /** Total training-step footprint (Table 4's metric). */
+    int64_t
+    totalBytes() const
+    {
+        return arenaBytes + paramBytes + constBytes + inputBytes;
+    }
+};
+
+/**
+ * Plan memory for @p g executed in @p order.
+ *
+ * Values are freed at their last use; graph outputs stay live to the
+ * end of the step. In-place optimizer outputs alias their parameter
+ * and consume no arena space.
+ */
+MemoryPlan planMemory(const Graph &g, const std::vector<int> &order);
+
+} // namespace pe

@@ -1,0 +1,157 @@
+#include "search/search.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pe {
+
+namespace {
+
+struct Genome {
+    std::vector<bool> bits;
+    double fitness = 0;
+    int64_t memory = 0;
+};
+
+void
+score(Genome &g, const std::vector<SearchUnit> &units,
+      int64_t base_memory)
+{
+    g.fitness = 0;
+    g.memory = base_memory;
+    for (size_t i = 0; i < units.size(); ++i) {
+        if (g.bits[i]) {
+            g.fitness += units[i].contribution;
+            g.memory += units[i].memoryCost;
+        }
+    }
+}
+
+/** Drop the worst contribution-per-byte units until under budget. */
+void
+repair(Genome &g, const std::vector<SearchUnit> &units,
+       int64_t base_memory, int64_t budget)
+{
+    score(g, units, base_memory);
+    while (g.memory > budget) {
+        int worst = -1;
+        double worst_density = 0;
+        for (size_t i = 0; i < units.size(); ++i) {
+            if (!g.bits[i] || units[i].memoryCost <= 0)
+                continue;
+            double density = units[i].contribution /
+                             static_cast<double>(units[i].memoryCost);
+            if (worst < 0 || density < worst_density) {
+                worst = static_cast<int>(i);
+                worst_density = density;
+            }
+        }
+        if (worst < 0)
+            break; // only zero-cost units remain; cannot repair further
+        g.bits[worst] = false;
+        score(g, units, base_memory);
+    }
+}
+
+} // namespace
+
+SearchResult
+evolutionarySearch(const std::vector<SearchUnit> &units,
+                   int64_t base_memory, int64_t memory_budget, Rng &rng,
+                   const EvoOptions &opts)
+{
+    size_t n = units.size();
+    std::vector<Genome> pop(opts.population);
+    for (auto &g : pop) {
+        g.bits.resize(n);
+        for (size_t i = 0; i < n; ++i)
+            g.bits[i] = rng.chance(0.5);
+        repair(g, units, base_memory, memory_budget);
+    }
+
+    auto tournament = [&]() -> const Genome & {
+        const Genome *best = &pop[rng.randint(pop.size())];
+        for (int i = 1; i < opts.tournament; ++i) {
+            const Genome &c = pop[rng.randint(pop.size())];
+            if (c.fitness > best->fitness)
+                best = &c;
+        }
+        return *best;
+    };
+
+    for (int gen = 0; gen < opts.generations; ++gen) {
+        std::vector<Genome> next;
+        next.reserve(pop.size());
+        // Elitism: carry the best genome over.
+        auto best_it = std::max_element(
+            pop.begin(), pop.end(), [](const Genome &a, const Genome &b) {
+                return a.fitness < b.fitness;
+            });
+        next.push_back(*best_it);
+        while (next.size() < pop.size()) {
+            const Genome &a = tournament();
+            const Genome &b = tournament();
+            Genome child;
+            child.bits.resize(n);
+            for (size_t i = 0; i < n; ++i) {
+                child.bits[i] = rng.chance(0.5) ? a.bits[i] : b.bits[i];
+                if (rng.chance(opts.mutationRate))
+                    child.bits[i] = !child.bits[i];
+            }
+            repair(child, units, base_memory, memory_budget);
+            next.push_back(std::move(child));
+        }
+        pop = std::move(next);
+    }
+
+    auto best_it = std::max_element(
+        pop.begin(), pop.end(), [](const Genome &a, const Genome &b) {
+            return a.fitness < b.fitness;
+        });
+    SearchResult result;
+    result.selected = best_it->bits;
+    result.totalContribution = best_it->fitness;
+    result.totalMemory = best_it->memory;
+    result.generations = opts.generations;
+    return result;
+}
+
+std::vector<double>
+measureContributions(
+    int num_units,
+    const std::function<SparseUpdateScheme(const std::vector<bool> &)>
+        &unit_scheme,
+    const std::function<double(const SparseUpdateScheme &)> &evaluate)
+{
+    std::vector<bool> none(num_units, false);
+    double baseline = evaluate(unit_scheme(none));
+    std::vector<double> contributions(num_units);
+    for (int i = 0; i < num_units; ++i) {
+        std::vector<bool> mask(num_units, false);
+        mask[i] = true;
+        contributions[i] = evaluate(unit_scheme(mask)) - baseline;
+    }
+    return contributions;
+}
+
+std::vector<int64_t>
+measureMemoryCosts(
+    int num_units,
+    const std::function<SparseUpdateScheme(const std::vector<bool> &)>
+        &unit_scheme,
+    const std::function<int64_t(const SparseUpdateScheme &)> &memory_of)
+{
+    std::vector<bool> none(num_units, false);
+    int64_t baseline = memory_of(unit_scheme(none));
+    std::vector<int64_t> costs(num_units);
+    for (int i = 0; i < num_units; ++i) {
+        std::vector<bool> mask(num_units, false);
+        mask[i] = true;
+        costs[i] = std::max<int64_t>(0,
+                                     memory_of(unit_scheme(mask)) -
+                                         baseline);
+    }
+    return costs;
+}
+
+} // namespace pe

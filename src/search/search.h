@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Sparse-scheme search (paper Section 3.1, Eq. 1).
+ *
+ * The search space is a set of "units" (e.g. "update biases of block
+ * k", "update conv1 weights of block i at ratio r"). Following the
+ * paper: (1) an offline sensitivity analysis fine-tunes each unit
+ * alone and records the downstream accuracy delta as its
+ * contribution; (2) an evolutionary search maximizes the summed
+ * contribution subject to the memory constraint, with per-unit
+ * memory costs measured by the compile-time memory planner.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "engine/scheme.h"
+
+namespace pe {
+
+/** One selectable unit of the update scheme. */
+struct SearchUnit {
+    std::string name;
+    double contribution = 0;  ///< Δacc from sensitivity analysis
+    int64_t memoryCost = 0;   ///< marginal training-memory bytes
+};
+
+/** Outcome of the evolutionary search. */
+struct SearchResult {
+    std::vector<bool> selected;
+    double totalContribution = 0;
+    int64_t totalMemory = 0;
+    int generations = 0;
+};
+
+/** Search knobs. */
+struct EvoOptions {
+    int population = 32;
+    int generations = 40;
+    double mutationRate = 0.08;
+    int tournament = 3;
+};
+
+/**
+ * Maximize sum(contribution) s.t. sum(memoryCost) + @p base_memory
+ * <= @p memory_budget over unit subsets (Eq. 1). Infeasible genomes
+ * are repaired by dropping the worst contribution/byte units.
+ */
+SearchResult evolutionarySearch(const std::vector<SearchUnit> &units,
+                                int64_t base_memory,
+                                int64_t memory_budget, Rng &rng,
+                                const EvoOptions &opts = {});
+
+/**
+ * Offline sensitivity analysis: for each unit, evaluate the accuracy
+ * of fine-tuning with only that unit enabled, minus the
+ * all-frozen baseline.
+ *
+ * @param unit_scheme  maps a unit-selection mask to a scheme
+ * @param evaluate     fine-tunes under a scheme, returns accuracy
+ */
+std::vector<double> measureContributions(
+    int num_units,
+    const std::function<SparseUpdateScheme(const std::vector<bool> &)>
+        &unit_scheme,
+    const std::function<double(const SparseUpdateScheme &)> &evaluate);
+
+/**
+ * Marginal memory of each unit: planner total bytes with the unit
+ * enabled alone, minus the all-frozen baseline.
+ */
+std::vector<int64_t> measureMemoryCosts(
+    int num_units,
+    const std::function<SparseUpdateScheme(const std::vector<bool> &)>
+        &unit_scheme,
+    const std::function<int64_t(const SparseUpdateScheme &)> &memory_of);
+
+} // namespace pe

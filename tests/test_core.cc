@@ -1,0 +1,157 @@
+/** @file Unit tests for core/: shapes, tensors, RNG. */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/shape.h"
+#include "core/tensor.h"
+
+namespace pe {
+namespace {
+
+TEST(Shape, Numel)
+{
+    EXPECT_EQ(numel({}), 1);
+    EXPECT_EQ(numel({5}), 5);
+    EXPECT_EQ(numel({2, 3, 4}), 24);
+}
+
+TEST(Shape, ToString)
+{
+    EXPECT_EQ(shapeToString({2, 3}), "[2, 3]");
+    EXPECT_EQ(shapeToString({}), "[]");
+}
+
+TEST(Shape, BroadcastBasics)
+{
+    EXPECT_EQ(broadcastShapes({2, 3}, {2, 3}), (Shape{2, 3}));
+    EXPECT_EQ(broadcastShapes({2, 3}, {3}), (Shape{2, 3}));
+    EXPECT_EQ(broadcastShapes({4, 1, 3}, {2, 1}), (Shape{4, 2, 3}));
+    EXPECT_EQ(broadcastShapes({1}, {8, 5}), (Shape{8, 5}));
+}
+
+TEST(Shape, BroadcastMismatchThrows)
+{
+    EXPECT_THROW(broadcastShapes({2, 3}, {4}), std::runtime_error);
+    EXPECT_THROW(broadcastShapes({2, 2}, {3, 2}), std::runtime_error);
+}
+
+TEST(Shape, BroadcastableTo)
+{
+    EXPECT_TRUE(broadcastableTo({3}, {2, 3}));
+    EXPECT_TRUE(broadcastableTo({1, 3}, {5, 3}));
+    EXPECT_FALSE(broadcastableTo({2, 3}, {3}));
+    EXPECT_FALSE(broadcastableTo({4}, {2, 3}));
+}
+
+TEST(Shape, RowMajorStrides)
+{
+    auto s = rowMajorStrides({2, 3, 4});
+    EXPECT_EQ(s, (std::vector<int64_t>{12, 4, 1}));
+}
+
+TEST(Tensor, ZerosAndFill)
+{
+    Tensor t = Tensor::zeros({2, 2});
+    EXPECT_EQ(t.size(), 4);
+    EXPECT_DOUBLE_EQ(t.sum(), 0.0);
+    t.fill(2.5f);
+    EXPECT_FLOAT_EQ(static_cast<float>(t.sum()), 10.0f);
+}
+
+TEST(Tensor, FromVectorAndAt)
+{
+    Tensor t = Tensor::fromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+    EXPECT_FLOAT_EQ(t.at({0, 2}), 3.0f);
+    EXPECT_FLOAT_EQ(t.at({1, 0}), 4.0f);
+}
+
+TEST(Tensor, FromVectorSizeMismatchThrows)
+{
+    EXPECT_THROW(Tensor::fromVector({2, 2}, {1, 2, 3}),
+                 std::runtime_error);
+}
+
+TEST(Tensor, CloneIsDeep)
+{
+    Tensor a = Tensor::ones({3});
+    Tensor b = a.clone();
+    b[0] = 7;
+    EXPECT_FLOAT_EQ(a[0], 1.0f);
+    EXPECT_FLOAT_EQ(b[0], 7.0f);
+}
+
+TEST(Tensor, CopyShares)
+{
+    Tensor a = Tensor::ones({3});
+    Tensor b = a;
+    b[0] = 7;
+    EXPECT_FLOAT_EQ(a[0], 7.0f);
+}
+
+TEST(Tensor, ReshapedSharesStorage)
+{
+    Tensor a = Tensor::fromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor b = a.reshaped({3, 2});
+    b[5] = 42;
+    EXPECT_FLOAT_EQ(a[5], 42.0f);
+    EXPECT_THROW(a.reshaped({4}), std::runtime_error);
+}
+
+TEST(Tensor, AllClose)
+{
+    Tensor a = Tensor::ones({4});
+    Tensor b = a.clone();
+    EXPECT_TRUE(allClose(a, b));
+    b[2] += 1.0f;
+    EXPECT_FALSE(allClose(a, b));
+    EXPECT_FALSE(allClose(a, Tensor::ones({5})));
+}
+
+TEST(Tensor, MaxAbsDiff)
+{
+    Tensor a = Tensor::fromVector({2}, {1, 2});
+    Tensor b = Tensor::fromVector({2}, {1.5, 2});
+    EXPECT_FLOAT_EQ(maxAbsDiff(a, b), 0.5f);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.normal(), b.normal());
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(1);
+    for (int i = 0; i < 1000; ++i) {
+        float v = r.uniform(2.0f, 3.0f);
+        EXPECT_GE(v, 2.0f);
+        EXPECT_LT(v, 3.0f);
+    }
+}
+
+TEST(Rng, RandintRange)
+{
+    Rng r(1);
+    std::vector<int> seen(5, 0);
+    for (int i = 0; i < 1000; ++i)
+        ++seen[r.randint(5)];
+    for (int count : seen)
+        EXPECT_GT(count, 100); // roughly uniform
+}
+
+TEST(Tensor, KaimingStdScalesWithFanIn)
+{
+    Rng r(3);
+    Tensor t = Tensor::kaiming({10000}, r, 50);
+    double var = 0;
+    for (int64_t i = 0; i < t.size(); ++i)
+        var += t[i] * t[i];
+    var /= static_cast<double>(t.size());
+    EXPECT_NEAR(var, 2.0 / 50.0, 5e-3);
+}
+
+} // namespace
+} // namespace pe

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Pass-level tests: DCE, simplify, constant folding, fusion pattern
+ * safety, memory-aware reordering invariants, backend switching.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/builder.h"
+#include "passes/passes.h"
+#include "runtime/planner.h"
+#include "testutil.h"
+
+namespace pe {
+namespace {
+
+TEST(Dce, RemovesUnreachableNodes)
+{
+    Graph g;
+    Rng rng(1);
+    ParamStore store;
+    NetBuilder b(g, rng, &store);
+    int x = b.input({2, 4}, "x");
+    int used = b.relu(x);
+    b.gelu(x); // dead
+    b.silu(used); // dead
+    g.markOutput(used);
+    EXPECT_EQ(dce(g), 2);
+    EXPECT_EQ(g.numNodes(), 2);
+}
+
+TEST(Dce, KeepsEverythingReachable)
+{
+    Graph g;
+    int x = g.input({4}, "x");
+    int y = g.add(OpKind::Relu, {x});
+    g.markOutput(y);
+    EXPECT_EQ(dce(g), 0);
+}
+
+TEST(Simplify, MulByOneBecomesIdentityAndIsBypassed)
+{
+    Graph g;
+    int x = g.input({3}, "x");
+    int one = g.constantOf(Tensor::ones({3}));
+    int m = g.add(OpKind::Mul, {x, one});
+    int out = g.add(OpKind::Relu, {m});
+    g.markOutput(out);
+    EXPECT_GT(simplify(g), 0);
+    EXPECT_EQ(g.node(out).inputs[0], x) << "Relu should consume x directly";
+}
+
+TEST(Simplify, AddZeroBecomesIdentity)
+{
+    Graph g;
+    int x = g.input({3}, "x");
+    int zero = g.constantOf(Tensor::zeros({3}));
+    int a = g.add(OpKind::Add, {x, zero});
+    g.markOutput(a);
+    simplify(g);
+    EXPECT_EQ(g.node(a).op, OpKind::Identity);
+}
+
+TEST(ConstantFold, FoldsConstSubgraph)
+{
+    Graph g;
+    int a = g.constantOf(Tensor::full({4}, 2.0f));
+    int b = g.constantOf(Tensor::full({4}, 3.0f));
+    int sum = g.add(OpKind::Add, {a, b});
+    int relu = g.add(OpKind::Relu, {sum});
+    g.markOutput(relu);
+    EXPECT_EQ(constantFold(g), 2);
+    EXPECT_EQ(g.node(relu).op, OpKind::Const);
+    EXPECT_FLOAT_EQ(g.constData(relu)[0], 5.0f);
+}
+
+TEST(Fusion, ConvBiasReluFuses)
+{
+    Graph g;
+    Rng rng(1);
+    ParamStore store;
+    NetBuilder b(g, rng, &store);
+    int x = b.input({1, 3, 8, 8}, "x");
+    int h = b.relu(b.conv2d(x, 4, 3, 1, 1, "c"));
+    g.markOutput(h);
+    EXPECT_EQ(fuseOperators(g), 1);
+    dce(g);
+    int fused = 0;
+    for (const Node &n : g.nodes())
+        fused += n.op == OpKind::ConvBiasAct;
+    EXPECT_EQ(fused, 1);
+    EXPECT_EQ(g.node(g.outputs()[0]).attrs.getInt("act", 0), kActRelu);
+}
+
+TEST(Fusion, MatMulBiasGeluFuses)
+{
+    Graph g;
+    Rng rng(1);
+    ParamStore store;
+    NetBuilder b(g, rng, &store);
+    int x = b.input({4, 8}, "x");
+    int h = b.gelu(b.linear(x, 16, "fc"));
+    g.markOutput(h);
+    EXPECT_EQ(fuseOperators(g), 1);
+    dce(g);
+    bool found = false;
+    for (const Node &n : g.nodes()) {
+        if (n.op == OpKind::MatMulBiasAct) {
+            found = true;
+            EXPECT_EQ(n.attrs.getInt("act", 0), kActGelu);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Fusion, ActNotFusedWhenPreActivationHasOtherConsumers)
+{
+    // The pre-activation is consumed by two nodes (as in a backward
+    // graph that needs it): the activation must NOT be folded into
+    // the linear op. Fusing MatMul + bias-Add alone (act = none) is
+    // still legal and expected — the fused value keeps both
+    // consumers.
+    Graph g;
+    Rng rng(1);
+    ParamStore store;
+    NetBuilder b(g, rng, &store);
+    int x = b.input({4, 8}, "x");
+    int lin = b.linear(x, 16, "fc"); // MatMul + Add
+    int act = b.relu(lin);
+    int extra = b.gelu(lin); // second consumer of the bias-add
+    g.markOutput(act);
+    g.markOutput(extra);
+    EXPECT_EQ(fuseOperators(g), 1);
+    EXPECT_EQ(g.node(lin).op, OpKind::MatMulBiasAct);
+    EXPECT_EQ(g.node(lin).attrs.getInt("act", 0), kActNone);
+    EXPECT_EQ(g.node(act).op, OpKind::Relu);
+    EXPECT_EQ(g.node(extra).op, OpKind::Gelu);
+}
+
+TEST(Fusion, RefusesResidualAdd)
+{
+    // Add of two non-bias activations must never be fused as a bias.
+    Graph g;
+    Rng rng(1);
+    ParamStore store;
+    NetBuilder b(g, rng, &store);
+    int x = b.input({1, 4, 8, 8}, "x");
+    int c1 = b.conv2d(x, 4, 3, 1, 1, "c1", /*bias=*/false);
+    int c2 = b.conv2d(x, 4, 3, 1, 1, "c2", /*bias=*/false);
+    int res = b.add(c1, c2);
+    g.markOutput(res);
+    EXPECT_EQ(fuseOperators(g), 0);
+}
+
+TEST(Fusion, PairsBiasAddWithFollowingActivation)
+{
+    // Conv -> Add -> Relu must become ONE ConvBiasAct(relu), not a
+    // ConvBiasAct(none) followed by Relu.
+    Graph g;
+    Rng rng(1);
+    ParamStore store;
+    NetBuilder b(g, rng, &store);
+    int x = b.input({1, 3, 8, 8}, "x");
+    int h = b.relu(b.conv2d(x, 4, 3, 1, 1, "c"));
+    g.markOutput(h);
+    fuseOperators(g);
+    dce(g);
+    for (const Node &n : g.nodes()) {
+        if (n.op == OpKind::ConvBiasAct)
+            EXPECT_EQ(n.attrs.getInt("act", 0), kActRelu);
+        EXPECT_NE(n.op, OpKind::Relu);
+    }
+}
+
+TEST(Reorder, ProducesValidTopologicalOrder)
+{
+    Graph g;
+    Rng rng(1);
+    ParamStore store;
+    NetBuilder b(g, rng, &store);
+    int x = b.input({4, 8}, "x");
+    int h = b.relu(b.linear(x, 8, "a"));
+    h = b.add(h, b.relu(b.linear(x, 8, "c")));
+    g.markOutput(h);
+    auto order = reorderForMemory(g);
+    ASSERT_EQ(order.size(), static_cast<size_t>(g.numNodes()));
+    std::vector<int> pos(g.numNodes());
+    for (size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = static_cast<int>(i);
+    for (const Node &n : g.nodes()) {
+        for (int in : n.inputs)
+            EXPECT_LT(pos[in], pos[n.id]);
+    }
+}
+
+TEST(Reorder, InPlaceUpdateRunsAfterAllParamReaders)
+{
+    // ApplySgd(w) mutates w; every forward/backward reader of w must
+    // be scheduled first or gradients would be computed against
+    // already-updated weights.
+    Graph g;
+    Rng rng(1);
+    ParamStore store;
+    NetBuilder b(g, rng, &store);
+    int x = b.input({4, 8}, "x");
+    int w = g.findParam("nonexistent"); // silence unused warning
+    (void)w;
+    int h = b.linear(x, 8, "l1");
+    h = b.relu(h);
+    h = b.linear(h, 4, "l2");
+    int y = b.input({4}, "y");
+    int loss = b.crossEntropy(h, y);
+    BackwardResult bwd = buildBackward(g, loss);
+    g.markOutput(loss);
+    Attrs a;
+    a.set("lr", 0.1);
+    int w1 = g.findParam("l1.weight");
+    int apply = g.add(OpKind::ApplySgd, {w1, bwd.paramGrads.at(w1)},
+                      std::move(a));
+    g.markOutput(apply);
+    auto order = reorderForMemory(g);
+    std::vector<int> pos(g.numNodes());
+    for (size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = static_cast<int>(i);
+    auto users = g.consumers();
+    for (int u : users[w1]) {
+        if (u != apply)
+            EXPECT_LT(pos[u], pos[apply]);
+    }
+}
+
+TEST(BackendSwitch, BlockedOnlyForLargeGemms)
+{
+    Graph g;
+    int a = g.input({128, 128}, "a");
+    int b = g.input({128, 128}, "b");
+    int big = g.add(OpKind::MatMul, {a, b});
+    int c = g.input({4, 4}, "c");
+    int d = g.input({4, 4}, "d");
+    int small = g.add(OpKind::MatMul, {c, d});
+    g.markOutput(big);
+    g.markOutput(small);
+    auto variants = switchBackends(g, BackendOptions{});
+    EXPECT_EQ(variants[big], "blocked");
+    EXPECT_EQ(variants[small], "");
+}
+
+TEST(BackendSwitch, WinogradRequiresFrozen3x3Stride1)
+{
+    Graph g;
+    int x = g.input({1, 4, 8, 8}, "x");
+    int w_frozen = g.param({4, 4, 3, 3}, "wf", false);
+    int w_train = g.param({4, 4, 3, 3}, "wt", true);
+    int w_5x5 = g.param({4, 4, 5, 5}, "w5", false);
+    Attrs a1;
+    a1.set("stride", static_cast<int64_t>(1));
+    a1.set("pad", static_cast<int64_t>(1));
+    int c_ok = g.add(OpKind::Conv2d, {x, w_frozen}, a1);
+    int c_train = g.add(OpKind::Conv2d, {x, w_train}, a1);
+    Attrs a2;
+    a2.set("stride", static_cast<int64_t>(1));
+    a2.set("pad", static_cast<int64_t>(2));
+    int c_5x5 = g.add(OpKind::Conv2d, {x, w_5x5}, std::move(a2));
+    Attrs a3;
+    a3.set("stride", static_cast<int64_t>(2));
+    a3.set("pad", static_cast<int64_t>(1));
+    int c_s2 = g.add(OpKind::Conv2d, {x, w_frozen}, std::move(a3));
+    g.markOutput(c_ok);
+    g.markOutput(c_train);
+    g.markOutput(c_5x5);
+    g.markOutput(c_s2);
+    PassStats stats;
+    auto variants = switchBackends(g, BackendOptions{}, &stats);
+    EXPECT_EQ(variants[c_ok], "winograd");
+    EXPECT_EQ(variants[c_train], "");
+    EXPECT_EQ(variants[c_5x5], "");
+    EXPECT_EQ(variants[c_s2], "");
+    EXPECT_EQ(stats.winogradBound, 1);
+}
+
+TEST(LiveSet, TracksThroughChains)
+{
+    Graph g;
+    int x = g.input({4}, "x");
+    int a = g.add(OpKind::Relu, {x});
+    int b = g.add(OpKind::Gelu, {a});
+    int dead = g.add(OpKind::Silu, {x});
+    (void)dead;
+    g.markOutput(b);
+    auto live = liveSet(g);
+    EXPECT_TRUE(live[x]);
+    EXPECT_TRUE(live[a]);
+    EXPECT_TRUE(live[b]);
+    EXPECT_FALSE(live[dead]);
+}
+
+} // namespace
+} // namespace pe

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Property-style tests over randomized graphs: for arbitrary small
+ * MLP/CNN topologies the compile pipeline must (1) produce gradients
+ * matching finite differences, (2) plan non-overlapping memory under
+ * any valid schedule, (3) keep fusion/reordering functional-
+ * preserving, and (4) round-trip through the serializer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "frontend/builder.h"
+#include "ir/serialize.h"
+#include "passes/passes.h"
+#include "testutil.h"
+
+namespace pe {
+namespace {
+
+/** Build a random smooth MLP (tanh/gelu/silu) with random widths. */
+struct RandomNet {
+    Graph g;
+    ParamStore store;
+    test::Feeds feeds;
+    int loss = -1;
+};
+
+RandomNet
+randomMlp(uint64_t seed)
+{
+    RandomNet net;
+    Rng rng(seed);
+    NetBuilder b(net.g, rng, &net.store);
+    int64_t batch = 2 + rng.randint(3);
+    int64_t width = 3 + rng.randint(5);
+    int x = b.input({batch, width}, "x");
+    net.feeds["x"] = Tensor::randn({batch, width}, rng, 0.5f);
+    int h = x;
+    int depth = 1 + static_cast<int>(rng.randint(3));
+    for (int i = 0; i < depth; ++i) {
+        int64_t next = 3 + rng.randint(5);
+        h = b.linear(h, next, "l" + std::to_string(i));
+        switch (rng.randint(3)) {
+          case 0:
+            h = net.g.add(OpKind::Tanh, {h});
+            break;
+          case 1:
+            h = b.gelu(h);
+            break;
+          default:
+            h = b.silu(h);
+            break;
+        }
+        // Occasional residual when widths match.
+        width = next;
+    }
+    Shape hs = net.g.node(h).shape;
+    int t = b.input(hs, "t");
+    net.feeds["t"] = Tensor::randn(hs, rng);
+    net.loss = b.mse(h, t);
+    return net;
+}
+
+class RandomGraphGrad : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomGraphGrad, AutodiffMatchesFiniteDifference)
+{
+    RandomNet net = randomMlp(GetParam());
+    EXPECT_LT(test::gradCheck(net.g, net.loss, net.store, net.feeds),
+              4e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphGrad,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77,
+                                           88));
+
+class RandomGraphPlan : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomGraphPlan, PlannerNeverOverlapsLiveValues)
+{
+    RandomNet net = randomMlp(GetParam());
+    Graph g = net.g;
+    BackwardResult bwd = buildBackward(g, net.loss);
+    g.markOutput(net.loss);
+    for (auto &[p, gid] : bwd.paramGrads)
+        g.markOutput(gid);
+    for (auto order : {naturalOrder(g), reorderForMemory(g)}) {
+        MemoryPlan plan = planMemory(g, order);
+        for (int i = 0; i < g.numNodes(); ++i) {
+            for (int j = i + 1; j < g.numNodes(); ++j) {
+                const ValuePlacement &a = plan.values[i];
+                const ValuePlacement &c = plan.values[j];
+                if (a.storage != Storage::Arena ||
+                    c.storage != Storage::Arena) {
+                    continue;
+                }
+                bool lives = a.defPos <= c.lastUsePos &&
+                             c.defPos <= a.lastUsePos;
+                bool bytes = a.offset < c.offset + c.bytes &&
+                             c.offset < a.offset + a.bytes;
+                if (lives)
+                    ASSERT_FALSE(bytes) << i << " vs " << j;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphPlan,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+class RandomGraphSemantics : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomGraphSemantics, AllOptimizationsPreserveLoss)
+{
+    // Compiling with every optimization on vs all off must produce
+    // identical losses and identical updated weights after a step.
+    uint64_t seed = GetParam();
+    RandomNet a = randomMlp(seed);
+    RandomNet b = randomMlp(seed);
+    CompileOptions on, off;
+    on.optim = off.optim = OptimConfig::sgd(0.05);
+    off.fuse = off.reorder = off.winograd = off.blocked =
+        off.foldConstants = false;
+    auto store_a = std::make_shared<ParamStore>(a.store);
+    auto store_b = std::make_shared<ParamStore>(b.store);
+    auto pa = compileTraining(a.g, a.loss, SparseUpdateScheme::full(),
+                              on, store_a);
+    auto pb = compileTraining(b.g, b.loss, SparseUpdateScheme::full(),
+                              off, store_b);
+    for (int step = 0; step < 3; ++step) {
+        float la = pa.trainStep(a.feeds);
+        float lb = pb.trainStep(b.feeds);
+        ASSERT_NEAR(la, lb, 1e-4f) << "seed " << seed;
+    }
+    for (const auto &[name, t] : store_a->all()) {
+        ASSERT_TRUE(allClose(t, store_b->get(name), 1e-4f, 1e-5f))
+            << name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphSemantics,
+                         ::testing::Values(7, 14, 21, 28));
+
+class RandomGraphSerialize : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomGraphSerialize, RoundTripAndEquivalentExecution)
+{
+    RandomNet net = randomMlp(GetParam());
+    net.g.markOutput(net.loss);
+    Graph loaded = graphFromJson(graphToJson(net.g));
+    Tensor a = test::evalNode(net.g, net.loss, net.store, net.feeds);
+    Tensor b = test::evalNode(loaded, net.loss, net.store, net.feeds);
+    EXPECT_TRUE(allClose(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphSerialize,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(SparseMonotonicity, MoreFrozenBlocksNeverCostMore)
+{
+    // Property: freezing strictly more of the model can only shrink
+    // (or keep) backward size, flops and arena memory.
+    Graph g;
+    Rng rng(9);
+    ParamStore store;
+    NetBuilder b(g, rng, &store);
+    int x = b.input({4, 16}, "x");
+    int h = x;
+    for (int i = 0; i < 6; ++i)
+        h = b.gelu(b.linear(h, 16, "l" + std::to_string(i)));
+    int logits = b.linear(h, 3, "head");
+    int y = b.input({4}, "y");
+    int loss = b.crossEntropy(logits, y);
+    (void)logits;
+
+    CompileOptions opt;
+    double prev_flops = 1e300;
+    int64_t prev_arena = 1LL << 60;
+    int prev_bwd = INT32_MAX;
+    for (int first_trainable = 0; first_trainable <= 6;
+         ++first_trainable) {
+        SparseUpdateScheme s = SparseUpdateScheme::frozen();
+        for (int i = first_trainable; i < 6; ++i) {
+            s.updatePrefix("l" + std::to_string(i) + ".");
+            s.updateBiasPrefix("l" + std::to_string(i) + ".");
+        }
+        s.updatePrefix("head.");
+        s.updateBiasPrefix("head.");
+        CompiledGraph c = compileGraphOnly(g, loss, s, opt);
+        EXPECT_LE(c.report.flopsPerStep, prev_flops);
+        EXPECT_LE(c.report.backwardNodes, prev_bwd);
+        EXPECT_LE(c.report.arenaBytes, prev_arena + 4096)
+            << "arena should shrink (within alignment slack)";
+        prev_flops = c.report.flopsPerStep;
+        prev_bwd = c.report.backwardNodes;
+        prev_arena = c.report.arenaBytes;
+    }
+}
+
+} // namespace
+} // namespace pe

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared helpers for the test suite: graph evaluation and numerical
+ * gradient checking against the compile-time autodiff.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "autodiff/autodiff.h"
+#include "core/tensor.h"
+#include "ir/graph.h"
+#include "passes/passes.h"
+#include "runtime/executor.h"
+
+namespace pe::test {
+
+using Feeds = std::unordered_map<std::string, Tensor>;
+
+/** Run a graph once and fetch one value. */
+inline Tensor
+evalNode(const Graph &g, int node_id, ParamStore &store,
+         const Feeds &feeds)
+{
+    Graph copy = g;
+    copy.markOutput(node_id);
+    Executor ex(copy, naturalOrder(copy), store);
+    for (const auto &[name, t] : feeds)
+        ex.bindInput(name, t);
+    ex.run();
+    return ex.fetch(node_id);
+}
+
+/**
+ * Check d(loss)/d(param) for every trainable param of @p g against
+ * central finite differences. Returns the max relative error seen.
+ *
+ * The analytic gradients come through the full compile pipeline
+ * (autodiff + simplify + DCE), so this exercises the passes too.
+ */
+inline float
+gradCheck(Graph g, int loss_id, ParamStore &store, const Feeds &feeds,
+          float fd_eps = 1e-2f)
+{
+    BackwardResult bwd = buildBackward(g, loss_id);
+    g.outputs().clear();
+    g.markOutput(loss_id);
+    for (auto &[pid, gid] : bwd.paramGrads)
+        g.markOutput(gid);
+    simplify(g);
+
+    // Map param names to grad nodes, resolving Identity chains left
+    // behind by simplify() (the original id may have been bypassed
+    // and its buffer recycled).
+    std::vector<std::pair<std::string, int>> grads;
+    for (auto &[pid, gid] : bwd.paramGrads) {
+        int resolved = gid;
+        while (g.node(resolved).op == OpKind::Identity)
+            resolved = g.node(resolved).inputs[0];
+        grads.emplace_back(g.node(pid).name, resolved);
+    }
+
+    Executor ex(g, naturalOrder(g), store);
+    for (const auto &[name, t] : feeds)
+        ex.bindInput(name, t);
+    ex.run();
+
+    // Snapshot all analytic gradients before any perturbation run
+    // overwrites the arena.
+    std::unordered_map<std::string, Tensor> analytic_grads;
+    for (auto &[pname, gid] : grads)
+        analytic_grads[pname] = ex.fetch(gid);
+
+    float max_rel = 0.0f;
+    for (auto &[pname, gid] : grads) {
+        const Tensor &analytic = analytic_grads[pname];
+        Tensor &p = store.get(pname);
+        for (int64_t i = 0; i < p.size(); ++i) {
+            float saved = p[i];
+            p[i] = saved + fd_eps;
+            ex.run();
+            float up = ex.fetch(loss_id)[0];
+            p[i] = saved - fd_eps;
+            ex.run();
+            float down = ex.fetch(loss_id)[0];
+            p[i] = saved;
+            float numeric = (up - down) / (2 * fd_eps);
+            float denom = std::max({std::fabs(numeric),
+                                    std::fabs(analytic[i]), 1e-2f});
+            max_rel = std::max(max_rel,
+                               std::fabs(numeric - analytic[i]) / denom);
+        }
+    }
+    ex.run(); // restore any cached state
+    return max_rel;
+}
+
+} // namespace pe::test
