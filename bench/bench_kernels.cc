@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/tensor.h"
+#include "hw/threadpool.h"
 #include "ir/graph.h"
 #include "kernels/kernel.h"
 
@@ -98,6 +99,58 @@ BM_MatMul(benchmark::State &state, const std::string &variant)
     state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 
+/**
+ * Thread-scaling GEMM: shard the blocked kernel over output rows via
+ * the pool, exactly as the partitioned executor does. Reports
+ * GFLOP/s; compare thread counts for the parallel-runtime speedup.
+ */
+void
+BM_MatMulThreads(benchmark::State &state)
+{
+    int64_t n = state.range(0);
+    int threads = static_cast<int>(state.range(1));
+    Rng rng(1);
+    Graph g;
+    int a = g.input({n, n}, "a");
+    int b = g.input({n, n}, "b");
+    int node = g.add(OpKind::MatMul, {a, b});
+    Tensor ta = Tensor::randn({n, n}, rng);
+    Tensor tb = Tensor::randn({n, n}, rng);
+    Tensor out({n, n});
+    KernelCtx ctx;
+    ctx.node = &g.node(node);
+    ctx.in = {ta.data(), tb.data()};
+    ctx.inShapes = {&g.node(a).shape, &g.node(b).shape};
+    ctx.out = out.data();
+    ctx.outShape = &g.node(node).shape;
+    KernelInfo info = lookupKernelInfo(OpKind::MatMul, "blocked");
+    ThreadPool *pool = HostDevice::instance().pool(threads);
+    // Split by the REQUESTED thread count, not the pool's size — the
+    // process-wide pool only grows, so a larger one may already exist.
+    std::vector<int64_t> bounds =
+        splitRange(info.part.extent(ctx), info.part.minGrain, threads);
+    int shards = static_cast<int>(bounds.size()) - 1;
+    for (auto _ : state) {
+        if (pool && shards > 1) {
+            pool->dispatch(shards, [&](int i) {
+                KernelCtx shard = ctx;
+                shard.begin = bounds[i];
+                shard.end = bounds[i + 1];
+                info.fn(shard);
+            });
+        } else {
+            info.fn(ctx);
+        }
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 2e-9 *
+            static_cast<double>(n) * static_cast<double>(n) *
+            static_cast<double>(n),
+        benchmark::Counter::kIsRate);
+}
+
 void
 BM_ConvVariant(benchmark::State &state, const std::string &variant)
 {
@@ -160,6 +213,11 @@ BENCHMARK_CAPTURE(BM_MatMul, naive, std::string(""))
 BENCHMARK_CAPTURE(BM_MatMul, blocked, std::string("blocked"))
     ->Arg(64)
     ->Arg(128);
+BENCHMARK(BM_MatMulThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->UseRealTime();
 BENCHMARK_CAPTURE(BM_ConvVariant, direct, std::string(""))
     ->Arg(16)
     ->Arg(32);

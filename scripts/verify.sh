@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, run the test suite, and smoke-run
+# the kernel bench's thread-scaling case (matmul GFLOP/s at 1/2/4
+# threads). Mirrors ROADMAP.md's verify command.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [ -x build/bench_kernels ]; then
+    ./build/bench_kernels --benchmark_filter=BM_MatMulThreads \
+        --benchmark_min_time=0.2
+fi

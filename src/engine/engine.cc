@@ -73,6 +73,47 @@ InferenceProgram::run(
     return outs;
 }
 
+std::vector<std::vector<Tensor>>
+InferenceProgram::runBatch(
+    const std::vector<std::unordered_map<std::string, Tensor>> &feeds)
+{
+    std::vector<std::vector<Tensor>> results;
+    results.reserve(feeds.size());
+    // Resolve feed names to input node ids once, from the first item
+    // (every item must feed the same inputs — they are one batch).
+    std::vector<std::pair<std::string, int>> slots;
+    if (!feeds.empty()) {
+        for (const auto &[name, t] : feeds.front()) {
+            int id = executor_->inputId(name);
+            if (id < 0)
+                throw std::runtime_error("runBatch: no input named " +
+                                         name);
+            slots.emplace_back(name, id);
+        }
+    }
+    for (const auto &feed : feeds) {
+        if (feed.size() != slots.size())
+            throw std::runtime_error(
+                "runBatch: feed sets must bind the same inputs");
+        for (const auto &[name, id] : slots) {
+            auto it = feed.find(name);
+            if (it == feed.end())
+                throw std::runtime_error(
+                    "runBatch: feed sets must bind the same inputs "
+                    "(missing " +
+                    name + ")");
+            executor_->bindInputById(id, it->second);
+        }
+        executor_->run();
+        std::vector<Tensor> outs;
+        outs.reserve(graph_.outputs().size());
+        for (int id : graph_.outputs())
+            outs.push_back(executor_->fetch(id));
+        results.push_back(std::move(outs));
+    }
+    return results;
+}
+
 CompiledGraph
 compileGraphOnly(const Graph &forward, int loss_id,
                  const SparseUpdateScheme &scheme,
@@ -158,6 +199,22 @@ compileGraphOnly(const Graph &forward, int loss_id,
     bopt.enableBlocked = options.blocked;
     out.variants = switchBackends(g, bopt, &report.backend);
 
+    // Surface kernel-library gaps: a selected variant that is not
+    // registered will silently run the default at bind time. This is
+    // the single source of the report's fallback fields (analysis-only
+    // compiles see them too); counting only where a default exists
+    // mirrors bind behavior — a missing default throws there instead.
+    for (int id = 0; id < g.numNodes(); ++id) {
+        const std::string &v = out.variants[id];
+        if (!isSourceOp(g.node(id).op) && !v.empty() &&
+            !hasKernelVariant(g.node(id).op, v) &&
+            hasKernelVariant(g.node(id).op, "")) {
+            ++report.kernelFallbacks;
+            report.fallbackKernels.push_back(
+                std::string(opName(g.node(id).op)) + "/" + v);
+        }
+    }
+
     report.flopsPerStep = g.totalFlops();
     MemoryPlan plan = planMemory(g, order);
     report.arenaBytes = plan.arenaBytes;
@@ -187,6 +244,7 @@ compileTraining(const Graph &forward, int loss_id,
     CompiledGraph c = compileGraphOnly(forward, loss_id, scheme, options);
     ExecOptions eopt;
     eopt.variants = std::move(c.variants);
+    eopt.numThreads = options.numThreads;
 
     // Under gradient accumulation, build the small apply program that
     // consumes the ".gacc" buffers every N-th step.
@@ -246,6 +304,7 @@ compileInference(const Graph &forward,
     bopt.enableBlocked = options.blocked;
     ExecOptions eopt;
     eopt.variants = switchBackends(g, bopt);
+    eopt.numThreads = options.numThreads;
 
     return InferenceProgram(std::move(g), std::move(store),
                             std::move(eopt));

@@ -39,6 +39,14 @@ struct CompileOptions {
      * compiled program applies the optimizer every N-th trainStep().
      */
     int gradAccumSteps = 1;
+    /**
+     * Threads the bound executor may split partitionable kernels
+     * across (1 = serial and bit-identical to the single-threaded
+     * runtime; <= 0 = all hardware threads). The per-node launch plan
+     * is fixed at bind time, so this is a compile-time choice like
+     * everything else.
+     */
+    int numThreads = 1;
 };
 
 /** What the compiler did — consumed by benches and EXPERIMENTS.md. */
@@ -56,6 +64,15 @@ struct CompileReport {
     int64_t arenaBytesNoReorder = 0; ///< ablation: natural order
     int64_t paramBytes = 0;
     int64_t totalBytes = 0;          ///< Table 4 metric
+    /**
+     * Kernel lookups that silently degraded to the default variant
+     * because the requested one is not registered — nonzero means the
+     * backend-switching pass selected something the kernel library
+     * cannot honor (a real bug on a real backend, and previously
+     * invisible).
+     */
+    int kernelFallbacks = 0;
+    std::vector<std::string> fallbackKernels; ///< "op/variant" labels
 };
 
 /** A compiled training step. */
@@ -104,6 +121,17 @@ class InferenceProgram
     /** Bind inputs, run, return the graph outputs in order. */
     std::vector<Tensor> run(
         const std::unordered_map<std::string, Tensor> &feeds);
+
+    /**
+     * Run a batch of independent feed sets through the program,
+     * returning one output vector per feed set. Input names are
+     * resolved to node ids once for the whole batch, so the per-item
+     * cost is a memcpy plus the compiled step — the serving-style
+     * fast path (run() re-resolves names on every call).
+     */
+    std::vector<std::vector<Tensor>> runBatch(
+        const std::vector<std::unordered_map<std::string, Tensor>>
+            &feeds);
 
     const Graph &graph() const { return graph_; }
     Executor &executor() { return *executor_; }

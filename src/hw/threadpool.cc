@@ -1,0 +1,142 @@
+#include "hw/threadpool.h"
+
+#include <algorithm>
+
+namespace pe {
+
+std::vector<int64_t>
+splitRange(int64_t n, int64_t grain, int max_shards)
+{
+    grain = std::max<int64_t>(1, grain);
+    int64_t shards = std::min<int64_t>(std::max(1, max_shards),
+                                       std::max<int64_t>(1, n / grain));
+    std::vector<int64_t> bounds;
+    bounds.reserve(shards + 1);
+    // The first (n % shards) shards get one extra element.
+    int64_t base = n / shards, rem = n % shards, at = 0;
+    bounds.push_back(0);
+    for (int64_t i = 0; i < shards; ++i) {
+        at += base + (i < rem ? 1 : 0);
+        bounds.push_back(at);
+    }
+    return bounds;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    int workers = std::max(1, num_threads) - 1;
+    workers_.reserve(workers);
+    for (int i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::drain()
+{
+    // mu_ held on entry and exit; dropped around each task.
+    while (next_ < tasks_) {
+        int i = next_++;
+        ++inFlight_;
+        const std::function<void(int)> *fn = fn_;
+        mu_.unlock();
+        (*fn)(i);
+        mu_.lock();
+        --inFlight_;
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t seen = 0;
+    for (;;) {
+        wake_.wait(lock, [&] {
+            return stop_ || (epoch_ != seen && next_ < tasks_);
+        });
+        if (stop_)
+            return;
+        seen = epoch_;
+        drain();
+        if (inFlight_ == 0 && next_ >= tasks_)
+            done_.notify_one();
+    }
+}
+
+void
+ThreadPool::dispatch(int tasks, const std::function<void(int)> &fn)
+{
+    if (tasks <= 0)
+        return;
+    if (tasks == 1 || workers_.empty()) {
+        for (int i = 0; i < tasks; ++i)
+            fn(i);
+        return;
+    }
+    // One dispatch at a time: a second caller would otherwise clobber
+    // fn_/tasks_ while the first is still waiting on its barrier.
+    std::lock_guard<std::mutex> serial(dispatchMu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    fn_ = &fn;
+    tasks_ = tasks;
+    next_ = 0;
+    ++epoch_;
+    wake_.notify_all();
+    drain(); // the calling thread participates
+    done_.wait(lock, [&] { return inFlight_ == 0 && next_ >= tasks_; });
+    fn_ = nullptr;
+    tasks_ = 0;
+}
+
+void
+ThreadPool::parallelFor(int64_t n, int64_t grain,
+                        const std::function<void(int64_t, int64_t)> &fn)
+{
+    if (n <= 0)
+        return;
+    std::vector<int64_t> bounds = splitRange(n, grain, numThreads());
+    if (bounds.size() <= 2) {
+        fn(0, n);
+        return;
+    }
+    dispatch(static_cast<int>(bounds.size()) - 1,
+             [&](int i) { fn(bounds[i], bounds[i + 1]); });
+}
+
+HostDevice &
+HostDevice::instance()
+{
+    static HostDevice dev;
+    return dev;
+}
+
+ThreadPool *
+HostDevice::pool(int num_threads)
+{
+    if (num_threads <= 1)
+        return nullptr;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pools_.empty() || pools_.back()->numThreads() < num_threads)
+        pools_.push_back(std::make_unique<ThreadPool>(num_threads));
+    return pools_.back().get();
+}
+
+int
+HostDevice::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+} // namespace pe

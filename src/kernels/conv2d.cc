@@ -5,6 +5,13 @@
  * variants. Conv2dBwdWeight honors the "limitCo" attribute so
  * sub-layer (channel-sparse) backpropagation computes gradients for
  * only the first k output channels (paper Section 2.6).
+ *
+ * Partitioning: forward kernels split over the flattened (image,
+ * output-channel) pairs; the input backward over images (each image's
+ * dx is scattered to independently); the weight backward over output
+ * channels (each channel's dw rows accumulate over images
+ * independently). "im2col" shares one column buffer across the whole
+ * invocation and stays unsplittable.
  */
 
 #include <cstring>
@@ -38,29 +45,29 @@ conv2dNaive(const KernelCtx &c)
                         c.node->attrs.getInt("stride", 1),
                         c.node->attrs.getInt("pad", 0));
     const float *x = c.in[0], *w = c.in[1];
-    for (int64_t n = 0; n < d.n; ++n) {
-        for (int64_t co = 0; co < d.co; ++co) {
-            for (int64_t ho = 0; ho < d.ho; ++ho) {
-                for (int64_t wo = 0; wo < d.wo; ++wo) {
-                    float acc = 0;
-                    for (int64_t ci = 0; ci < d.ci; ++ci) {
-                        for (int64_t kh = 0; kh < d.kh; ++kh) {
-                            int64_t ih = ho * d.stride - d.pad + kh;
-                            if (ih < 0 || ih >= d.h)
+    int64_t hi = partitionEnd(c, d.n * d.co);
+    for (int64_t idx = c.begin; idx < hi; ++idx) {
+        int64_t n = idx / d.co, co = idx % d.co;
+        for (int64_t ho = 0; ho < d.ho; ++ho) {
+            for (int64_t wo = 0; wo < d.wo; ++wo) {
+                float acc = 0;
+                for (int64_t ci = 0; ci < d.ci; ++ci) {
+                    for (int64_t kh = 0; kh < d.kh; ++kh) {
+                        int64_t ih = ho * d.stride - d.pad + kh;
+                        if (ih < 0 || ih >= d.h)
+                            continue;
+                        for (int64_t kw = 0; kw < d.kw; ++kw) {
+                            int64_t iw = wo * d.stride - d.pad + kw;
+                            if (iw < 0 || iw >= d.w)
                                 continue;
-                            for (int64_t kw = 0; kw < d.kw; ++kw) {
-                                int64_t iw = wo * d.stride - d.pad + kw;
-                                if (iw < 0 || iw >= d.w)
-                                    continue;
-                                acc += x[((n * d.ci + ci) * d.h + ih) *
-                                             d.w + iw] *
-                                       w[((co * d.ci + ci) * d.kh + kh) *
-                                             d.kw + kw];
-                            }
+                            acc += x[((n * d.ci + ci) * d.h + ih) *
+                                         d.w + iw] *
+                                   w[((co * d.ci + ci) * d.kh + kh) *
+                                         d.kw + kw];
                         }
                     }
-                    c.out[((n * d.co + co) * d.ho + ho) * d.wo + wo] = acc;
                 }
+                c.out[((n * d.co + co) * d.ho + ho) * d.wo + wo] = acc;
             }
         }
     }
@@ -125,8 +132,10 @@ conv2dBwdInput(const KernelCtx &c)
     ConvDims d = dimsOf(xs, ws, dys, c.node->attrs.getInt("stride", 1),
                         c.node->attrs.getInt("pad", 0));
     const float *w = c.in[0], *dy = c.in[1];
-    std::memset(c.out, 0, sizeof(float) * numel(xs));
-    for (int64_t n = 0; n < d.n; ++n) {
+    int64_t lo = c.begin, hi = partitionEnd(c, d.n);
+    int64_t image = d.ci * d.h * d.w;
+    std::memset(c.out + lo * image, 0, sizeof(float) * (hi - lo) * image);
+    for (int64_t n = lo; n < hi; ++n) {
         for (int64_t co = 0; co < d.co; ++co) {
             for (int64_t ho = 0; ho < d.ho; ++ho) {
                 for (int64_t wo = 0; wo < d.wo; ++wo) {
@@ -165,10 +174,14 @@ conv2dBwdWeight(const KernelCtx &c)
                         c.node->attrs.getInt("pad", 0));
     int64_t limit = (*c.outShape)[0]; // <= Co under "limitCo"
     const float *x = c.in[0], *dy = c.in[1];
-    std::memset(c.out, 0,
-                sizeof(float) * limit * d.ci * d.kh * d.kw);
-    for (int64_t n = 0; n < d.n; ++n) {
-        for (int64_t co = 0; co < limit; ++co) {
+    int64_t lo = c.begin, hi = partitionEnd(c, limit);
+    int64_t wrow = d.ci * d.kh * d.kw;
+    std::memset(c.out + lo * wrow, 0, sizeof(float) * (hi - lo) * wrow);
+    // co outermost so shards own disjoint dw rows; per (co, ci, kh,
+    // kw) entry the accumulation still runs in ascending-n order, so
+    // results match the unpartitioned nest bit for bit.
+    for (int64_t co = lo; co < hi; ++co) {
+        for (int64_t n = 0; n < d.n; ++n) {
             for (int64_t ho = 0; ho < d.ho; ++ho) {
                 for (int64_t wo = 0; wo < d.wo; ++wo) {
                     float g = dy[((n * d.co + co) * d.ho + ho) * d.wo + wo];
@@ -203,30 +216,30 @@ dwConv2d(const KernelCtx &c)
     const Shape &ws = *c.inShapes[1];
     int64_t stride = c.node->attrs.getInt("stride", 1);
     int64_t pad = c.node->attrs.getInt("pad", 0);
-    int64_t n = xs[0], ch = xs[1], h = xs[2], w = xs[3];
+    int64_t ch = xs[1], h = xs[2], w = xs[3];
     int64_t kh = ws[2], kw = ws[3];
     int64_t ho = (*c.outShape)[2], wo = (*c.outShape)[3];
-    for (int64_t ni = 0; ni < n; ++ni) {
-        for (int64_t ci = 0; ci < ch; ++ci) {
-            const float *xp = c.in[0] + (ni * ch + ci) * h * w;
-            const float *wp = c.in[1] + ci * kh * kw;
-            float *op = c.out + (ni * ch + ci) * ho * wo;
-            for (int64_t i = 0; i < ho; ++i) {
-                for (int64_t j = 0; j < wo; ++j) {
-                    float acc = 0;
-                    for (int64_t a = 0; a < kh; ++a) {
-                        int64_t ih = i * stride - pad + a;
-                        if (ih < 0 || ih >= h)
+    int64_t hi = partitionEnd(c, xs[0] * ch);
+    for (int64_t idx = c.begin; idx < hi; ++idx) {
+        int64_t ni = idx / ch, ci = idx % ch;
+        const float *xp = c.in[0] + (ni * ch + ci) * h * w;
+        const float *wp = c.in[1] + ci * kh * kw;
+        float *op = c.out + (ni * ch + ci) * ho * wo;
+        for (int64_t i = 0; i < ho; ++i) {
+            for (int64_t j = 0; j < wo; ++j) {
+                float acc = 0;
+                for (int64_t a = 0; a < kh; ++a) {
+                    int64_t ih = i * stride - pad + a;
+                    if (ih < 0 || ih >= h)
+                        continue;
+                    for (int64_t b = 0; b < kw; ++b) {
+                        int64_t iw = j * stride - pad + b;
+                        if (iw < 0 || iw >= w)
                             continue;
-                        for (int64_t b = 0; b < kw; ++b) {
-                            int64_t iw = j * stride - pad + b;
-                            if (iw < 0 || iw >= w)
-                                continue;
-                            acc += xp[ih * w + iw] * wp[a * kw + b];
-                        }
+                        acc += xp[ih * w + iw] * wp[a * kw + b];
                     }
-                    op[i * wo + j] = acc;
                 }
+                op[i * wo + j] = acc;
             }
         }
     }
@@ -240,30 +253,30 @@ dwConv2dBwdInput(const KernelCtx &c)
     const Shape &xs = *c.outShape;
     int64_t stride = c.node->attrs.getInt("stride", 1);
     int64_t pad = c.node->attrs.getInt("pad", 0);
-    int64_t n = xs[0], ch = xs[1], h = xs[2], w = xs[3];
+    int64_t ch = xs[1], h = xs[2], w = xs[3];
     int64_t kh = ws[2], kw = ws[3];
     int64_t ho = dys[2], wo = dys[3];
-    std::memset(c.out, 0, sizeof(float) * numel(xs));
-    for (int64_t ni = 0; ni < n; ++ni) {
-        for (int64_t ci = 0; ci < ch; ++ci) {
-            const float *wp = c.in[0] + ci * kh * kw;
-            const float *gp = c.in[1] + (ni * ch + ci) * ho * wo;
-            float *dp = c.out + (ni * ch + ci) * h * w;
-            for (int64_t i = 0; i < ho; ++i) {
-                for (int64_t j = 0; j < wo; ++j) {
-                    float g = gp[i * wo + j];
-                    if (g == 0.0f)
+    int64_t lo = c.begin, hi = partitionEnd(c, xs[0] * ch);
+    std::memset(c.out + lo * h * w, 0, sizeof(float) * (hi - lo) * h * w);
+    for (int64_t idx = lo; idx < hi; ++idx) {
+        int64_t ni = idx / ch, ci = idx % ch;
+        const float *wp = c.in[0] + ci * kh * kw;
+        const float *gp = c.in[1] + (ni * ch + ci) * ho * wo;
+        float *dp = c.out + (ni * ch + ci) * h * w;
+        for (int64_t i = 0; i < ho; ++i) {
+            for (int64_t j = 0; j < wo; ++j) {
+                float g = gp[i * wo + j];
+                if (g == 0.0f)
+                    continue;
+                for (int64_t a = 0; a < kh; ++a) {
+                    int64_t ih = i * stride - pad + a;
+                    if (ih < 0 || ih >= h)
                         continue;
-                    for (int64_t a = 0; a < kh; ++a) {
-                        int64_t ih = i * stride - pad + a;
-                        if (ih < 0 || ih >= h)
+                    for (int64_t b = 0; b < kw; ++b) {
+                        int64_t iw = j * stride - pad + b;
+                        if (iw < 0 || iw >= w)
                             continue;
-                        for (int64_t b = 0; b < kw; ++b) {
-                            int64_t iw = j * stride - pad + b;
-                            if (iw < 0 || iw >= w)
-                                continue;
-                            dp[ih * w + iw] += g * wp[a * kw + b];
-                        }
+                        dp[ih * w + iw] += g * wp[a * kw + b];
                     }
                 }
             }
@@ -276,19 +289,23 @@ dwConv2dBwdWeight(const KernelCtx &c)
 {
     const Shape &xs = *c.inShapes[0];
     const Shape &dys = *c.inShapes[1];
-    Shape ws = c.node->attrs.getInts("wshape");
     int64_t stride = c.node->attrs.getInt("stride", 1);
     int64_t pad = c.node->attrs.getInt("pad", 0);
     int64_t n = xs[0], ch = xs[1], h = xs[2], w = xs[3];
-    int64_t kh = ws[2], kw = ws[3];
+    const Shape &os = *c.outShape;
+    int64_t kh = os[2], kw = os[3];
     int64_t ho = dys[2], wo = dys[3];
-    int64_t limit = (*c.outShape)[0];
-    std::memset(c.out, 0, sizeof(float) * limit * kh * kw);
-    for (int64_t ni = 0; ni < n; ++ni) {
-        for (int64_t ci = 0; ci < limit; ++ci) {
+    int64_t limit = os[0];
+    int64_t lo = c.begin, hi = partitionEnd(c, limit);
+    std::memset(c.out + lo * kh * kw, 0,
+                sizeof(float) * (hi - lo) * kh * kw);
+    // ci outermost so shards own disjoint dw slices; ascending-ni
+    // accumulation per element is preserved.
+    for (int64_t ci = lo; ci < hi; ++ci) {
+        float *dw = c.out + ci * kh * kw;
+        for (int64_t ni = 0; ni < n; ++ni) {
             const float *xp = c.in[0] + (ni * ch + ci) * h * w;
             const float *gp = c.in[1] + (ni * ch + ci) * ho * wo;
-            float *dw = c.out + ci * kh * kw;
             for (int64_t i = 0; i < ho; ++i) {
                 for (int64_t j = 0; j < wo; ++j) {
                     float g = gp[i * wo + j];
@@ -318,13 +335,19 @@ namespace detail {
 void
 registerConvKernels()
 {
-    registerKernel(OpKind::Conv2d, "", conv2dNaive);
+    PartitionSpec images{part::outDim01, 1};
+    PartitionSpec dxImages{part::outDim0, 1};
+    PartitionSpec dwChannels{part::outDim0, 1};
+    registerKernel(OpKind::Conv2d, "", conv2dNaive, images);
     registerKernel(OpKind::Conv2d, "im2col", conv2dIm2col);
-    registerKernel(OpKind::Conv2dBwdInput, "", conv2dBwdInput);
-    registerKernel(OpKind::Conv2dBwdWeight, "", conv2dBwdWeight);
-    registerKernel(OpKind::DwConv2d, "", dwConv2d);
-    registerKernel(OpKind::DwConv2dBwdInput, "", dwConv2dBwdInput);
-    registerKernel(OpKind::DwConv2dBwdWeight, "", dwConv2dBwdWeight);
+    registerKernel(OpKind::Conv2dBwdInput, "", conv2dBwdInput, dxImages);
+    registerKernel(OpKind::Conv2dBwdWeight, "", conv2dBwdWeight,
+                   dwChannels);
+    registerKernel(OpKind::DwConv2d, "", dwConv2d, images);
+    registerKernel(OpKind::DwConv2dBwdInput, "", dwConv2dBwdInput,
+                   images);
+    registerKernel(OpKind::DwConv2dBwdWeight, "", dwConv2dBwdWeight,
+                   dwChannels);
 }
 
 } // namespace detail

@@ -1,6 +1,8 @@
 /**
  * @file
  * Elementwise unary/binary kernels with numpy-style broadcasting.
+ * Every kernel here is a pure function of the output index, so all
+ * partition over the flattened output range [begin, end).
  */
 
 #include <cmath>
@@ -28,16 +30,17 @@ broadcastBinary(const KernelCtx &ctx, F f)
     const float *a = ctx.in[0];
     const float *b = ctx.in[1];
     int64_t n = numel(os);
+    int64_t lo = ctx.begin, hi = partitionEnd(ctx, n);
 
     if (as == os && bs == os) {
-        for (int64_t i = 0; i < n; ++i)
+        for (int64_t i = lo; i < hi; ++i)
             ctx.out[i] = f(a[i], b[i]);
         return;
     }
     // Trailing-vector broadcast: [..., C] op [C].
     if (as == os && bs.size() == 1 && bs[0] == os.back()) {
         int64_t c = bs[0];
-        for (int64_t i = 0; i < n; ++i)
+        for (int64_t i = lo; i < hi; ++i)
             ctx.out[i] = f(a[i], b[i % c]);
         return;
     }
@@ -53,7 +56,7 @@ broadcastBinary(const KernelCtx &ctx, F f)
     strides_of(as, sa);
     strides_of(bs, sb);
     auto so = rowMajorStrides(os);
-    for (int64_t i = 0; i < n; ++i) {
+    for (int64_t i = lo; i < hi; ++i) {
         int64_t ai = 0, bi = 0, rem = i;
         for (size_t d = 0; d < rank; ++d) {
             int64_t c = rem / so[d];
@@ -69,8 +72,8 @@ template <typename F>
 void
 unary(const KernelCtx &ctx, F f)
 {
-    int64_t n = numel(*ctx.outShape);
-    for (int64_t i = 0; i < n; ++i)
+    int64_t hi = partitionEnd(ctx, numel(*ctx.outShape));
+    for (int64_t i = ctx.begin; i < hi; ++i)
         ctx.out[i] = f(ctx.in[0][i]);
 }
 
@@ -180,24 +183,24 @@ addScalarK(const KernelCtx &c)
 void
 reluGradK(const KernelCtx &c)
 {
-    int64_t n = numel(*c.outShape);
-    for (int64_t i = 0; i < n; ++i)
+    int64_t hi = partitionEnd(c, numel(*c.outShape));
+    for (int64_t i = c.begin; i < hi; ++i)
         c.out[i] = c.in[0][i] > 0 ? c.in[1][i] : 0.0f;
 }
 
 void
 geluGradK(const KernelCtx &c)
 {
-    int64_t n = numel(*c.outShape);
-    for (int64_t i = 0; i < n; ++i)
+    int64_t hi = partitionEnd(c, numel(*c.outShape));
+    for (int64_t i = c.begin; i < hi; ++i)
         c.out[i] = c.in[1][i] * geluGradOf(c.in[0][i]);
 }
 
 void
 siluGradK(const KernelCtx &c)
 {
-    int64_t n = numel(*c.outShape);
-    for (int64_t i = 0; i < n; ++i) {
+    int64_t hi = partitionEnd(c, numel(*c.outShape));
+    for (int64_t i = c.begin; i < hi; ++i) {
         float s = sigmoidOf(c.in[0][i]);
         c.out[i] = c.in[1][i] * (s + c.in[0][i] * s * (1.0f - s));
     }
@@ -206,8 +209,8 @@ siluGradK(const KernelCtx &c)
 void
 sigmoidGradK(const KernelCtx &c)
 {
-    int64_t n = numel(*c.outShape);
-    for (int64_t i = 0; i < n; ++i) {
+    int64_t hi = partitionEnd(c, numel(*c.outShape));
+    for (int64_t i = c.begin; i < hi; ++i) {
         float s = sigmoidOf(c.in[0][i]);
         c.out[i] = c.in[1][i] * s * (1.0f - s);
     }
@@ -216,8 +219,8 @@ sigmoidGradK(const KernelCtx &c)
 void
 tanhGradK(const KernelCtx &c)
 {
-    int64_t n = numel(*c.outShape);
-    for (int64_t i = 0; i < n; ++i) {
+    int64_t hi = partitionEnd(c, numel(*c.outShape));
+    for (int64_t i = c.begin; i < hi; ++i) {
         float t = std::tanh(c.in[0][i]);
         c.out[i] = c.in[1][i] * (1.0f - t * t);
     }
@@ -226,7 +229,9 @@ tanhGradK(const KernelCtx &c)
 void
 identityK(const KernelCtx &c)
 {
-    std::memcpy(c.out, c.in[0], sizeof(float) * numel(*c.outShape));
+    int64_t hi = partitionEnd(c, numel(*c.outShape));
+    std::memcpy(c.out + c.begin, c.in[0] + c.begin,
+                sizeof(float) * (hi - c.begin));
 }
 
 } // namespace
@@ -236,27 +241,28 @@ namespace detail {
 void
 registerElementwiseKernels()
 {
-    registerKernel(OpKind::Add, "", addK);
-    registerKernel(OpKind::Sub, "", subK);
-    registerKernel(OpKind::Mul, "", mulK);
-    registerKernel(OpKind::Div, "", divK);
-    registerKernel(OpKind::Neg, "", negK);
-    registerKernel(OpKind::Relu, "", reluK);
-    registerKernel(OpKind::Gelu, "", geluK);
-    registerKernel(OpKind::Silu, "", siluK);
-    registerKernel(OpKind::Sigmoid, "", sigmoidK);
-    registerKernel(OpKind::Tanh, "", tanhK);
-    registerKernel(OpKind::Exp, "", expK);
-    registerKernel(OpKind::Log, "", logK);
-    registerKernel(OpKind::Sqrt, "", sqrtK);
-    registerKernel(OpKind::Scale, "", scaleK);
-    registerKernel(OpKind::AddScalar, "", addScalarK);
-    registerKernel(OpKind::ReluGrad, "", reluGradK);
-    registerKernel(OpKind::GeluGrad, "", geluGradK);
-    registerKernel(OpKind::SiluGrad, "", siluGradK);
-    registerKernel(OpKind::SigmoidGrad, "", sigmoidGradK);
-    registerKernel(OpKind::TanhGrad, "", tanhGradK);
-    registerKernel(OpKind::Identity, "", identityK);
+    PartitionSpec elems{part::outElems, 1024};
+    registerKernel(OpKind::Add, "", addK, elems);
+    registerKernel(OpKind::Sub, "", subK, elems);
+    registerKernel(OpKind::Mul, "", mulK, elems);
+    registerKernel(OpKind::Div, "", divK, elems);
+    registerKernel(OpKind::Neg, "", negK, elems);
+    registerKernel(OpKind::Relu, "", reluK, elems);
+    registerKernel(OpKind::Gelu, "", geluK, elems);
+    registerKernel(OpKind::Silu, "", siluK, elems);
+    registerKernel(OpKind::Sigmoid, "", sigmoidK, elems);
+    registerKernel(OpKind::Tanh, "", tanhK, elems);
+    registerKernel(OpKind::Exp, "", expK, elems);
+    registerKernel(OpKind::Log, "", logK, elems);
+    registerKernel(OpKind::Sqrt, "", sqrtK, elems);
+    registerKernel(OpKind::Scale, "", scaleK, elems);
+    registerKernel(OpKind::AddScalar, "", addScalarK, elems);
+    registerKernel(OpKind::ReluGrad, "", reluGradK, elems);
+    registerKernel(OpKind::GeluGrad, "", geluGradK, elems);
+    registerKernel(OpKind::SiluGrad, "", siluGradK, elems);
+    registerKernel(OpKind::SigmoidGrad, "", sigmoidGradK, elems);
+    registerKernel(OpKind::TanhGrad, "", tanhGradK, elems);
+    registerKernel(OpKind::Identity, "", identityK, elems);
 }
 
 } // namespace detail

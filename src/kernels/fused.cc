@@ -3,7 +3,10 @@
  * Fused kernels created by the operator-fusion pass: Conv+Bias+Act,
  * DwConv+Bias+Act and MatMul+Bias+Act. Fusion removes the
  * intermediate activation buffers and two kernel launches per linear
- * layer (paper Section 3.2, "Operator Fusion").
+ * layer (paper Section 3.2, "Operator Fusion"). All three partition
+ * the same way as their unfused counterparts: conv forms over the
+ * flattened (image, output-channel) pairs, the GEMM form over output
+ * rows.
  *
  * Also defines kernelScratchSize(), the planner's query for per-node
  * scratch (im2col column buffers, cached Winograd filter transforms).
@@ -49,8 +52,10 @@ convBiasActK(const KernelCtx &c)
     int64_t co = ws[0], kh = ws[2], kw = ws[3];
     int64_t ho = (*c.outShape)[2], wo = (*c.outShape)[3];
     const float *bias = c.in[2];
-    for (int64_t ni = 0; ni < n; ++ni) {
-        for (int64_t o = 0; o < co; ++o) {
+    int64_t hi = partitionEnd(c, n * co);
+    for (int64_t idx = c.begin; idx < hi; ++idx) {
+        int64_t ni = idx / co, o = idx % co;
+        {
             float b = bias[o];
             for (int64_t i = 0; i < ho; ++i) {
                 for (int64_t j = 0; j < wo; ++j) {
@@ -90,8 +95,10 @@ dwConvBiasActK(const KernelCtx &c)
     int64_t n = xs[0], ch = xs[1], h = xs[2], w = xs[3];
     int64_t kh = ws[2], kw = ws[3];
     int64_t ho = (*c.outShape)[2], wo = (*c.outShape)[3];
-    for (int64_t ni = 0; ni < n; ++ni) {
-        for (int64_t cc = 0; cc < ch; ++cc) {
+    int64_t hi = partitionEnd(c, n * ch);
+    for (int64_t idx = c.begin; idx < hi; ++idx) {
+        int64_t ni = idx / ch, cc = idx % ch;
+        {
             const float *xp = c.in[0] + (ni * ch + cc) * h * w;
             const float *wp = c.in[1] + cc * kh * kw;
             float b = c.in[2][cc];
@@ -134,7 +141,8 @@ matmulBiasActK(const KernelCtx &c)
     auto b_at = [&](int64_t kk, int64_t j) {
         return tb ? c.in[1][j * k + kk] : c.in[1][kk * n + j];
     };
-    for (int64_t i = 0; i < m; ++i) {
+    int64_t hi = partitionEnd(c, m);
+    for (int64_t i = c.begin; i < hi; ++i) {
         for (int64_t j = 0; j < n; ++j) {
             float acc = c.in[2][j];
             for (int64_t kk = 0; kk < k; ++kk)
@@ -171,9 +179,12 @@ namespace detail {
 void
 registerFusedKernels()
 {
-    registerKernel(OpKind::ConvBiasAct, "", convBiasActK);
-    registerKernel(OpKind::DwConvBiasAct, "", dwConvBiasActK);
-    registerKernel(OpKind::MatMulBiasAct, "", matmulBiasActK);
+    registerKernel(OpKind::ConvBiasAct, "", convBiasActK,
+                   {part::outDim01, 1});
+    registerKernel(OpKind::DwConvBiasAct, "", dwConvBiasActK,
+                   {part::outDim01, 1});
+    registerKernel(OpKind::MatMulBiasAct, "", matmulBiasActK,
+                   {part::outDim0, 8});
 }
 
 } // namespace detail

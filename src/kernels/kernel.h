@@ -7,10 +7,22 @@
  * which the backend-switching pass selects between — this is the
  * repository's stand-in for the paper's per-backend kernel libraries
  * (SNPE / TensorRT / TVM-tuned / TinyEngine).
+ *
+ * Partitioned execution: a kernel may declare (via PartitionSpec) a
+ * one-dimensional partition domain — output rows, flattened output
+ * elements, batch images — whose shards write disjoint output ranges.
+ * The executor splits that domain across the thread pool at BIND
+ * time (the launch plan is precomputed; nothing is decided per step,
+ * preserving the paper's no-runtime-decisions invariant) and each
+ * shard receives the same KernelCtx with [begin, end) narrowed.
+ * A default-constructed range (begin == end == 0) means "the full
+ * domain", so unsharded callers (tests, the eager baseline, benches)
+ * need no changes.
  */
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -20,7 +32,9 @@
 
 namespace pe {
 
-/** Everything a kernel needs to run one node. */
+class ThreadPool;
+
+/** Everything a kernel needs to run one node (or one shard of one). */
 struct KernelCtx {
     const Node *node = nullptr;       ///< attrs
     std::vector<const float *> in;    ///< input buffers
@@ -31,16 +45,64 @@ struct KernelCtx {
     float *scratch = nullptr;         ///< per-node scratch, may be null
     bool *scratchReady = nullptr;     ///< persistent flag for cached
                                       ///< precomputation (Winograd)
+    int64_t begin = 0;                ///< partition range over the
+    int64_t end = 0;                  ///< kernel's declared domain;
+                                      ///< begin == end == 0 -> full
+    ThreadPool *pool = nullptr;       ///< for kernels that parallelize
+                                      ///< internally; may be null
 };
 
 using KernelFn = void (*)(const KernelCtx &);
 
 /**
+ * How a kernel's work splits across threads. The domain is a
+ * kernel-defined 1-D index set (rows, images, flattened elements…);
+ * shards of it must write disjoint output bytes and must not share
+ * scratch. Kernels whose accumulation spans the whole domain (scalar
+ * losses, axis reductions into shared slots) stay unsplittable.
+ */
+struct PartitionSpec {
+    /**
+     * Domain extent for one invocation, computed from the bound ctx
+     * (shapes are static, so this runs once at bind time). Null means
+     * the kernel is not splittable.
+     */
+    int64_t (*extent)(const KernelCtx &) = nullptr;
+    /** Minimum domain elements per shard (don't split tiny work). */
+    int64_t minGrain = 1;
+
+    bool splittable() const { return extent != nullptr; }
+};
+
+/** Registry entry: the kernel plus how to partition it. */
+struct KernelInfo {
+    KernelFn fn = nullptr;
+    PartitionSpec part;
+    /** True if the requested variant was missing and "" was used. */
+    bool fellBack = false;
+};
+
+/**
+ * Resolve the partition range of @p c against the full domain extent
+ * @p n: a default-constructed range means the whole domain. Kernels
+ * call this once at entry.
+ */
+inline int64_t
+partitionEnd(const KernelCtx &c, int64_t n)
+{
+    return c.end > c.begin ? std::min(c.end, n) : n;
+}
+
+/**
  * Look up the kernel for an op. @p variant "" selects the default;
- * unknown variants fall back to the default with no error (a backend
- * without the tuned kernel still runs the model).
+ * unknown variants fall back to the default (a backend without the
+ * tuned kernel still runs the model) — the fallback is flagged in
+ * KernelInfo::fellBack so the compile report can surface it.
  */
 KernelFn lookupKernel(OpKind op, const std::string &variant = "");
+
+/** Full registry entry for (op, variant), with fallback applied. */
+KernelInfo lookupKernelInfo(OpKind op, const std::string &variant = "");
 
 /** True if a kernel is registered for (op, variant) exactly. */
 bool hasKernelVariant(OpKind op, const std::string &variant);
@@ -50,11 +112,27 @@ int64_t kernelScratchSize(const Graph &g, const Node &n,
                           const std::string &variant);
 
 /** Registration hook used by the kernel translation units. */
-void registerKernel(OpKind op, const std::string &variant, KernelFn fn);
+void registerKernel(OpKind op, const std::string &variant, KernelFn fn,
+                    PartitionSpec part = {});
 
 namespace detail {
 /** Force-link all kernel TUs (each defines a registrar object). */
 void ensureKernelsRegistered();
 } // namespace detail
+
+// ---- Common partition domains (used by the kernel TUs) ---------------
+
+namespace part {
+/** Flattened output elements. */
+int64_t outElems(const KernelCtx &c);
+/** Output rows: numel(out) / out.back(). */
+int64_t outRows(const KernelCtx &c);
+/** First output dim (batch / output channels / samples). */
+int64_t outDim0(const KernelCtx &c);
+/** First two output dims flattened (e.g. N*C of an NCHW output). */
+int64_t outDim01(const KernelCtx &c);
+/** Elements of input 1 (optimizer kernels: the gradient). */
+int64_t in1Elems(const KernelCtx &c);
+} // namespace part
 
 } // namespace pe

@@ -4,6 +4,9 @@
  * numerically-stable formulation); its gradient op emits
  * (softmax - onehot) / N directly so the backward graph needs no
  * separate softmax node for the loss head.
+ *
+ * The grad kernels are independent per sample/element and partition;
+ * the forward losses reduce into one scalar and stay serial.
  */
 
 #include <cmath>
@@ -40,7 +43,8 @@ crossEntropyGradK(const KernelCtx &c)
     const Shape &ls = *c.inShapes[0];
     int64_t n = ls[0], cls = ls[1];
     float inv = 1.0f / static_cast<float>(n);
-    for (int64_t i = 0; i < n; ++i) {
+    int64_t hi = partitionEnd(c, n);
+    for (int64_t i = c.begin; i < hi; ++i) {
         const float *row = c.in[0] + i * cls;
         float *out = c.out + i * cls;
         float mx = row[0];
@@ -75,7 +79,8 @@ mseGradK(const KernelCtx &c)
 {
     int64_t n = numel(*c.inShapes[0]);
     float inv = 2.0f / static_cast<float>(n);
-    for (int64_t i = 0; i < n; ++i)
+    int64_t hi = partitionEnd(c, n);
+    for (int64_t i = c.begin; i < hi; ++i)
         c.out[i] = inv * (c.in[0][i] - c.in[1][i]);
 }
 
@@ -87,9 +92,11 @@ void
 registerLossKernels()
 {
     registerKernel(OpKind::CrossEntropy, "", crossEntropyK);
-    registerKernel(OpKind::CrossEntropyGrad, "", crossEntropyGradK);
+    registerKernel(OpKind::CrossEntropyGrad, "", crossEntropyGradK,
+                   {part::outRows, 1});
     registerKernel(OpKind::Mse, "", mseK);
-    registerKernel(OpKind::MseGrad, "", mseGradK);
+    registerKernel(OpKind::MseGrad, "", mseGradK,
+                   {part::outElems, 1024});
 }
 
 } // namespace detail

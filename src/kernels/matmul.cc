@@ -5,6 +5,9 @@
  * devices. Transpose flags are handled without materializing
  * transposed copies, which is how the backward graph reuses the
  * forward MatMul primitive (paper Fig. 3: dW = G * X^T).
+ *
+ * Partitioning: MatMul splits over output rows, BatchMatMul over the
+ * batch — each shard writes a disjoint slab of the output.
  */
 
 #include <cstring>
@@ -26,10 +29,12 @@ struct GemmView {
     }
 };
 
+/** Rows [r0, r1) of a x b into out. */
 void
-gemmNaive(const GemmView &a, const GemmView &b, float *out)
+gemmNaive(const GemmView &a, const GemmView &b, float *out, int64_t r0,
+          int64_t r1)
 {
-    for (int64_t i = 0; i < a.rows; ++i) {
+    for (int64_t i = r0; i < r1; ++i) {
         for (int64_t j = 0; j < b.cols; ++j) {
             float acc = 0;
             for (int64_t k = 0; k < a.cols; ++k)
@@ -41,13 +46,14 @@ gemmNaive(const GemmView &a, const GemmView &b, float *out)
 
 /** Blocked GEMM with k-innermost accumulation into the output tile. */
 void
-gemmBlocked(const GemmView &a, const GemmView &b, float *out)
+gemmBlocked(const GemmView &a, const GemmView &b, float *out, int64_t r0,
+            int64_t r1)
 {
     constexpr int64_t kBlock = 48;
-    int64_t m = a.rows, n = b.cols, kk = a.cols;
-    std::memset(out, 0, sizeof(float) * m * n);
-    for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
-        int64_t i1 = std::min(i0 + kBlock, m);
+    int64_t n = b.cols, kk = a.cols;
+    std::memset(out + r0 * n, 0, sizeof(float) * (r1 - r0) * n);
+    for (int64_t i0 = r0; i0 < r1; i0 += kBlock) {
+        int64_t i1 = std::min(i0 + kBlock, r1);
         for (int64_t k0 = 0; k0 < kk; k0 += kBlock) {
             int64_t k1 = std::min(k0 + kBlock, kk);
             for (int64_t j0 = 0; j0 < n; j0 += kBlock) {
@@ -72,7 +78,8 @@ viewOf(const float *data, const Shape &s, bool trans)
     return {data, s[0], s[1], false};
 }
 
-template <void (*Gemm)(const GemmView &, const GemmView &, float *)>
+template <void (*Gemm)(const GemmView &, const GemmView &, float *,
+                       int64_t, int64_t)>
 void
 matmulK(const KernelCtx &c)
 {
@@ -80,10 +87,11 @@ matmulK(const KernelCtx &c)
     bool tb = c.node->attrs.getInt("transB", 0) != 0;
     GemmView a = viewOf(c.in[0], *c.inShapes[0], ta);
     GemmView b = viewOf(c.in[1], *c.inShapes[1], tb);
-    Gemm(a, b, c.out);
+    Gemm(a, b, c.out, c.begin, partitionEnd(c, a.rows));
 }
 
-template <void (*Gemm)(const GemmView &, const GemmView &, float *)>
+template <void (*Gemm)(const GemmView &, const GemmView &, float *,
+                       int64_t, int64_t)>
 void
 batchMatmulK(const KernelCtx &c)
 {
@@ -95,11 +103,19 @@ batchMatmulK(const KernelCtx &c)
     int64_t a_stride = as[1] * as[2];
     int64_t b_stride = bs[1] * bs[2];
     int64_t o_stride = (*c.outShape)[1] * (*c.outShape)[2];
-    for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t n = c.begin; n < partitionEnd(c, batch); ++n) {
         GemmView a = viewOf(c.in[0] + n * a_stride, {as[1], as[2]}, ta);
         GemmView b = viewOf(c.in[1] + n * b_stride, {bs[1], bs[2]}, tb);
-        Gemm(a, b, c.out + n * o_stride);
+        Gemm(a, b, c.out + n * o_stride, 0, a.rows);
     }
+}
+
+/** MatMul splits over logical output rows, not outShape[0] directly —
+ *  they coincide ([M, N] output), but spell it via the shared helper. */
+int64_t
+matmulRows(const KernelCtx &c)
+{
+    return (*c.outShape)[0];
 }
 
 } // namespace
@@ -109,11 +125,14 @@ namespace detail {
 void
 registerMatmulKernels()
 {
-    registerKernel(OpKind::MatMul, "", matmulK<gemmNaive>);
-    registerKernel(OpKind::MatMul, "blocked", matmulK<gemmBlocked>);
-    registerKernel(OpKind::BatchMatMul, "", batchMatmulK<gemmNaive>);
+    PartitionSpec rows{matmulRows, 8};
+    PartitionSpec batch{part::outDim0, 1};
+    registerKernel(OpKind::MatMul, "", matmulK<gemmNaive>, rows);
+    registerKernel(OpKind::MatMul, "blocked", matmulK<gemmBlocked>, rows);
+    registerKernel(OpKind::BatchMatMul, "", batchMatmulK<gemmNaive>,
+                   batch);
     registerKernel(OpKind::BatchMatMul, "blocked",
-                   batchMatmulK<gemmBlocked>);
+                   batchMatmulK<gemmBlocked>, batch);
 }
 
 } // namespace detail

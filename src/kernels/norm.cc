@@ -4,6 +4,13 @@
  * kernels recompute row statistics rather than saving them — the
  * memory planner then never has to keep mean/rstd alive, matching the
  * engine's activation-lean design.
+ *
+ * Partitioning: forward and grad-x kernels are independent per row
+ * and split over rows. The grad-gamma kernels honor a column range
+ * (shards would own disjoint columns) but are registered serial:
+ * every column shard re-derives the per-row statistics, so splitting
+ * multiplies the dominant stats work by the shard count — more total
+ * CPU for little wall-clock gain on a [D]-sized output.
  */
 
 #include <cmath>
@@ -18,10 +25,10 @@ layerNormK(const KernelCtx &c)
 {
     const Shape &xs = *c.inShapes[0];
     int64_t d = xs.back();
-    int64_t rows = numel(xs) / d;
+    int64_t rows = partitionEnd(c, numel(xs) / d);
     float eps = static_cast<float>(c.node->attrs.getFloat("eps", 1e-5));
     const float *gamma = c.in[1], *beta = c.in[2];
-    for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t r = c.begin; r < rows; ++r) {
         const float *x = c.in[0] + r * d;
         float *y = c.out + r * d;
         float mean = 0;
@@ -44,10 +51,10 @@ layerNormGradXK(const KernelCtx &c)
 {
     const Shape &xs = *c.inShapes[0];
     int64_t d = xs.back();
-    int64_t rows = numel(xs) / d;
+    int64_t rows = partitionEnd(c, numel(xs) / d);
     float eps = static_cast<float>(c.node->attrs.getFloat("eps", 1e-5));
     const float *gamma = c.in[1];
-    for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t r = c.begin; r < rows; ++r) {
         const float *x = c.in[0] + r * d;
         const float *dy = c.in[2] + r * d;
         float *dx = c.out + r * d;
@@ -85,8 +92,9 @@ layerNormGradGammaK(const KernelCtx &c)
     const Shape &xs = *c.inShapes[0];
     int64_t d = xs.back();
     int64_t rows = numel(xs) / d;
+    int64_t c0 = c.begin, c1 = partitionEnd(c, d);
     float eps = static_cast<float>(c.node->attrs.getFloat("eps", 1e-5));
-    for (int64_t i = 0; i < d; ++i)
+    for (int64_t i = c0; i < c1; ++i)
         c.out[i] = 0;
     for (int64_t r = 0; r < rows; ++r) {
         const float *x = c.in[0] + r * d;
@@ -100,7 +108,7 @@ layerNormGradGammaK(const KernelCtx &c)
             var += (x[i] - mean) * (x[i] - mean);
         var /= static_cast<float>(d);
         float rstd = 1.0f / std::sqrt(var + eps);
-        for (int64_t i = 0; i < d; ++i)
+        for (int64_t i = c0; i < c1; ++i)
             c.out[i] += dy[i] * (x[i] - mean) * rstd;
     }
 }
@@ -110,10 +118,10 @@ rmsNormK(const KernelCtx &c)
 {
     const Shape &xs = *c.inShapes[0];
     int64_t d = xs.back();
-    int64_t rows = numel(xs) / d;
+    int64_t rows = partitionEnd(c, numel(xs) / d);
     float eps = static_cast<float>(c.node->attrs.getFloat("eps", 1e-5));
     const float *gamma = c.in[1];
-    for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t r = c.begin; r < rows; ++r) {
         const float *x = c.in[0] + r * d;
         float *y = c.out + r * d;
         float ms = 0;
@@ -132,10 +140,10 @@ rmsNormGradXK(const KernelCtx &c)
 {
     const Shape &xs = *c.inShapes[0];
     int64_t d = xs.back();
-    int64_t rows = numel(xs) / d;
+    int64_t rows = partitionEnd(c, numel(xs) / d);
     float eps = static_cast<float>(c.node->attrs.getFloat("eps", 1e-5));
     const float *gamma = c.in[1];
-    for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t r = c.begin; r < rows; ++r) {
         const float *x = c.in[0] + r * d;
         const float *dy = c.in[2] + r * d;
         float *dx = c.out + r * d;
@@ -161,8 +169,9 @@ rmsNormGradGammaK(const KernelCtx &c)
     const Shape &xs = *c.inShapes[0];
     int64_t d = xs.back();
     int64_t rows = numel(xs) / d;
+    int64_t c0 = c.begin, c1 = partitionEnd(c, d);
     float eps = static_cast<float>(c.node->attrs.getFloat("eps", 1e-5));
-    for (int64_t i = 0; i < d; ++i)
+    for (int64_t i = c0; i < c1; ++i)
         c.out[i] = 0;
     for (int64_t r = 0; r < rows; ++r) {
         const float *x = c.in[0] + r * d;
@@ -172,7 +181,7 @@ rmsNormGradGammaK(const KernelCtx &c)
             ms += x[i] * x[i];
         ms /= static_cast<float>(d);
         float rstd = 1.0f / std::sqrt(ms + eps);
-        for (int64_t i = 0; i < d; ++i)
+        for (int64_t i = c0; i < c1; ++i)
             c.out[i] += dy[i] * x[i] * rstd;
     }
 }
@@ -184,11 +193,12 @@ namespace detail {
 void
 registerNormKernels()
 {
-    registerKernel(OpKind::LayerNorm, "", layerNormK);
-    registerKernel(OpKind::LayerNormGradX, "", layerNormGradXK);
+    PartitionSpec rows{part::outRows, 1};
+    registerKernel(OpKind::LayerNorm, "", layerNormK, rows);
+    registerKernel(OpKind::LayerNormGradX, "", layerNormGradXK, rows);
     registerKernel(OpKind::LayerNormGradGamma, "", layerNormGradGammaK);
-    registerKernel(OpKind::RMSNorm, "", rmsNormK);
-    registerKernel(OpKind::RMSNormGradX, "", rmsNormGradXK);
+    registerKernel(OpKind::RMSNorm, "", rmsNormK, rows);
+    registerKernel(OpKind::RMSNormGradX, "", rmsNormGradXK, rows);
     registerKernel(OpKind::RMSNormGradGamma, "", rmsNormGradGammaK);
 }
 

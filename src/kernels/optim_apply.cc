@@ -15,6 +15,9 @@
  *  - "offset" selects a contiguous sub-range of the parameter for
  *    sub-layer (channel-sparse) updates; the gradient's numel gives
  *    the range length.
+ *  - every kernel is elementwise over the gradient, so all partition
+ *    over the gradient range: viewOf() narrows param/grad/state
+ *    pointers to the shard's [begin, end) slice.
  */
 
 #include <cmath>
@@ -34,8 +37,9 @@ ApplyView
 viewOf(const KernelCtx &c)
 {
     int64_t offset = c.node->attrs.getInt("offset", 0);
-    int64_t n = numel(*c.inShapes[1]);
-    return {const_cast<float *>(c.in[0]) + offset, c.in[1], n};
+    int64_t hi = partitionEnd(c, numel(*c.inShapes[1]));
+    return {const_cast<float *>(c.in[0]) + offset + c.begin,
+            c.in[1] + c.begin, hi - c.begin};
 }
 
 void
@@ -55,7 +59,7 @@ applyMomentumK(const KernelCtx &c)
     auto lr = static_cast<float>(c.node->attrs.getFloat("lr", 0.01));
     auto mom = static_cast<float>(c.node->attrs.getFloat("momentum", 0.9));
     int64_t offset = c.node->attrs.getInt("offset", 0);
-    float *vel = const_cast<float *>(c.in[2]) + offset;
+    float *vel = const_cast<float *>(c.in[2]) + offset + c.begin;
     for (int64_t i = 0; i < v.n; ++i) {
         vel[i] = mom * vel[i] + v.grad[i];
         v.param[i] -= lr * vel[i];
@@ -71,8 +75,8 @@ applyAdamK(const KernelCtx &c)
     auto b2 = static_cast<float>(c.node->attrs.getFloat("b2", 0.999));
     auto eps = static_cast<float>(c.node->attrs.getFloat("eps", 1e-8));
     int64_t offset = c.node->attrs.getInt("offset", 0);
-    float *m = const_cast<float *>(c.in[2]) + offset;
-    float *vv = const_cast<float *>(c.in[3]) + offset;
+    float *m = const_cast<float *>(c.in[2]) + offset + c.begin;
+    float *vv = const_cast<float *>(c.in[3]) + offset + c.begin;
     auto t = static_cast<float>(c.step);
     float bc1 = 1.0f - std::pow(b1, t);
     float bc2 = 1.0f - std::pow(b2, t);
@@ -94,7 +98,7 @@ applyLionK(const KernelCtx &c)
     auto b2 = static_cast<float>(c.node->attrs.getFloat("b2", 0.99));
     auto wd = static_cast<float>(c.node->attrs.getFloat("wd", 0.0));
     int64_t offset = c.node->attrs.getInt("offset", 0);
-    float *m = const_cast<float *>(c.in[2]) + offset;
+    float *m = const_cast<float *>(c.in[2]) + offset + c.begin;
     for (int64_t i = 0; i < v.n; ++i) {
         float u = b1 * m[i] + (1.0f - b1) * v.grad[i];
         float sign = u > 0 ? 1.0f : (u < 0 ? -1.0f : 0.0f);
@@ -118,11 +122,12 @@ namespace detail {
 void
 registerOptimApplyKernels()
 {
-    registerKernel(OpKind::ApplySgd, "", applySgdK);
-    registerKernel(OpKind::ApplyMomentum, "", applyMomentumK);
-    registerKernel(OpKind::ApplyAdam, "", applyAdamK);
-    registerKernel(OpKind::ApplyLion, "", applyLionK);
-    registerKernel(OpKind::AccumGrad, "", accumGradK);
+    PartitionSpec grad{part::in1Elems, 1024};
+    registerKernel(OpKind::ApplySgd, "", applySgdK, grad);
+    registerKernel(OpKind::ApplyMomentum, "", applyMomentumK, grad);
+    registerKernel(OpKind::ApplyAdam, "", applyAdamK, grad);
+    registerKernel(OpKind::ApplyLion, "", applyLionK, grad);
+    registerKernel(OpKind::AccumGrad, "", accumGradK, grad);
 }
 
 } // namespace detail

@@ -1,6 +1,13 @@
 /**
  * @file
  * Reduction kernels (sum / mean over an axis set).
+ *
+ * Written in gather form: each output slot walks its reduced
+ * subspace in lexicographic order — the same per-slot accumulation
+ * order as the older scatter loop (input indices hit a slot in
+ * ascending order either way), so results are bit-identical, and
+ * slots are independent, which lets the kernel partition over the
+ * flattened output.
  */
 
 #include <cstring>
@@ -21,33 +28,52 @@ reduce(const KernelCtx &c, bool mean)
         reduced[a] = true;
         reduce_count *= xs[a];
     }
-    int64_t out_n = numel(*c.outShape);
-    std::memset(c.out, 0, sizeof(float) * out_n);
-
-    // Map each input element to its output slot.
     auto xstrides = rowMajorStrides(xs);
-    std::vector<int64_t> ostride(xs.size(), 0);
-    int64_t acc = 1;
-    for (int i = static_cast<int>(xs.size()) - 1; i >= 0; --i) {
-        if (!reduced[i]) {
-            ostride[i] = acc;
-            acc *= xs[i];
+
+    // Split dims into kept (they index the output, row-major) and
+    // reduced (the per-slot accumulation walk), preserving dim order.
+    std::vector<int64_t> kext, kstr, rext, rstr;
+    for (size_t d = 0; d < xs.size(); ++d) {
+        if (reduced[d]) {
+            rext.push_back(xs[d]);
+            rstr.push_back(xstrides[d]);
+        } else {
+            kext.push_back(xs[d]);
+            kstr.push_back(xstrides[d]);
         }
     }
-    int64_t n = numel(xs);
-    for (int64_t i = 0; i < n; ++i) {
-        int64_t rem = i, oi = 0;
-        for (size_t d = 0; d < xs.size(); ++d) {
-            int64_t coord = rem / xstrides[d];
-            rem -= coord * xstrides[d];
-            oi += coord * ostride[d];
+    std::vector<int64_t> ostr(kext.size(), 1);
+    for (size_t d = kext.size(); d-- > 1;)
+        ostr[d - 1] = ostr[d] * kext[d];
+
+    int64_t lo = c.begin, hi = partitionEnd(c, numel(*c.outShape));
+    float inv = 1.0f / static_cast<float>(reduce_count);
+    std::vector<int64_t> coord(rext.size(), 0);
+    for (int64_t oi = lo; oi < hi; ++oi) {
+        int64_t rem = oi, base = 0;
+        for (size_t d = 0; d < kext.size(); ++d) {
+            int64_t k = rem / ostr[d];
+            rem -= k * ostr[d];
+            base += k * kstr[d];
         }
-        c.out[oi] += c.in[0][i];
-    }
-    if (mean) {
-        float inv = 1.0f / static_cast<float>(reduce_count);
-        for (int64_t i = 0; i < out_n; ++i)
-            c.out[i] *= inv;
+        float acc = 0;
+        std::fill(coord.begin(), coord.end(), 0);
+        int64_t off = 0;
+        for (;;) {
+            acc += c.in[0][base + off];
+            // Odometer over the reduced dims, innermost fastest.
+            size_t d = rext.size();
+            while (d-- > 0) {
+                off += rstr[d];
+                if (++coord[d] < rext[d])
+                    break;
+                off -= coord[d] * rstr[d];
+                coord[d] = 0;
+            }
+            if (d == static_cast<size_t>(-1))
+                break;
+        }
+        c.out[oi] = mean ? acc * inv : acc;
     }
 }
 
@@ -70,8 +96,9 @@ namespace detail {
 void
 registerReduceKernels()
 {
-    registerKernel(OpKind::ReduceSum, "", reduceSumK);
-    registerKernel(OpKind::ReduceMean, "", reduceMeanK);
+    PartitionSpec slots{part::outElems, 16};
+    registerKernel(OpKind::ReduceSum, "", reduceSumK, slots);
+    registerKernel(OpKind::ReduceMean, "", reduceMeanK, slots);
 }
 
 } // namespace detail

@@ -9,20 +9,55 @@ namespace {
 
 using Key = std::pair<OpKind, std::string>;
 
-std::map<Key, KernelFn> &
+std::map<Key, KernelInfo> &
 registry()
 {
-    static std::map<Key, KernelFn> r;
+    static std::map<Key, KernelInfo> r;
     return r;
 }
 
 } // namespace
 
 void
-registerKernel(OpKind op, const std::string &variant, KernelFn fn)
+registerKernel(OpKind op, const std::string &variant, KernelFn fn,
+               PartitionSpec part)
 {
-    registry()[{op, variant}] = fn;
+    registry()[{op, variant}] = {fn, part, false};
 }
+
+namespace part {
+
+int64_t
+outElems(const KernelCtx &c)
+{
+    return numel(*c.outShape);
+}
+
+int64_t
+outRows(const KernelCtx &c)
+{
+    return numel(*c.outShape) / c.outShape->back();
+}
+
+int64_t
+outDim0(const KernelCtx &c)
+{
+    return (*c.outShape)[0];
+}
+
+int64_t
+outDim01(const KernelCtx &c)
+{
+    return (*c.outShape)[0] * (*c.outShape)[1];
+}
+
+int64_t
+in1Elems(const KernelCtx &c)
+{
+    return numel(*c.inShapes[1]);
+}
+
+} // namespace part
 
 namespace detail {
 
@@ -68,18 +103,29 @@ ensureKernelsRegistered()
 
 } // namespace detail
 
-KernelFn
-lookupKernel(OpKind op, const std::string &variant)
+KernelInfo
+lookupKernelInfo(OpKind op, const std::string &variant)
 {
     detail::ensureKernelsRegistered();
     auto it = registry().find({op, variant});
-    if (it == registry().end() && !variant.empty())
+    bool fell_back = false;
+    if (it == registry().end() && !variant.empty()) {
         it = registry().find({op, ""});
+        fell_back = it != registry().end();
+    }
     if (it == registry().end()) {
         throw std::runtime_error(std::string("no kernel for op ") +
                                  opName(op));
     }
-    return it->second;
+    KernelInfo info = it->second;
+    info.fellBack = fell_back;
+    return info;
+}
+
+KernelFn
+lookupKernel(OpKind op, const std::string &variant)
+{
+    return lookupKernelInfo(op, variant).fn;
 }
 
 bool

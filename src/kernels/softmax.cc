@@ -1,6 +1,7 @@
 /**
  * @file
- * Softmax over the last axis, with its backward kernel.
+ * Softmax over the last axis, with its backward kernel. Both are
+ * independent per row and partition over rows.
  */
 
 #include <cmath>
@@ -15,8 +16,8 @@ softmaxK(const KernelCtx &c)
 {
     const Shape &xs = *c.inShapes[0];
     int64_t d = xs.back();
-    int64_t rows = numel(xs) / d;
-    for (int64_t r = 0; r < rows; ++r) {
+    int64_t rows = partitionEnd(c, numel(xs) / d);
+    for (int64_t r = c.begin; r < rows; ++r) {
         const float *x = c.in[0] + r * d;
         float *y = c.out + r * d;
         float mx = x[0];
@@ -39,8 +40,8 @@ softmaxGradK(const KernelCtx &c)
 {
     const Shape &ys = *c.inShapes[0];
     int64_t d = ys.back();
-    int64_t rows = numel(ys) / d;
-    for (int64_t r = 0; r < rows; ++r) {
+    int64_t rows = partitionEnd(c, numel(ys) / d);
+    for (int64_t r = c.begin; r < rows; ++r) {
         const float *y = c.in[0] + r * d;
         const float *dy = c.in[1] + r * d;
         float *dx = c.out + r * d;
@@ -59,8 +60,9 @@ namespace detail {
 void
 registerSoftmaxKernels()
 {
-    registerKernel(OpKind::Softmax, "", softmaxK);
-    registerKernel(OpKind::SoftmaxGrad, "", softmaxGradK);
+    PartitionSpec rows{part::outRows, 1};
+    registerKernel(OpKind::Softmax, "", softmaxK, rows);
+    registerKernel(OpKind::SoftmaxGrad, "", softmaxGradK, rows);
 }
 
 } // namespace detail

@@ -196,7 +196,7 @@ fusedKindOf(OpKind linear)
 
 /** Output-channel count of a linear node, for bias validation. */
 int64_t
-channelsOf(const Graph &g, const Node &linear)
+channelsOf(const Graph &, const Node &linear)
 {
     if (linear.op == OpKind::MatMul)
         return linear.shape.back();

@@ -1,16 +1,22 @@
 #include "runtime/executor.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+
+#include "ir/op.h"
 
 namespace pe {
 
 Executor::Executor(const Graph &g, std::vector<int> order,
                    ParamStore &store, ExecOptions options)
     : g_(g), order_(std::move(order)), store_(store),
-      variants_(std::move(options.variants))
+      variants_(std::move(options.variants)),
+      numThreads_(options.numThreads <= 0 ? HostDevice::hardwareThreads()
+                                          : options.numThreads)
 {
     detail::ensureKernelsRegistered();
+    pool_ = HostDevice::instance().pool(numThreads_);
     variants_.resize(g_.numNodes());
     store_.materialize(g_);
     plan_ = planMemory(g_, order_);
@@ -64,9 +70,13 @@ Executor::bindSteps()
         const Node &n = g_.node(id);
         if (isSourceOp(n.op))
             continue;
+        KernelInfo info = lookupKernelInfo(n.op, variants_[id]);
+        if (info.fellBack)
+            fallbacks_.push_back(std::string(opName(n.op)) + "/" +
+                                 variants_[id]);
         BoundStep s;
         s.node = id;
-        s.fn = lookupKernel(n.op, variants_[id]);
+        s.fn = info.fn;
         s.ctx.node = &g_.node(id);
         for (int in : n.inputs) {
             s.ctx.in.push_back(resolve(in));
@@ -80,6 +90,26 @@ Executor::bindSteps()
             s.ctx.scratch = scratch_[id].data();
         }
         s.ctx.scratchReady = reinterpret_cast<bool *>(&scratchReady_[id]);
+        s.ctx.pool = pool_;
+
+        // Launch plan: how many shards, over which ranges. Decided
+        // here, once, from static shapes — run() only replays it.
+        if (pool_ && info.part.splittable() && s.ctx.scratch == nullptr) {
+            std::vector<int64_t> bounds = splitRange(
+                info.part.extent(s.ctx), info.part.minGrain, numThreads_);
+            if (bounds.size() > 2) {
+                s.shards.reserve(bounds.size() - 1);
+                for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+                    KernelCtx shard = s.ctx;
+                    // A shard must never nest a dispatch on the pool
+                    // it is running on.
+                    shard.pool = nullptr;
+                    shard.begin = bounds[i];
+                    shard.end = bounds[i + 1];
+                    s.shards.push_back(std::move(shard));
+                }
+            }
+        }
         steps_.push_back(std::move(s));
     }
     bound_ = true;
@@ -88,21 +118,33 @@ Executor::bindSteps()
 void
 Executor::bindInput(const std::string &name, const Tensor &t)
 {
+    int id = inputId(name);
+    if (id < 0)
+        throw std::runtime_error("bindInput: no input named " + name);
+    bindInputById(id, t);
+}
+
+int
+Executor::inputId(const std::string &name) const
+{
     for (int id : g_.inputIds()) {
-        const Node &n = g_.node(id);
-        if (n.name != name)
-            continue;
-        if (t.shape() != n.shape) {
-            throw std::runtime_error("bindInput: shape mismatch for " +
-                                     name + ": got " +
-                                     shapeToString(t.shape()) +
-                                     " want " + shapeToString(n.shape));
-        }
-        std::memcpy(constBufs_[id].data(), t.data(),
-                    sizeof(float) * t.size());
-        return;
+        if (g_.node(id).name == name)
+            return id;
     }
-    throw std::runtime_error("bindInput: no input named " + name);
+    return -1;
+}
+
+void
+Executor::bindInputById(int id, const Tensor &t)
+{
+    const Node &n = g_.node(id);
+    if (t.shape() != n.shape) {
+        throw std::runtime_error("bindInput: shape mismatch for " +
+                                 n.name + ": got " +
+                                 shapeToString(t.shape()) + " want " +
+                                 shapeToString(n.shape));
+    }
+    std::memcpy(constBufs_[id].data(), t.data(), sizeof(float) * t.size());
 }
 
 void
@@ -110,9 +152,27 @@ Executor::run()
 {
     ++step_;
     for (BoundStep &s : steps_) {
-        s.ctx.step = step_;
-        s.fn(s.ctx);
+        if (s.shards.empty()) {
+            s.ctx.step = step_;
+            s.fn(s.ctx);
+        } else {
+            // One dispatch per step: shards run concurrently, and the
+            // dispatch's completion wait is the inter-step barrier.
+            pool_->dispatch(static_cast<int>(s.shards.size()), [&](int i) {
+                s.shards[i].step = step_;
+                s.fn(s.shards[i]);
+            });
+        }
     }
+}
+
+int
+Executor::shardedSteps() const
+{
+    int n = 0;
+    for (const BoundStep &s : steps_)
+        n += s.shards.size() > 1 ? 1 : 0;
+    return n;
 }
 
 Tensor

@@ -4,6 +4,14 @@
  * over one pre-planned arena. No graph interpretation, no dispatch
  * tables, no per-step allocation happens at run time — everything was
  * resolved at compile time (the paper's central systems argument).
+ *
+ * Parallel execution keeps that invariant: bindSteps() precomputes a
+ * per-node launch plan (shard count and [begin, end) ranges over the
+ * kernel's declared partition domain, one fully-bound KernelCtx per
+ * shard), and run() only replays it — dispatching each step's shards
+ * to the worker pool with a barrier before the next step. With
+ * numThreads == 1 no plan is built and run() is the same straight
+ * loop as before, bit for bit.
  */
 
 #pragma once
@@ -13,6 +21,7 @@
 #include <vector>
 
 #include "core/tensor.h"
+#include "hw/threadpool.h"
 #include "ir/graph.h"
 #include "kernels/kernel.h"
 #include "runtime/paramstore.h"
@@ -24,6 +33,12 @@ namespace pe {
 struct ExecOptions {
     /** Kernel variant per node id ("" = default); from backend switch. */
     std::vector<std::string> variants;
+    /**
+     * Worker threads (including the calling thread) to split
+     * partitionable kernels across. 1 = serial, bit-identical to the
+     * single-threaded executor; <= 0 = all hardware threads.
+     */
+    int numThreads = 1;
 };
 
 /**
@@ -39,6 +54,13 @@ class Executor
     /** Point an Input node at caller-owned data (shape-checked). */
     void bindInput(const std::string &name, const Tensor &t);
 
+    /** Node id of the Input named @p name; -1 if absent. Lets callers
+     *  resolve the name once and bind by id in a hot loop. */
+    int inputId(const std::string &name) const;
+
+    /** bindInput without the name lookup (id from inputId()). */
+    void bindInputById(int id, const Tensor &t);
+
     /** Execute one step (forward [+ backward + update] as compiled). */
     void run();
 
@@ -53,12 +75,27 @@ class Executor
     /** Number of kernel invocations per step. */
     int numSteps() const { return static_cast<int>(steps_.size()); }
 
+    /** Steps whose launch plan has more than one shard. */
+    int shardedSteps() const;
+
+    /** Effective thread count of this executor's launch plan. */
+    int numThreads() const { return numThreads_; }
+
+    /** Kernel lookups that silently fell back to the default variant. */
+    int fallbackCount() const { return static_cast<int>(fallbacks_.size()); }
+    /** "op/variant" labels of those fallbacks (one per bound step). */
+    const std::vector<std::string> &fallbackKernels() const
+    {
+        return fallbacks_;
+    }
+
   private:
     struct BoundStep {
         int node;
         KernelFn fn;
         KernelCtx ctx;
-        std::vector<const Shape *> shapes;
+        /** Precomputed per-shard contexts; empty = run ctx serially. */
+        std::vector<KernelCtx> shards;
     };
 
     float *resolve(int id);
@@ -75,6 +112,9 @@ class Executor
     std::vector<std::vector<float>> scratch_; ///< by node id
     std::vector<char> scratchReady_;          ///< by node id
     std::vector<std::string> variants_;
+    std::vector<std::string> fallbacks_;
+    int numThreads_ = 1;
+    ThreadPool *pool_ = nullptr; ///< owned by HostDevice; null if serial
     int64_t step_ = 0;
     bool bound_ = false;
 
