@@ -20,8 +20,7 @@ struct ConvFixture {
     Graph g;
     int node;
     Tensor x, w, bias, out;
-    std::vector<float> scratch;
-    bool ready = false;
+    DirectWorkspace ws;
 
     ConvFixture(OpKind op, int64_t ch, int64_t hw,
                 const std::string &variant, int64_t act = 0)
@@ -46,10 +45,7 @@ struct ConvFixture {
         w = Tensor::randn({ch, ch, 3, 3}, rng, 0.2f);
         bias = Tensor::randn({ch, 1, 1}, rng);
         out = Tensor::zeros(g.node(node).shape);
-        scratch.assign(
-            std::max<int64_t>(1, kernelScratchSize(g, g.node(node),
-                                                   variant)),
-            0.0f);
+        (void)variant; // workspace attached per run()
     }
 
     void
@@ -67,8 +63,7 @@ struct ConvFixture {
         }
         ctx.out = out.data();
         ctx.outShape = &n.shape;
-        ctx.scratch = scratch.data();
-        ctx.scratchReady = &ready;
+        ws.attach(ctx, g, n, variant);
         lookupKernel(n.op, variant)(ctx);
     }
 };
@@ -91,6 +86,8 @@ BM_MatMul(benchmark::State &state, const std::string &variant)
     ctx.inShapes = {&g.node(a).shape, &g.node(b).shape};
     ctx.out = out.data();
     ctx.outShape = &g.node(node).shape;
+    DirectWorkspace ws;
+    ws.attach(ctx, g, g.node(node), variant);
     KernelFn fn = lookupKernel(OpKind::MatMul, variant);
     for (auto _ : state) {
         fn(ctx);
@@ -124,18 +121,25 @@ BM_MatMulThreads(benchmark::State &state)
     ctx.out = out.data();
     ctx.outShape = &g.node(node).shape;
     KernelInfo info = lookupKernelInfo(OpKind::MatMul, "blocked");
+    WorkspaceSpec spec = kernelWorkspace(g, g.node(node), "blocked");
     ThreadPool *pool = HostDevice::instance().pool(threads);
     // Split by the REQUESTED thread count, not the pool's size — the
     // process-wide pool only grows, so a larger one may already exist.
     std::vector<int64_t> bounds =
         splitRange(info.part.extent(ctx), info.part.minGrain, threads);
     int shards = static_cast<int>(bounds.size()) - 1;
+    // One workspace instance per shard, as the executor binds them.
+    std::vector<std::vector<float>> shard_ws(
+        std::max(1, shards),
+        std::vector<float>((spec.bytesPerShard + 3) / 4, 0.0f));
+    ctx.workspace = shard_ws[0].data();
     for (auto _ : state) {
         if (pool && shards > 1) {
             pool->dispatch(shards, [&](int i) {
                 KernelCtx shard = ctx;
                 shard.begin = bounds[i];
                 shard.end = bounds[i + 1];
+                shard.workspace = shard_ws[i].data();
                 info.fn(shard);
             });
         } else {

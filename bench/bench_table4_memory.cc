@@ -34,15 +34,17 @@ row(const std::string &platform, const std::string &model,
                    static_cast<double>(sparse.report.totalBytes);
     printRow({platform, model, fmt(params / 1e6, 1) + "M", "full-bp",
               fmtBytes(full.report.totalBytes),
-              fmtBytes(full.report.arenaBytes), ""},
+              fmtBytes(full.report.arenaBytes),
+              fmtBytes(full.report.workspaceBytes), ""},
              16);
     printRow({"", "", "", "sparse-bp",
               fmtBytes(sparse.report.totalBytes),
               fmtBytes(sparse.report.arenaBytes),
+              fmtBytes(sparse.report.workspaceBytes),
               fmt(ratio, 1) + "x"},
              16);
     printRow({"", "", "", "sparse(no-reord)", "",
-              fmtBytes(sparse.report.arenaBytesNoReorder), ""},
+              fmtBytes(sparse.report.arenaBytesNoReorder), "", ""},
              16);
 }
 
@@ -54,7 +56,7 @@ main()
     std::printf("=== Table 4: training memory, full vs sparse BP "
                 "(planner on paper-scale graphs) ===\n\n");
     printRow({"platform", "model", "params", "method", "total",
-              "activations", "save"},
+              "activations", "workspace", "save"},
              16);
 
     Rng rng(1);
@@ -103,7 +105,11 @@ main()
     }
 
     std::printf("\n\"total\" = params + activations + gradients + "
-                "optimizer state; \"sparse(no-reord)\" isolates the "
+                "optimizer state + kernel workspaces; \"activations\" "
+                "is the planned arena (workspaces included since "
+                "Arena v2 — the \"workspace\" column breaks out their "
+                "peak so rows stay comparable with pre-workspace "
+                "reports); \"sparse(no-reord)\" isolates the "
                 "operator-reordering contribution (Section 3.2).\n");
     return 0;
 }

@@ -74,10 +74,10 @@ EagerEngine::evalNode(const Graph &g, int id,
     ctx.out = out.data();
     ctx.outShape = &n.shape;
     ctx.step = step_;
-    std::vector<float> scratch(kernelScratchSize(g, n, ""), 0.0f);
-    bool ready = false;
-    ctx.scratch = scratch.empty() ? nullptr : scratch.data();
-    ctx.scratchReady = &ready;
+    // Fresh per-call workspace (eager design: nothing planned, no
+    // cross-step caching — the shared-region cache stays cold).
+    DirectWorkspace ws;
+    ws.attach(ctx, g, n, "");
     lookupKernel(n.op, "")(ctx); // dynamic dispatch each call
     ++stats_.opsExecuted;
     liveBytes_ += out.size() * 4;

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Storage element types for the byte-addressed arena (Arena v2).
+ *
+ * Every planned placement carries a DType tag so the memory plan —
+ * the source of Table 4's footprint numbers — stays honest when
+ * non-fp32 storage (quantized int8 inference, fp16 activations)
+ * lands. All graph values are F32 today; the planner tags each
+ * placement and sizes it via dtypeSize() instead of a hard-coded 4.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace pe {
+
+enum class DType : uint8_t {
+    F32,
+    F16,
+    I8,
+};
+
+constexpr int64_t
+dtypeSize(DType t)
+{
+    return t == DType::F32 ? 4 : t == DType::F16 ? 2 : 1;
+}
+
+constexpr const char *
+dtypeName(DType t)
+{
+    return t == DType::F32 ? "f32" : t == DType::F16 ? "f16" : "i8";
+}
+
+} // namespace pe

@@ -28,8 +28,13 @@ TrainingProgram::TrainingProgram(Graph g, int loss_id,
     report_.kernelSteps = executor_->numSteps();
     const MemoryPlan &mp = executor_->memoryPlan();
     report_.arenaBytes = mp.arenaBytes;
+    report_.workspaceBytes = mp.workspaceBytes;
     report_.paramBytes = mp.paramBytes;
     report_.totalBytes = mp.totalBytes();
+    report_.memoryTimeline = mp.liveBytesAtStep;
+    report_.peakLiveBytes = mp.peakLiveBytes;
+    report_.shardedSteps = executor_->shardedSteps();
+    report_.serializedByWorkspace = executor_->serializedByWorkspace();
 }
 
 float
@@ -179,21 +184,12 @@ compileGraphOnly(const Graph &forward, int loss_id,
     if (loss < 0)
         throw std::runtime_error("compileGraphOnly: loss eliminated");
 
-    // 5. Scheduling (+ ablation number for the report). The greedy
-    //    memory-aware schedule is not guaranteed to beat creation
-    //    order on every graph, so plan both and keep the cheaper —
-    //    both are computed at compile time anyway.
-    report.arenaBytesNoReorder = planMemory(g, naturalOrder(g)).arenaBytes;
-    std::vector<int> order = naturalOrder(g);
-    if (options.reorder) {
-        std::vector<int> reordered = reorderForMemory(g);
-        if (planMemory(g, reordered).arenaBytes <
-            report.arenaBytesNoReorder) {
-            order = std::move(reordered);
-        }
-    }
-
-    // 6. Backend switching.
+    // 5. Backend switching. Variants are order-independent (they read
+    //    shapes and trainability only), and selecting them before
+    //    scheduling lets the planner include each kernel's declared
+    //    workspace in every number below — the schedule choice, the
+    //    reorder ablation, and the reported footprint all see the
+    //    same honest arena.
     BackendOptions bopt;
     bopt.enableWinograd = options.winograd;
     bopt.enableBlocked = options.blocked;
@@ -215,11 +211,35 @@ compileGraphOnly(const Graph &forward, int loss_id,
         }
     }
 
+    // 6. Scheduling (+ ablation number for the report). The greedy
+    //    memory-aware schedule is not guaranteed to beat creation
+    //    order on every graph, so plan both and keep the cheaper —
+    //    both are computed at compile time anyway. Workspace requests
+    //    are node-keyed, so one launch summary serves both orders.
+    int threads = options.numThreads <= 0 ? HostDevice::hardwareThreads()
+                                          : options.numThreads;
+    std::vector<int> order = naturalOrder(g);
+    LaunchSummary launches = planLaunches(g, order, out.variants, threads);
+    MemoryPlan plan = planMemory(g, order, launches.workspaces);
+    report.arenaBytesNoReorder = plan.arenaBytes;
+    if (options.reorder) {
+        std::vector<int> reordered = reorderForMemory(g);
+        MemoryPlan replan = planMemory(g, reordered, launches.workspaces);
+        if (replan.arenaBytes < plan.arenaBytes) {
+            order = std::move(reordered);
+            plan = std::move(replan);
+        }
+    }
+
     report.flopsPerStep = g.totalFlops();
-    MemoryPlan plan = planMemory(g, order);
     report.arenaBytes = plan.arenaBytes;
+    report.workspaceBytes = plan.workspaceBytes;
     report.paramBytes = plan.paramBytes;
     report.totalBytes = plan.totalBytes();
+    report.memoryTimeline = std::move(plan.liveBytesAtStep);
+    report.peakLiveBytes = plan.peakLiveBytes;
+    report.shardedSteps = launches.shardedSteps;
+    report.serializedByWorkspace = launches.serializedByWorkspace;
     report.kernelSteps = 0;
     for (int id : order) {
         if (!isSourceOp(g.node(id).op))

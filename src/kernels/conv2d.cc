@@ -10,8 +10,10 @@
  * output-channel) pairs; the input backward over images (each image's
  * dx is scattered to independently); the weight backward over output
  * channels (each channel's dw rows accumulate over images
- * independently). "im2col" shares one column buffer across the whole
- * invocation and stays unsplittable.
+ * independently). "im2col" splits over images — every shard unfolds
+ * into its own workspace column buffer (one image's column matrix),
+ * so the kernel shards like any other instead of being serialized by
+ * scratch.
  */
 
 #include <cstring>
@@ -73,7 +75,7 @@ conv2dNaive(const KernelCtx &c)
     }
 }
 
-/** im2col + GEMM; scratch holds the column matrix for one image. */
+/** im2col + GEMM; the workspace holds one image's column matrix. */
 void
 conv2dIm2col(const KernelCtx &c)
 {
@@ -85,8 +87,8 @@ conv2dIm2col(const KernelCtx &c)
     const float *x = c.in[0], *w = c.in[1];
     int64_t k = d.ci * d.kh * d.kw;
     int64_t cols = d.ho * d.wo;
-    float *col = c.scratch;
-    for (int64_t n = 0; n < d.n; ++n) {
+    float *col = c.workspace;
+    for (int64_t n = c.begin; n < partitionEnd(c, d.n); ++n) {
         const float *xn = x + n * d.ci * d.h * d.w;
         // Unfold.
         int64_t r = 0;
@@ -328,6 +330,17 @@ dwConv2dBwdWeight(const KernelCtx &c)
     }
 }
 
+/** One image's column matrix: ci*kh*kw rows by ho*wo columns. */
+WorkspaceSpec
+im2colWorkspace(const Graph &g, const Node &n)
+{
+    const Shape &w = g.node(n.inputs[1]).shape;
+    int64_t ho = n.shape[2], wo = n.shape[3];
+    WorkspaceSpec spec;
+    spec.bytesPerShard = w[1] * w[2] * w[3] * ho * wo * 4;
+    return spec;
+}
+
 } // namespace
 
 namespace detail {
@@ -339,7 +352,8 @@ registerConvKernels()
     PartitionSpec dxImages{part::outDim0, 1};
     PartitionSpec dwChannels{part::outDim0, 1};
     registerKernel(OpKind::Conv2d, "", conv2dNaive, images);
-    registerKernel(OpKind::Conv2d, "im2col", conv2dIm2col);
+    registerKernel(OpKind::Conv2d, "im2col", conv2dIm2col, dxImages,
+                   im2colWorkspace);
     registerKernel(OpKind::Conv2dBwdInput, "", conv2dBwdInput, dxImages);
     registerKernel(OpKind::Conv2dBwdWeight, "", conv2dBwdWeight,
                    dwChannels);

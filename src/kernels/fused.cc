@@ -8,14 +8,15 @@
  * flattened (image, output-channel) pairs, the GEMM form over output
  * rows.
  *
- * Also defines kernelScratchSize(), the planner's query for per-node
- * scratch (im2col column buffers, cached Winograd filter transforms).
+ * Scratch requirements are declared per kernel via WorkspaceSpec in
+ * each kernel's own translation unit (the Winograd ConvBiasAct
+ * variant registers its cached-transform workspace in winograd.cc);
+ * the direct fused kernels here need none.
  */
 
 #include <cmath>
 #include <cstring>
 
-#include "ir/infer.h"
 #include "kernels/kernel.h"
 
 namespace pe {
@@ -153,26 +154,6 @@ matmulBiasActK(const KernelCtx &c)
 }
 
 } // namespace
-
-int64_t
-kernelScratchSize(const Graph &g, const Node &n, const std::string &variant)
-{
-    if ((n.op == OpKind::Conv2d || n.op == OpKind::ConvBiasAct) &&
-        variant == "winograd") {
-        const Shape &w = g.node(n.inputs[1]).shape;
-        return w[0] * w[1] * 16; // cached filter transforms
-    }
-    if (n.op == OpKind::Conv2d && variant == "im2col") {
-        const Shape &x = g.node(n.inputs[0]).shape;
-        const Shape &w = g.node(n.inputs[1]).shape;
-        int64_t s = n.attrs.getInt("stride", 1);
-        int64_t p = n.attrs.getInt("pad", 0);
-        int64_t ho = convOutDim(x[2], w[2], s, p);
-        int64_t wo = convOutDim(x[3], w[3], s, p);
-        return w[1] * w[2] * w[3] * ho * wo;
-    }
-    return 0;
-}
 
 namespace detail {
 

@@ -18,6 +18,15 @@
  * A default-constructed range (begin == end == 0) means "the full
  * domain", so unsharded callers (tests, the eager baseline, benches)
  * need no changes.
+ *
+ * Workspaces (Arena v2): a kernel that needs scratch declares a
+ * WorkspaceSpec — bytes per shard (each shard of a partitioned launch
+ * gets its own instance, so scratch no longer serializes a kernel)
+ * plus an optional shared once-per-bind region for data that persists
+ * across steps (Winograd's cached filter transforms). The memory
+ * planner places workspaces in the SAME arena as values, live only
+ * during their step, so the reported footprint finally includes them
+ * and best-fit reuses the space across steps.
  */
 
 #pragma once
@@ -42,9 +51,12 @@ struct KernelCtx {
     float *out = nullptr;             ///< output buffer
     const Shape *outShape = nullptr;
     int64_t step = 0;                 ///< global optimizer step (Adam)
-    float *scratch = nullptr;         ///< per-node scratch, may be null
-    bool *scratchReady = nullptr;     ///< persistent flag for cached
-                                      ///< precomputation (Winograd)
+    float *workspace = nullptr;       ///< THIS shard's private scratch
+                                      ///< (WorkspaceSpec::bytesPerShard)
+    float *shared = nullptr;          ///< once-per-bind region, shared
+                                      ///< by all shards of the node
+    bool *sharedReady = nullptr;      ///< true once `shared` holds
+                                      ///< valid data (Winograd cache)
     int64_t begin = 0;                ///< partition range over the
     int64_t end = 0;                  ///< kernel's declared domain;
                                       ///< begin == end == 0 -> full
@@ -57,15 +69,18 @@ using KernelFn = void (*)(const KernelCtx &);
 /**
  * How a kernel's work splits across threads. The domain is a
  * kernel-defined 1-D index set (rows, images, flattened elements…);
- * shards of it must write disjoint output bytes and must not share
- * scratch. Kernels whose accumulation spans the whole domain (scalar
- * losses, axis reductions into shared slots) stay unsplittable.
+ * shards of it must write disjoint output bytes. Each shard receives
+ * its own workspace instance, so scratch-bearing kernels partition
+ * like any other. Kernels whose accumulation spans the whole domain
+ * (scalar losses, axis reductions into shared slots) stay
+ * unsplittable.
  */
 struct PartitionSpec {
     /**
      * Domain extent for one invocation, computed from the bound ctx
      * (shapes are static, so this runs once at bind time). Null means
-     * the kernel is not splittable.
+     * the kernel is not splittable. Must depend only on shapes and
+     * node attrs — the planner evaluates it before buffers exist.
      */
     int64_t (*extent)(const KernelCtx &) = nullptr;
     /** Minimum domain elements per shard (don't split tiny work). */
@@ -74,10 +89,40 @@ struct PartitionSpec {
     bool splittable() const { return extent != nullptr; }
 };
 
-/** Registry entry: the kernel plus how to partition it. */
+/**
+ * Declared scratch requirement of (node, variant) — the replacement
+ * for the old implicit kernelScratchSize() contract. All quantities
+ * are BYTES; the planner places them in the arena and the executor
+ * resolves them to pointers at bind time.
+ */
+struct WorkspaceSpec {
+    /** Private scratch per shard; every shard of a partitioned launch
+     *  gets its own instance at a distinct arena offset. */
+    int64_t bytesPerShard = 0;
+    /** One region per node, shared by all shards and persistent
+     *  across steps (e.g. cached Winograd filter transforms). */
+    int64_t sharedBytes = 0;
+    /**
+     * Optional hook that fills `shared` and sets *sharedReady. The
+     * executor runs it serially during warm-up (before the first
+     * sharded launch touches the region), so shards never race on the
+     * shared region. Direct callers may skip it — kernels fall back
+     * to lazily initializing `shared` themselves, which is safe
+     * because direct calls are serial.
+     */
+    void (*init)(const KernelCtx &) = nullptr;
+
+    bool any() const { return bytesPerShard > 0 || sharedBytes > 0; }
+};
+
+/** Workspace query: sizes from static shapes, at compile time. */
+using WorkspaceFn = WorkspaceSpec (*)(const Graph &, const Node &);
+
+/** Registry entry: the kernel plus how to partition and feed it. */
 struct KernelInfo {
     KernelFn fn = nullptr;
     PartitionSpec part;
+    WorkspaceFn workspace = nullptr; ///< null -> no scratch needed
     /** True if the requested variant was missing and "" was used. */
     bool fellBack = false;
 };
@@ -107,13 +152,67 @@ KernelInfo lookupKernelInfo(OpKind op, const std::string &variant = "");
 /** True if a kernel is registered for (op, variant) exactly. */
 bool hasKernelVariant(OpKind op, const std::string &variant);
 
-/** Scratch floats needed by (node, variant); 0 for most kernels. */
-int64_t kernelScratchSize(const Graph &g, const Node &n,
-                          const std::string &variant);
+/**
+ * Workspace declared by the kernel bound to (node, variant), with the
+ * registry's fallback rule applied. Zero for most kernels.
+ */
+WorkspaceSpec kernelWorkspace(const Graph &g, const Node &n,
+                              const std::string &variant);
 
 /** Registration hook used by the kernel translation units. */
 void registerKernel(OpKind op, const std::string &variant, KernelFn fn,
-                    PartitionSpec part = {});
+                    PartitionSpec part = {}, WorkspaceFn workspace = nullptr);
+
+/**
+ * Owns workspace storage for one direct (un-planned) kernel call —
+ * tests, the eager baseline, constant folding. Attach before
+ * invoking; reuse across calls to exercise the shared-region cache.
+ */
+class DirectWorkspace
+{
+  public:
+    void
+    attach(KernelCtx &c, const WorkspaceSpec &spec)
+    {
+        // Idempotent: reattaching with the same spec keeps the shared
+        // region's cached contents (and its ready flag) intact.
+        size_t per = static_cast<size_t>((spec.bytesPerShard + 3) / 4);
+        if (perShard_.size() != per)
+            perShard_.assign(per, 0.0f);
+        if (per > 0)
+            c.workspace = perShard_.data();
+        size_t sh = static_cast<size_t>((spec.sharedBytes + 3) / 4);
+        if (shared_.size() != sh) {
+            shared_.assign(sh, 0.0f);
+            ready_ = false;
+        }
+        if (sh > 0)
+            c.shared = shared_.data();
+        c.sharedReady = &ready_;
+    }
+
+    /** Attach the workspace declared for (node, variant). The cached
+     *  shared region is invalidated when the node changes, so one
+     *  DirectWorkspace reused across different nodes never serves
+     *  another node's cached transforms. */
+    void
+    attach(KernelCtx &c, const Graph &g, const Node &n,
+           const std::string &variant = "")
+    {
+        if (&n != boundNode_) {
+            ready_ = false;
+            boundNode_ = &n;
+        }
+        attach(c, kernelWorkspace(g, n, variant));
+    }
+
+    bool ready() const { return ready_; }
+
+  private:
+    std::vector<float> perShard_, shared_;
+    const Node *boundNode_ = nullptr;
+    bool ready_ = false;
+};
 
 namespace detail {
 /** Force-link all kernel TUs (each defines a registrar object). */

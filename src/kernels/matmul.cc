@@ -7,7 +7,12 @@
  * forward MatMul primitive (paper Fig. 3: dW = G * X^T).
  *
  * Partitioning: MatMul splits over output rows, BatchMatMul over the
- * batch — each shard writes a disjoint slab of the output.
+ * batch — each shard writes a disjoint slab of the output. The
+ * blocked variant declares a per-shard workspace holding one packed
+ * B panel (kBlock x kBlock), so strided/transposed B tiles are read
+ * once and then streamed contiguously; packing copies values without
+ * reordering the accumulation, so results stay bit-identical to the
+ * unpacked loop.
  */
 
 #include <cstring>
@@ -16,6 +21,8 @@
 
 namespace pe {
 namespace {
+
+constexpr int64_t kBlock = 48;
 
 struct GemmView {
     const float *data;
@@ -29,11 +36,12 @@ struct GemmView {
     }
 };
 
-/** Rows [r0, r1) of a x b into out. */
+/** Rows [r0, r1) of a x b into out. @p ws unused (no workspace). */
 void
 gemmNaive(const GemmView &a, const GemmView &b, float *out, int64_t r0,
-          int64_t r1)
+          int64_t r1, float *ws)
 {
+    (void)ws;
     for (int64_t i = r0; i < r1; ++i) {
         for (int64_t j = 0; j < b.cols; ++j) {
             float acc = 0;
@@ -44,25 +52,38 @@ gemmNaive(const GemmView &a, const GemmView &b, float *out, int64_t r0,
     }
 }
 
-/** Blocked GEMM with k-innermost accumulation into the output tile. */
+/**
+ * Blocked GEMM with k-innermost accumulation into the output tile.
+ * @p ws holds the packed B panel (kBlock * kBlock floats).
+ */
 void
 gemmBlocked(const GemmView &a, const GemmView &b, float *out, int64_t r0,
-            int64_t r1)
+            int64_t r1, float *ws)
 {
-    constexpr int64_t kBlock = 48;
     int64_t n = b.cols, kk = a.cols;
     std::memset(out + r0 * n, 0, sizeof(float) * (r1 - r0) * n);
-    for (int64_t i0 = r0; i0 < r1; i0 += kBlock) {
-        int64_t i1 = std::min(i0 + kBlock, r1);
-        for (int64_t k0 = 0; k0 < kk; k0 += kBlock) {
-            int64_t k1 = std::min(k0 + kBlock, kk);
-            for (int64_t j0 = 0; j0 < n; j0 += kBlock) {
-                int64_t j1 = std::min(j0 + kBlock, n);
+    for (int64_t k0 = 0; k0 < kk; k0 += kBlock) {
+        int64_t k1 = std::min(k0 + kBlock, kk);
+        for (int64_t j0 = 0; j0 < n; j0 += kBlock) {
+            int64_t j1 = std::min(j0 + kBlock, n);
+            // Pack B[k0:k1, j0:j1] once per panel; the packed copy is
+            // value-identical, so accumulation below is bit-identical
+            // to reading B directly.
+            int64_t jw = j1 - j0;
+            for (int64_t k = k0; k < k1; ++k) {
+                float *dst = ws + (k - k0) * jw;
+                for (int64_t j = j0; j < j1; ++j)
+                    dst[j - j0] = b.at(k, j);
+            }
+            for (int64_t i0 = r0; i0 < r1; i0 += kBlock) {
+                int64_t i1 = std::min(i0 + kBlock, r1);
                 for (int64_t i = i0; i < i1; ++i) {
+                    float *orow = out + i * n + j0;
                     for (int64_t k = k0; k < k1; ++k) {
                         float av = a.at(i, k);
-                        for (int64_t j = j0; j < j1; ++j)
-                            out[i * n + j] += av * b.at(k, j);
+                        const float *brow = ws + (k - k0) * jw;
+                        for (int64_t j = 0; j < jw; ++j)
+                            orow[j] += av * brow[j];
                     }
                 }
             }
@@ -79,7 +100,7 @@ viewOf(const float *data, const Shape &s, bool trans)
 }
 
 template <void (*Gemm)(const GemmView &, const GemmView &, float *,
-                       int64_t, int64_t)>
+                       int64_t, int64_t, float *)>
 void
 matmulK(const KernelCtx &c)
 {
@@ -87,11 +108,11 @@ matmulK(const KernelCtx &c)
     bool tb = c.node->attrs.getInt("transB", 0) != 0;
     GemmView a = viewOf(c.in[0], *c.inShapes[0], ta);
     GemmView b = viewOf(c.in[1], *c.inShapes[1], tb);
-    Gemm(a, b, c.out, c.begin, partitionEnd(c, a.rows));
+    Gemm(a, b, c.out, c.begin, partitionEnd(c, a.rows), c.workspace);
 }
 
 template <void (*Gemm)(const GemmView &, const GemmView &, float *,
-                       int64_t, int64_t)>
+                       int64_t, int64_t, float *)>
 void
 batchMatmulK(const KernelCtx &c)
 {
@@ -106,7 +127,7 @@ batchMatmulK(const KernelCtx &c)
     for (int64_t n = c.begin; n < partitionEnd(c, batch); ++n) {
         GemmView a = viewOf(c.in[0] + n * a_stride, {as[1], as[2]}, ta);
         GemmView b = viewOf(c.in[1] + n * b_stride, {bs[1], bs[2]}, tb);
-        Gemm(a, b, c.out + n * o_stride, 0, a.rows);
+        Gemm(a, b, c.out + n * o_stride, 0, a.rows, c.workspace);
     }
 }
 
@@ -116,6 +137,15 @@ int64_t
 matmulRows(const KernelCtx &c)
 {
     return (*c.outShape)[0];
+}
+
+/** One packed B panel per shard. */
+WorkspaceSpec
+blockedWorkspace(const Graph &, const Node &)
+{
+    WorkspaceSpec spec;
+    spec.bytesPerShard = kBlock * kBlock * 4;
+    return spec;
 }
 
 } // namespace
@@ -128,11 +158,12 @@ registerMatmulKernels()
     PartitionSpec rows{matmulRows, 8};
     PartitionSpec batch{part::outDim0, 1};
     registerKernel(OpKind::MatMul, "", matmulK<gemmNaive>, rows);
-    registerKernel(OpKind::MatMul, "blocked", matmulK<gemmBlocked>, rows);
+    registerKernel(OpKind::MatMul, "blocked", matmulK<gemmBlocked>, rows,
+                   blockedWorkspace);
     registerKernel(OpKind::BatchMatMul, "", batchMatmulK<gemmNaive>,
                    batch);
     registerKernel(OpKind::BatchMatMul, "blocked",
-                   batchMatmulK<gemmBlocked>, batch);
+                   batchMatmulK<gemmBlocked>, batch, blockedWorkspace);
 }
 
 } // namespace detail

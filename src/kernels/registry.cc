@@ -20,9 +20,9 @@ registry()
 
 void
 registerKernel(OpKind op, const std::string &variant, KernelFn fn,
-               PartitionSpec part)
+               PartitionSpec part, WorkspaceFn workspace)
 {
-    registry()[{op, variant}] = {fn, part, false};
+    registry()[{op, variant}] = {fn, part, workspace, false};
 }
 
 namespace part {
@@ -133,6 +133,13 @@ hasKernelVariant(OpKind op, const std::string &variant)
 {
     detail::ensureKernelsRegistered();
     return registry().count({op, variant}) > 0;
+}
+
+WorkspaceSpec
+kernelWorkspace(const Graph &g, const Node &n, const std::string &variant)
+{
+    KernelInfo info = lookupKernelInfo(n.op, variant);
+    return info.workspace ? info.workspace(g, n) : WorkspaceSpec{};
 }
 
 } // namespace pe

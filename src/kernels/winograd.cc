@@ -9,7 +9,15 @@
  * the compiler knows which. The backend-switching pass binds frozen
  * 3x3 stride-1 convolutions to this kernel and marks the weight as
  * static ("staticWeight" attr); the transformed weights are then
- * computed once and cached in the node's scratch buffer.
+ * computed once and cached in the node's SHARED workspace region,
+ * which the executor initializes serially at warm-up.
+ *
+ * Partitioning: the domain is the flattened (image, tile-row) pairs —
+ * each tile row owns two output rows, so shards write disjoint output
+ * slabs. Every shard carries a private workspace holding the
+ * transformed-input buffer (and, for non-static weights, its own
+ * filter transforms), so the kernel participates in the launch plan
+ * instead of being serialized by scratch.
  */
 
 #include <cstring>
@@ -38,6 +46,16 @@ transformFilter(const float *g, float *u)
         u[i * 4 + 1] = 0.5f * (t0 + t1 + t2);
         u[i * 4 + 2] = 0.5f * (t0 - t1 + t2);
         u[i * 4 + 3] = t2;
+    }
+}
+
+/** All co*ci filter transforms of weight @p w into @p u [co, ci, 16]. */
+void
+transformAllFilters(const float *w, int64_t co, int64_t ci, float *u)
+{
+    for (int64_t o = 0; o < co; ++o) {
+        for (int64_t i = 0; i < ci; ++i)
+            transformFilter(w + (o * ci + i) * 9, u + (o * ci + i) * 16);
     }
 }
 
@@ -75,10 +93,20 @@ transformOutput(const float m[4][4], float y[2][2])
     }
 }
 
+bool
+staticWeight(const KernelCtx &c)
+{
+    return c.node->attrs.getInt("staticWeight", 0) != 0;
+}
+
 /**
  * Core Winograd conv. @p bias may be null; @p act is an ActKind.
  * Requires kh == kw == 3 and stride == 1 (the backend-switching pass
  * guarantees this before binding the variant).
+ *
+ * Workspace layout (per shard): [vbuf: ci*16] and, when the weight is
+ * not static, [u: co*ci*16] after it. Static weights read u from the
+ * shared region instead (cached across steps and shards).
  */
 void
 winogradConv(const KernelCtx &c, const float *bias, int64_t act)
@@ -86,76 +114,76 @@ winogradConv(const KernelCtx &c, const float *bias, int64_t act)
     const Shape &xs = *c.inShapes[0];
     const Shape &ws = *c.inShapes[1];
     int64_t pad = c.node->attrs.getInt("pad", 0);
-    int64_t n = xs[0], ci = xs[1], h = xs[2], w = xs[3];
+    int64_t ci = xs[1], h = xs[2], w = xs[3];
     int64_t co = ws[0];
     int64_t ho = (*c.outShape)[2], wo = (*c.outShape)[3];
+    int64_t tiles_h = (ho + 1) / 2, tiles_w = (wo + 1) / 2;
 
-    // Transformed filters, cached across calls when the weight is
-    // static (frozen layer).
-    float *u = c.scratch; // [co, ci, 16]
-    bool is_static = c.node->attrs.getInt("staticWeight", 0) != 0;
-    if (!is_static || !*c.scratchReady) {
-        for (int64_t o = 0; o < co; ++o) {
-            for (int64_t i = 0; i < ci; ++i) {
-                transformFilter(c.in[1] + (o * ci + i) * 9,
-                                u + (o * ci + i) * 16);
-            }
+    float *vbuf = c.workspace; // [ci, 16]
+    const float *u;            // [co, ci, 16] transformed filters
+    if (staticWeight(c) && c.shared) {
+        // Cached across calls; normally filled by the executor's
+        // warm-up (via the init hook) before any sharded launch. The
+        // lazy branch serves direct serial callers only.
+        if (c.sharedReady && !*c.sharedReady) {
+            transformAllFilters(c.in[1], co, ci, c.shared);
+            *c.sharedReady = true;
         }
-        if (c.scratchReady)
-            *c.scratchReady = true;
+        u = c.shared;
+    } else {
+        float *uw = c.workspace + ci * 16;
+        transformAllFilters(c.in[1], co, ci, uw);
+        u = uw;
     }
 
-    int64_t tiles_h = (ho + 1) / 2, tiles_w = (wo + 1) / 2;
-    std::vector<float> vbuf(ci * 16);
-    for (int64_t ni = 0; ni < n; ++ni) {
-        for (int64_t th = 0; th < tiles_h; ++th) {
-            for (int64_t tw = 0; tw < tiles_w; ++tw) {
-                // Gather the 4x4 input tile per channel (implicit pad).
-                for (int64_t i = 0; i < ci; ++i) {
-                    float d[4][4];
-                    const float *xp = c.in[0] + (ni * ci + i) * h * w;
-                    for (int a = 0; a < 4; ++a) {
-                        int64_t ih = th * 2 - pad + a;
-                        for (int b = 0; b < 4; ++b) {
-                            int64_t iw = tw * 2 - pad + b;
-                            bool ok = ih >= 0 && ih < h && iw >= 0 &&
-                                      iw < w;
-                            d[a][b] = ok ? xp[ih * w + iw] : 0.0f;
-                        }
+    int64_t hi = partitionEnd(c, xs[0] * tiles_h);
+    for (int64_t idx = c.begin; idx < hi; ++idx) {
+        int64_t ni = idx / tiles_h, th = idx % tiles_h;
+        for (int64_t tw = 0; tw < tiles_w; ++tw) {
+            // Gather the 4x4 input tile per channel (implicit pad).
+            for (int64_t i = 0; i < ci; ++i) {
+                float d[4][4];
+                const float *xp = c.in[0] + (ni * ci + i) * h * w;
+                for (int a = 0; a < 4; ++a) {
+                    int64_t ih = th * 2 - pad + a;
+                    for (int b = 0; b < 4; ++b) {
+                        int64_t iw = tw * 2 - pad + b;
+                        bool ok = ih >= 0 && ih < h && iw >= 0 &&
+                                  iw < w;
+                        d[a][b] = ok ? xp[ih * w + iw] : 0.0f;
                     }
-                    float v[4][4];
-                    transformInput(d, v);
-                    std::memcpy(vbuf.data() + i * 16, v,
-                                16 * sizeof(float));
                 }
-                // Per output channel: elementwise product + sum.
-                for (int64_t o = 0; o < co; ++o) {
-                    float m[4][4];
-                    std::memset(m, 0, sizeof(m));
-                    const float *uo = u + o * ci * 16;
-                    for (int64_t i = 0; i < ci; ++i) {
-                        const float *ui = uo + i * 16;
-                        const float *vi = vbuf.data() + i * 16;
-                        for (int k = 0; k < 16; ++k)
-                            m[k / 4][k % 4] += ui[k] * vi[k];
-                    }
-                    float y[2][2];
-                    transformOutput(m, y);
-                    float b = bias ? bias[o] : 0.0f;
-                    float *op = c.out + (ni * co + o) * ho * wo;
-                    for (int a = 0; a < 2; ++a) {
-                        int64_t oh = th * 2 + a;
-                        if (oh >= ho)
+                float v[4][4];
+                transformInput(d, v);
+                std::memcpy(vbuf + i * 16, v, 16 * sizeof(float));
+            }
+            // Per output channel: elementwise product + sum.
+            for (int64_t o = 0; o < co; ++o) {
+                float m[4][4];
+                std::memset(m, 0, sizeof(m));
+                const float *uo = u + o * ci * 16;
+                for (int64_t i = 0; i < ci; ++i) {
+                    const float *ui = uo + i * 16;
+                    const float *vi = vbuf + i * 16;
+                    for (int k = 0; k < 16; ++k)
+                        m[k / 4][k % 4] += ui[k] * vi[k];
+                }
+                float y[2][2];
+                transformOutput(m, y);
+                float b = bias ? bias[o] : 0.0f;
+                float *op = c.out + (ni * co + o) * ho * wo;
+                for (int a = 0; a < 2; ++a) {
+                    int64_t oh = th * 2 + a;
+                    if (oh >= ho)
+                        continue;
+                    for (int bb = 0; bb < 2; ++bb) {
+                        int64_t ow = tw * 2 + bb;
+                        if (ow >= wo)
                             continue;
-                        for (int bb = 0; bb < 2; ++bb) {
-                            int64_t ow = tw * 2 + bb;
-                            if (ow >= wo)
-                                continue;
-                            float v = y[a][bb] + b;
-                            if (act == kActRelu && v < 0)
-                                v = 0;
-                            op[oh * wo + ow] = v;
-                        }
+                        float v = y[a][bb] + b;
+                        if (act == kActRelu && v < 0)
+                            v = 0;
+                        op[oh * wo + ow] = v;
                     }
                 }
             }
@@ -175,6 +203,37 @@ winogradConvBiasActK(const KernelCtx &c)
     winogradConv(c, c.in[2], c.node->attrs.getInt("act", kActNone));
 }
 
+/** Warm-up hook: fill the shared region with the filter transforms. */
+void
+winogradInitShared(const KernelCtx &c)
+{
+    const Shape &ws = *c.inShapes[1];
+    transformAllFilters(c.in[1], ws[0], ws[1], c.shared);
+    if (c.sharedReady)
+        *c.sharedReady = true;
+}
+
+WorkspaceSpec
+winogradWorkspace(const Graph &g, const Node &n)
+{
+    const Shape &w = g.node(n.inputs[1]).shape;
+    int64_t co = w[0], ci = w[1];
+    bool is_static = n.attrs.getInt("staticWeight", 0) != 0;
+    WorkspaceSpec spec;
+    spec.bytesPerShard =
+        (ci * 16 + (is_static ? 0 : co * ci * 16)) * 4;
+    spec.sharedBytes = is_static ? co * ci * 16 * 4 : 0;
+    spec.init = is_static ? winogradInitShared : nullptr;
+    return spec;
+}
+
+/** Flattened (image, output-tile-row) pairs. */
+int64_t
+winogradTileRows(const KernelCtx &c)
+{
+    return (*c.outShape)[0] * (((*c.outShape)[2] + 1) / 2);
+}
+
 } // namespace
 
 namespace detail {
@@ -182,8 +241,11 @@ namespace detail {
 void
 registerWinogradKernels()
 {
-    registerKernel(OpKind::Conv2d, "winograd", winogradConvK);
-    registerKernel(OpKind::ConvBiasAct, "winograd", winogradConvBiasActK);
+    PartitionSpec tileRows{winogradTileRows, 1};
+    registerKernel(OpKind::Conv2d, "winograd", winogradConvK, tileRows,
+                   winogradWorkspace);
+    registerKernel(OpKind::ConvBiasAct, "winograd", winogradConvBiasActK,
+                   tileRows, winogradWorkspace);
 }
 
 } // namespace detail

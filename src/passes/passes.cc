@@ -144,10 +144,8 @@ constantFold(Graph &g)
         Tensor out(n.shape);
         ctx.out = out.data();
         ctx.outShape = &n.shape;
-        std::vector<float> scratch(kernelScratchSize(g, n, ""), 0.0f);
-        bool ready = false;
-        ctx.scratch = scratch.empty() ? nullptr : scratch.data();
-        ctx.scratchReady = &ready;
+        DirectWorkspace ws;
+        ws.attach(ctx, g, n, "");
         lookupKernel(n.op, "")(ctx);
         Shape shape = n.shape;
         n.op = OpKind::Const;

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The runtime arena: one cache-line-aligned byte buffer backing every
+ * planned placement — activations, gradients, temporaries, and (since
+ * Arena v2) kernel workspaces. The executor resolves each placement
+ * to `data() + offset` once at bind time; nothing is allocated per
+ * step. Offsets come from the planner and are 64-byte aligned, so a
+ * 64-byte-aligned base keeps every placement aligned for SIMD loads
+ * regardless of dtype.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace pe {
+
+class Arena
+{
+  public:
+    Arena() = default;
+
+    explicit Arena(int64_t bytes) { reset(bytes); }
+
+    ~Arena() { std::free(buf_); }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    Arena(Arena &&o) noexcept : buf_(o.buf_), bytes_(o.bytes_)
+    {
+        o.buf_ = nullptr;
+        o.bytes_ = 0;
+    }
+
+    Arena &
+    operator=(Arena &&o) noexcept
+    {
+        if (this != &o) {
+            std::free(buf_);
+            buf_ = o.buf_;
+            bytes_ = o.bytes_;
+            o.buf_ = nullptr;
+            o.bytes_ = 0;
+        }
+        return *this;
+    }
+
+    /** (Re)allocate to @p bytes, zero-filled. Previous contents are
+     *  dropped — the executor sizes the arena exactly once at bind. */
+    void
+    reset(int64_t bytes)
+    {
+        std::free(buf_);
+        buf_ = nullptr;
+        bytes_ = bytes;
+        if (bytes > 0) {
+            // Round up: aligned_alloc requires size % alignment == 0.
+            size_t padded =
+                (static_cast<size_t>(bytes) + kAlign - 1) / kAlign *
+                kAlign;
+            buf_ = static_cast<uint8_t *>(
+                std::aligned_alloc(kAlign, padded));
+            if (!buf_)
+                throw std::bad_alloc();
+            std::memset(buf_, 0, padded);
+        }
+    }
+
+    uint8_t *data() { return buf_; }
+    const uint8_t *data() const { return buf_; }
+    int64_t bytes() const { return bytes_; }
+
+    /** Typed view of the placement at @p byteOffset. */
+    template <typename T>
+    T *
+    at(int64_t byteOffset)
+    {
+        return reinterpret_cast<T *>(buf_ + byteOffset);
+    }
+
+    static constexpr size_t kAlign = 64;
+
+  private:
+    uint8_t *buf_ = nullptr;
+    int64_t bytes_ = 0;
+};
+
+} // namespace pe

@@ -19,14 +19,18 @@ Executor::Executor(const Graph &g, std::vector<int> order,
     pool_ = HostDevice::instance().pool(numThreads_);
     variants_.resize(g_.numNodes());
     store_.materialize(g_);
-    plan_ = planMemory(g_, order_);
-    arena_.assign(plan_.arenaBytes / 4 + 1, 0.0f);
+
+    // Plan launch shapes from static shapes, then hand the resulting
+    // workspace intervals to the memory planner: one arena holds
+    // values AND kernel scratch, so the reported footprint is honest.
+    LaunchSummary launches =
+        planLaunches(g_, order_, variants_, numThreads_);
+    plan_ = planMemory(g_, order_, launches.workspaces);
+    arena_.reset(plan_.arenaBytes);
 
     constBufs_.resize(g_.numNodes());
     inputPtrs_.assign(g_.numNodes(), nullptr);
     valuePtr_.assign(g_.numNodes(), nullptr);
-    scratch_.resize(g_.numNodes());
-    scratchReady_.assign(g_.numNodes(), 0);
 
     // Materialize constants and input staging buffers.
     for (int id = 0; id < g_.numNodes(); ++id) {
@@ -56,7 +60,7 @@ Executor::resolve(int id)
       case Storage::Alias:
         return resolve(n.inputs[0]);
       case Storage::Arena:
-        return arena_.data() + v.offset / 4;
+        return arena_.at<float>(v.offset);
     }
     throw std::runtime_error("Executor::resolve: bad storage");
 }
@@ -66,6 +70,12 @@ Executor::bindSteps()
 {
     steps_.clear();
     steps_.reserve(order_.size());
+
+    // Workspace placements by node id, from the plan.
+    std::vector<const WorkspacePlacement *> wsOf(g_.numNodes(), nullptr);
+    for (const WorkspacePlacement &w : plan_.workspaces)
+        wsOf[w.node] = &w;
+
     for (int id : order_) {
         const Node &n = g_.node(id);
         if (isSourceOp(n.op))
@@ -84,33 +94,75 @@ Executor::bindSteps()
         }
         s.ctx.out = resolve(id);
         s.ctx.outShape = &g_.node(id).shape;
-        int64_t scratch = kernelScratchSize(g_, n, variants_[id]);
-        if (scratch > 0) {
-            scratch_[id].assign(scratch, 0.0f);
-            s.ctx.scratch = scratch_[id].data();
-        }
-        s.ctx.scratchReady = reinterpret_cast<bool *>(&scratchReady_[id]);
         s.ctx.pool = pool_;
+        steps_.push_back(std::move(s));
+    }
+
+    // Shard-ready flags need stable addresses across the ctx copies
+    // below; size once, then never resize.
+    sharedReady_.assign(steps_.size(), 0);
+
+    for (size_t si = 0; si < steps_.size(); ++si) {
+        BoundStep &s = steps_[si];
+        const Node &n = g_.node(s.node);
+        KernelInfo info = lookupKernelInfo(n.op, variants_[s.node]);
+        const WorkspacePlacement *wsp = wsOf[s.node];
+
+        // Resolve the node's workspace placement to arena pointers.
+        WorkspaceSpec spec = info.workspace ? info.workspace(g_, n)
+                                            : WorkspaceSpec{};
+        if (spec.any() != (wsp != nullptr))
+            throw std::runtime_error(
+                "Executor: workspace plan out of sync for " +
+                std::string(opName(n.op)));
+        if (wsp) {
+            if (wsp->bytesPerShard > 0)
+                s.ctx.workspace = arena_.at<float>(wsp->shardOffset(0));
+            if (wsp->sharedBytes > 0) {
+                s.ctx.shared = arena_.at<float>(wsp->sharedOffset);
+                s.init = spec.init;
+            }
+        }
+        s.ctx.sharedReady =
+            reinterpret_cast<bool *>(&sharedReady_[si]);
 
         // Launch plan: how many shards, over which ranges. Decided
         // here, once, from static shapes — run() only replays it.
-        if (pool_ && info.part.splittable() && s.ctx.scratch == nullptr) {
+        // Workspaces no longer force a kernel serial: shard i runs on
+        // its own planned workspace instance.
+        if (pool_ && info.part.splittable()) {
             std::vector<int64_t> bounds = splitRange(
                 info.part.extent(s.ctx), info.part.minGrain, numThreads_);
             if (bounds.size() > 2) {
-                s.shards.reserve(bounds.size() - 1);
-                for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+                int shards = static_cast<int>(bounds.size()) - 1;
+                if (wsp && shards > wsp->shards)
+                    throw std::runtime_error(
+                        "Executor: launch plan has more shards than "
+                        "the planned workspace instances for " +
+                        std::string(opName(n.op)));
+                s.shards.reserve(shards);
+                for (int i = 0; i < shards; ++i) {
                     KernelCtx shard = s.ctx;
                     // A shard must never nest a dispatch on the pool
                     // it is running on.
                     shard.pool = nullptr;
                     shard.begin = bounds[i];
                     shard.end = bounds[i + 1];
+                    if (wsp && wsp->bytesPerShard > 0)
+                        shard.workspace =
+                            arena_.at<float>(wsp->shardOffset(i));
                     s.shards.push_back(std::move(shard));
                 }
             }
+            // Regression tripwire, measured against the plan actually
+            // bound above: a splittable scratch-bearing step whose
+            // domain splits at this thread count must have sharded —
+            // the pre-Arena-v2 executor refused exactly this case.
+            if (spec.any() && s.shards.size() <= 1 &&
+                bounds.size() > 2) {
+                ++serializedByWorkspace_;
+            }
         }
-        steps_.push_back(std::move(s));
     }
     bound_ = true;
 }
@@ -150,6 +202,17 @@ Executor::bindInputById(int id, const Tensor &t)
 void
 Executor::run()
 {
+    if (!warm_) {
+        // Serial warm-up: fill every declared shared region (cached
+        // Winograd filter transforms) before any sharded launch can
+        // touch it. Runs once; kernels then see sharedReady == true
+        // and never write the region again.
+        for (BoundStep &s : steps_) {
+            if (s.init && !*s.ctx.sharedReady)
+                s.init(s.ctx);
+        }
+        warm_ = true;
+    }
     ++step_;
     for (BoundStep &s : steps_) {
         if (s.shards.empty()) {

@@ -1,9 +1,10 @@
 /**
  * @file
  * The compiled-program executor: a flat list of kernel invocations
- * over one pre-planned arena. No graph interpretation, no dispatch
- * tables, no per-step allocation happens at run time — everything was
- * resolved at compile time (the paper's central systems argument).
+ * over one pre-planned byte arena. No graph interpretation, no
+ * dispatch tables, no per-step allocation happens at run time —
+ * everything was resolved at compile time (the paper's central
+ * systems argument).
  *
  * Parallel execution keeps that invariant: bindSteps() precomputes a
  * per-node launch plan (shard count and [begin, end) ranges over the
@@ -12,6 +13,14 @@
  * to the worker pool with a barrier before the next step. With
  * numThreads == 1 no plan is built and run() is the same straight
  * loop as before, bit for bit.
+ *
+ * Arena v2: kernel scratch is no longer ad-hoc per-node vectors. The
+ * planner places every workspace in the arena (live only during its
+ * step), bind resolves each shard's private instance and the node's
+ * shared region to arena offsets, and the first run() executes the
+ * declared init hooks serially (warming Winograd's cached transforms
+ * before any sharded launch can race on them). Scratch-bearing
+ * kernels therefore shard like any other.
  */
 
 #pragma once
@@ -24,6 +33,7 @@
 #include "hw/threadpool.h"
 #include "ir/graph.h"
 #include "kernels/kernel.h"
+#include "runtime/arena.h"
 #include "runtime/paramstore.h"
 #include "runtime/planner.h"
 
@@ -78,6 +88,14 @@ class Executor
     /** Steps whose launch plan has more than one shard. */
     int shardedSteps() const;
 
+    /**
+     * Splittable steps whose launch plan stayed serial only because
+     * they carry a workspace — the pre-Arena-v2 rule. Always 0 now
+     * (each shard gets its own planned workspace instance); exposed
+     * so the compile report can assert the regression never returns.
+     */
+    int serializedByWorkspace() const { return serializedByWorkspace_; }
+
     /** Effective thread count of this executor's launch plan. */
     int numThreads() const { return numThreads_; }
 
@@ -94,6 +112,8 @@ class Executor
         int node;
         KernelFn fn;
         KernelCtx ctx;
+        /** Warm-up hook: fills ctx.shared before the first run. */
+        void (*init)(const KernelCtx &) = nullptr;
         /** Precomputed per-shard contexts; empty = run ctx serially. */
         std::vector<KernelCtx> shards;
     };
@@ -104,19 +124,22 @@ class Executor
     std::vector<int> order_;
     ParamStore &store_;
     MemoryPlan plan_;
-    std::vector<float> arena_;
+    Arena arena_;                          ///< values + workspaces
     std::vector<Tensor> constBufs_;        ///< by node id (sparse)
     std::vector<const float *> inputPtrs_; ///< by node id
     std::vector<float *> valuePtr_;        ///< by node id
     std::vector<BoundStep> steps_;
-    std::vector<std::vector<float>> scratch_; ///< by node id
-    std::vector<char> scratchReady_;          ///< by node id
+    /** Shared-region validity flags, by step index (stable storage
+     *  for KernelCtx::sharedReady across shard copies). */
+    std::vector<char> sharedReady_;
     std::vector<std::string> variants_;
     std::vector<std::string> fallbacks_;
     int numThreads_ = 1;
+    int serializedByWorkspace_ = 0;
     ThreadPool *pool_ = nullptr; ///< owned by HostDevice; null if serial
     int64_t step_ = 0;
     bool bound_ = false;
+    bool warm_ = false; ///< init hooks run on the first run()
 
     void bindSteps();
 };

@@ -4,6 +4,9 @@
 #include <map>
 #include <stdexcept>
 
+#include "hw/threadpool.h"
+#include "kernels/kernel.h"
+
 namespace pe {
 
 namespace {
@@ -79,10 +82,27 @@ class FreeList
     int64_t top_ = 0;
 };
 
+/** Storage dtype of a value. Every graph value is fp32 today; the
+ *  per-placement tag is what a quantized/fp16 lowering would set. */
+DType
+dtypeOf(const Node &)
+{
+    return DType::F32;
+}
+
+/** Total per-step block of a workspace placement (all shard
+ *  instances, each padded to its aligned stride). */
+int64_t
+shardBlockBytes(int shards, int64_t bytesPerShard)
+{
+    return static_cast<int64_t>(shards) * alignUp(bytesPerShard);
+}
+
 } // namespace
 
 MemoryPlan
-planMemory(const Graph &g, const std::vector<int> &order)
+planMemory(const Graph &g, const std::vector<int> &order,
+           const std::vector<WorkspaceRequest> &workspaces)
 {
     int n = g.numNodes();
     MemoryPlan plan;
@@ -96,7 +116,8 @@ planMemory(const Graph &g, const std::vector<int> &order)
     for (int id = 0; id < n; ++id) {
         const Node &node = g.node(id);
         ValuePlacement &v = plan.values[id];
-        v.bytes = numel(node.shape) * 4;
+        v.dtype = dtypeOf(node);
+        v.bytes = numel(node.shape) * dtypeSize(v.dtype);
         v.defPos = pos[id];
         if (node.op == OpKind::Param) {
             v.storage = Storage::Param;
@@ -133,9 +154,44 @@ planMemory(const Graph &g, const std::vector<int> &order)
         plan.values[out].lastUsePos = static_cast<int>(order.size());
     }
 
-    // Greedy allocation sweep in execution order.
     FreeList arena;
-    // Group frees by position for O(n) sweep.
+    int64_t live = 0;      ///< running live bytes (aligned)
+    int64_t sharedTotal = 0;
+
+    // Shared workspace regions (cached Winograd transforms) persist
+    // across steps: carve them out first so they sit at the bottom of
+    // the arena and never fragment the per-step churn above them.
+    plan.workspaces.reserve(workspaces.size());
+    std::vector<int> wsAtPos(order.size(), -1);
+    for (const WorkspaceRequest &req : workspaces) {
+        if (req.node < 0 || req.node >= n || pos[req.node] < 0)
+            throw std::runtime_error(
+                "planMemory: workspace request for unscheduled node");
+        WorkspacePlacement w;
+        w.node = req.node;
+        w.stepPos = pos[req.node];
+        w.shards = std::max(1, req.shards);
+        w.bytesPerShard = req.bytesPerShard;
+        w.shardStride = alignUp(req.bytesPerShard);
+        w.sharedBytes = req.sharedBytes;
+        if (w.sharedBytes > 0) {
+            w.sharedOffset = arena.alloc(w.sharedBytes);
+            sharedTotal += alignUp(w.sharedBytes);
+        }
+        int idx = static_cast<int>(plan.workspaces.size());
+        if (wsAtPos[w.stepPos] != -1)
+            throw std::runtime_error(
+                "planMemory: duplicate workspace request for one step");
+        wsAtPos[w.stepPos] = idx;
+        plan.workspaces.push_back(w);
+    }
+    live += sharedTotal;
+
+    // Greedy allocation sweep in execution order. Workspaces are
+    // interval-allocated exactly like values, with a one-step
+    // lifetime: alloc at their step, free before the next step's
+    // allocations — so best-fit recycles scratch space across steps
+    // and between scratch and values.
     std::vector<std::vector<int>> frees_at(order.size() + 2);
     for (int id = 0; id < n; ++id) {
         const ValuePlacement &v = plan.values[id];
@@ -146,17 +202,99 @@ planMemory(const Graph &g, const std::vector<int> &order)
             frees_at[slot].push_back(id);
         }
     }
+    plan.liveBytesAtStep.assign(order.size(), 0);
+    int64_t peakWsBlock = 0;
+    int prevWs = -1;
     for (size_t step = 0; step < order.size(); ++step) {
         for (int id : frees_at[step]) {
             arena.release(plan.values[id].offset, plan.values[id].bytes);
+            live -= alignUp(plan.values[id].bytes);
+        }
+        if (prevWs >= 0) {
+            WorkspacePlacement &w = plan.workspaces[prevWs];
+            int64_t block = shardBlockBytes(w.shards, w.bytesPerShard);
+            if (block > 0)
+                arena.release(w.offset, block);
+            live -= block;
+            prevWs = -1;
+        }
+        // Workspace before value: successive scratch-bearing steps
+        // then exact-fit each other's just-released blocks instead of
+        // having the step's output nibble the front of them.
+        if (wsAtPos[step] >= 0) {
+            WorkspacePlacement &w = plan.workspaces[wsAtPos[step]];
+            int64_t block = shardBlockBytes(w.shards, w.bytesPerShard);
+            if (block > 0)
+                w.offset = arena.alloc(block);
+            live += block;
+            peakWsBlock = std::max(peakWsBlock, block);
+            prevWs = wsAtPos[step];
         }
         int oid = order[step];
         ValuePlacement &v = plan.values[oid];
-        if (v.storage == Storage::Arena)
+        if (v.storage == Storage::Arena) {
             v.offset = arena.alloc(v.bytes);
+            live += alignUp(v.bytes);
+        }
+        plan.liveBytesAtStep[step] = live;
+        plan.peakLiveBytes = std::max(plan.peakLiveBytes, live);
     }
     plan.arenaBytes = arena.top();
+    plan.workspaceBytes = sharedTotal + peakWsBlock;
     return plan;
+}
+
+LaunchSummary
+planLaunches(const Graph &g, const std::vector<int> &order,
+             const std::vector<std::string> &variants, int numThreads)
+{
+    detail::ensureKernelsRegistered();
+    LaunchSummary out;
+    for (int id : order) {
+        const Node &n = g.node(id);
+        if (isSourceOp(n.op))
+            continue;
+        std::string variant =
+            id < static_cast<int>(variants.size()) ? variants[id] : "";
+        KernelInfo info = lookupKernelInfo(n.op, variant);
+
+        // Dry context: shapes and attrs only. PartitionSpec extents
+        // are required to depend on nothing else, so the launch shape
+        // computed here is EXACTLY the one the executor binds.
+        KernelCtx ctx;
+        ctx.node = &n;
+        for (int in : n.inputs)
+            ctx.inShapes.push_back(&g.node(in).shape);
+        ctx.outShape = &n.shape;
+
+        int shards = 1;
+        if (numThreads > 1 && info.part.splittable()) {
+            std::vector<int64_t> bounds = splitRange(
+                info.part.extent(ctx), info.part.minGrain, numThreads);
+            shards = std::max<int>(
+                1, static_cast<int>(bounds.size()) - 1);
+        }
+        if (shards > 1)
+            ++out.shardedSteps;
+
+        WorkspaceSpec ws =
+            info.workspace ? info.workspace(g, n) : WorkspaceSpec{};
+        if (ws.any()) {
+            WorkspaceRequest req;
+            req.node = id;
+            req.bytesPerShard = ws.bytesPerShard;
+            req.shards = shards;
+            req.sharedBytes = ws.sharedBytes;
+            out.workspaces.push_back(req);
+        }
+    }
+    // serializedByWorkspace stays 0 here BY CONSTRUCTION: the shard
+    // counts above never consult the workspace, which is Arena v2's
+    // whole point. The executor recomputes the counter from its
+    // actually-bound launch plan (Executor::serializedByWorkspace),
+    // so a reintroduced scratch-serializes-kernels gate in bindSteps
+    // trips the report even though this summary cannot.
+    return out;
 }
 
 } // namespace pe

@@ -1,19 +1,27 @@
 /**
  * @file
- * Tensor lifetime analysis and arena memory planning.
+ * Tensor lifetime analysis and arena memory planning (Arena v2).
  *
  * Given an execution order, every non-persistent value gets a
- * [firstDef, lastUse] interval and a byte offset inside one arena via
- * greedy best-fit. The arena size IS the measured activation/gradient
- * memory of the training step, so the operator-reordering ablation and
- * Table 4 read their numbers from here.
+ * [firstDef, lastUse] interval and a byte offset inside ONE
+ * byte-addressed arena via greedy best-fit. Kernel workspaces are
+ * planned in the same arena with the same lifetime machinery: a
+ * step's workspace is live only during that step (so best-fit reuses
+ * the space across steps), with one instance per shard of the step's
+ * launch plan, plus an optional shared region that persists across
+ * steps (Winograd's cached filter transforms). The arena size IS the
+ * measured activation/gradient/scratch memory of the training step,
+ * so the operator-reordering ablation and Table 4 read honest numbers
+ * from here — kernel scratch no longer hides outside the plan.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/dtype.h"
 #include "ir/graph.h"
 
 namespace pe {
@@ -30,19 +38,67 @@ enum class Storage {
 /** One value's placement. */
 struct ValuePlacement {
     Storage storage = Storage::Arena;
+    DType dtype = DType::F32; ///< storage element type
     int64_t offset = 0;  ///< arena byte offset (Storage::Arena only)
-    int64_t bytes = 0;
+    int64_t bytes = 0;   ///< numel * dtypeSize(dtype)
     int defPos = -1;     ///< position in the execution order
     int lastUsePos = -1;
+};
+
+/**
+ * A kernel workspace the planner must place: @p shards private
+ * instances of @p bytesPerShard bytes live only during the step, and
+ * @p sharedBytes that persist for the whole program. Built by
+ * planLaunches() from the kernel registry's WorkspaceSpec
+ * declarations and the bind-time shard counts.
+ */
+struct WorkspaceRequest {
+    int node = -1;            ///< graph node id of the step
+    int64_t bytesPerShard = 0;
+    int shards = 1;
+    int64_t sharedBytes = 0;
+};
+
+/** Where a step's workspace landed in the arena. */
+struct WorkspacePlacement {
+    int node = -1;
+    int stepPos = -1;         ///< execution position (its lifetime)
+    int shards = 1;
+    int64_t bytesPerShard = 0; ///< declared (pre-alignment) size
+    int64_t shardStride = 0;   ///< aligned distance between instances
+    int64_t offset = 0;        ///< base of shard 0 (arena byte offset)
+    int64_t sharedBytes = 0;
+    int64_t sharedOffset = 0;  ///< valid when sharedBytes > 0
+
+    /** Arena byte offset of shard @p i's workspace instance. */
+    int64_t
+    shardOffset(int i) const
+    {
+        return offset + static_cast<int64_t>(i) * shardStride;
+    }
 };
 
 /** Result of planning a graph against an execution order. */
 struct MemoryPlan {
     std::vector<ValuePlacement> values; ///< indexed by node id
-    int64_t arenaBytes = 0;             ///< peak activation memory
-    int64_t paramBytes = 0;             ///< weights + optimizer state
+    /** One entry per scratch-bearing step, in execution order. */
+    std::vector<WorkspacePlacement> workspaces;
+    int64_t arenaBytes = 0; ///< arena extent: values + workspaces
+    /** Peak bytes of workspace storage live at any step (per-shard
+     *  instances of the heaviest step + all persistent shared
+     *  regions). Reported separately so footprint columns stay
+     *  comparable with pre-Arena-v2 numbers. */
+    int64_t workspaceBytes = 0;
+    int64_t paramBytes = 0; ///< weights + optimizer state
     int64_t constBytes = 0;
     int64_t inputBytes = 0;
+    /** Live arena bytes (values + workspaces) during each execution
+     *  position — the per-step memory timeline Table 4's peak is the
+     *  max of. Indexed by position in the order. */
+    std::vector<int64_t> liveBytesAtStep;
+    /** max(liveBytesAtStep): peak simultaneously-live bytes; differs
+     *  from arenaBytes only by best-fit fragmentation. */
+    int64_t peakLiveBytes = 0;
 
     /** Total training-step footprint (Table 4's metric). */
     int64_t
@@ -57,8 +113,36 @@ struct MemoryPlan {
  *
  * Values are freed at their last use; graph outputs stay live to the
  * end of the step. In-place optimizer outputs alias their parameter
- * and consume no arena space.
+ * and consume no arena space. Each request in @p workspaces is
+ * placed for exactly its step's duration (shared regions persist).
  */
-MemoryPlan planMemory(const Graph &g, const std::vector<int> &order);
+MemoryPlan planMemory(const Graph &g, const std::vector<int> &order,
+                      const std::vector<WorkspaceRequest> &workspaces = {});
+
+/**
+ * The compile-time launch summary: per-step workspace requests (with
+ * shard counts exactly matching what the executor's bind will build,
+ * since both derive from the same PartitionSpec extents and
+ * splitRange()) plus the shard statistics the compile report
+ * surfaces.
+ */
+struct LaunchSummary {
+    std::vector<WorkspaceRequest> workspaces;
+    int shardedSteps = 0; ///< steps whose launch plan has > 1 shard
+    /** Splittable steps left serial solely because they carry scratch
+     *  — the pre-Arena-v2 executor rule. Structurally zero now that
+     *  every shard gets its own workspace instance; kept as a
+     *  regression tripwire. */
+    int serializedByWorkspace = 0;
+};
+
+/**
+ * Evaluate every step's partition extent and workspace declaration
+ * against static shapes — no buffers are materialized, so this also
+ * serves analysis-only compiles of models too large to execute.
+ */
+LaunchSummary planLaunches(const Graph &g, const std::vector<int> &order,
+                           const std::vector<std::string> &variants,
+                           int numThreads);
 
 } // namespace pe

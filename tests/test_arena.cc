@@ -1,0 +1,469 @@
+/**
+ * @file
+ * Arena v2 tests: workspace-aware memory planning and per-shard
+ * kernel workspaces.
+ *
+ *  1. Planner properties: no two simultaneously-live placements —
+ *     values OR workspaces — overlap in the arena; in-place aliases
+ *     consume no arena; plans are deterministic across repeated
+ *     compiles; the live-bytes timeline is consistent.
+ *  2. Executor integration: scratch-bearing kernels (Winograd conv,
+ *     blocked GEMM, im2col conv) produce multi-shard launch plans at
+ *     numThreads=4 whose outputs match the 1-thread run bit for bit,
+ *     and the serialized-by-scratch count of the pre-Arena-v2
+ *     executor rule stays zero.
+ *  3. Report: CompileReport::workspaceBytes is nonzero whenever a
+ *     scratch-bearing variant is bound, and the footprint includes
+ *     it.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "frontend/builder.h"
+#include "frontend/models.h"
+#include "passes/passes.h"
+#include "runtime/executor.h"
+#include "runtime/planner.h"
+#include "testutil.h"
+
+namespace pe {
+namespace {
+
+/** [offset, offset+bytes) intervals overlap? */
+bool
+bytesOverlap(int64_t ao, int64_t ab, int64_t bo, int64_t bb)
+{
+    return ao < bo + bb && bo < ao + ab;
+}
+
+/**
+ * Every pair of simultaneously-live arena placements must occupy
+ * disjoint byte ranges. Checks value-vs-value, value-vs-workspace,
+ * workspace-vs-workspace (including the per-shard instances), and
+ * persistent shared regions against everything.
+ */
+void
+expectNoLiveOverlap(const Graph &g, const std::vector<int> &order,
+                    const MemoryPlan &plan)
+{
+    struct Interval {
+        int64_t off, bytes;
+        int from, to; ///< inclusive live range in order positions
+        const char *what;
+    };
+    std::vector<Interval> iv;
+    for (int id = 0; id < g.numNodes(); ++id) {
+        const ValuePlacement &v = plan.values[id];
+        if (v.storage != Storage::Arena || v.defPos < 0)
+            continue;
+        iv.push_back({v.offset, v.bytes, v.defPos, v.lastUsePos,
+                      "value"});
+    }
+    int last = static_cast<int>(order.size());
+    for (const WorkspacePlacement &w : plan.workspaces) {
+        for (int s = 0; s < w.shards; ++s) {
+            if (w.bytesPerShard > 0)
+                iv.push_back({w.shardOffset(s), w.bytesPerShard,
+                              w.stepPos, w.stepPos, "workspace"});
+        }
+        if (w.sharedBytes > 0)
+            iv.push_back({w.sharedOffset, w.sharedBytes, 0, last,
+                          "shared"});
+    }
+    for (size_t i = 0; i < iv.size(); ++i) {
+        for (size_t j = i + 1; j < iv.size(); ++j) {
+            bool lives = iv[i].from <= iv[j].to &&
+                         iv[j].from <= iv[i].to;
+            if (!lives)
+                continue;
+            ASSERT_FALSE(bytesOverlap(iv[i].off, iv[i].bytes,
+                                      iv[j].off, iv[j].bytes))
+                << iv[i].what << " [" << iv[i].off << ", +"
+                << iv[i].bytes << ") overlaps " << iv[j].what << " ["
+                << iv[j].off << ", +" << iv[j].bytes << ")";
+        }
+    }
+}
+
+/**
+ * A small net with Winograd-eligible convs (3x3, stride 1) and a
+ * linear head. Under a frozen-backbone scheme (or inference) the
+ * convs bind the "winograd" variant with its cached-transform shared
+ * region. Deterministic: same call -> same graph and weights.
+ */
+struct WinoNet {
+    Graph g;
+    int x = -1, logits = -1, loss = -1;
+    std::shared_ptr<ParamStore> store;
+};
+
+WinoNet
+winoNet(int64_t batch = 2)
+{
+    WinoNet n;
+    n.store = std::make_shared<ParamStore>();
+    Rng rng(13);
+    NetBuilder b(n.g, rng, n.store.get());
+    n.x = b.input({batch, 4, 12, 12}, "x");
+    int h = b.relu(b.conv2d(n.x, 8, 3, 1, 1, "c1"));
+    h = b.relu(b.conv2d(h, 8, 3, 1, 1, "c2"));
+    h = b.globalAvgPool(h);
+    h = b.reshape(h, {batch, 8});
+    n.logits = b.linear(h, 4, "head");
+    int y = b.input({batch}, "y");
+    n.loss = b.crossEntropy(n.logits, y);
+    return n;
+}
+
+/** Backbone frozen, head training: convs bind Winograd. */
+SparseUpdateScheme
+headOnlyScheme()
+{
+    SparseUpdateScheme s = SparseUpdateScheme::frozen();
+    s.updatePrefix("head.");
+    s.updateBiasPrefix("head.");
+    return s;
+}
+
+TEST(ArenaPlan, WorkspacesNeverOverlapLiveValues)
+{
+    WinoNet n = winoNet(4);
+    CompileOptions opt;
+    opt.numThreads = 4;
+    CompiledGraph c =
+        compileGraphOnly(n.g, n.loss, headOnlyScheme(), opt);
+    LaunchSummary launches =
+        planLaunches(c.graph, c.order, c.variants, 4);
+    ASSERT_FALSE(launches.workspaces.empty())
+        << "frozen 3x3 convs should bind the Winograd variant";
+    MemoryPlan plan = planMemory(c.graph, c.order, launches.workspaces);
+    expectNoLiveOverlap(c.graph, c.order, plan);
+}
+
+TEST(ArenaPlan, SparseSchemeWinogradWorkspacesDontOverlap)
+{
+    WinoNet n = winoNet(2);
+    CompileOptions opt;
+    opt.numThreads = 4;
+    CompiledGraph c =
+        compileGraphOnly(n.g, n.loss, headOnlyScheme(), opt);
+    LaunchSummary launches =
+        planLaunches(c.graph, c.order, c.variants, 4);
+    MemoryPlan plan = planMemory(c.graph, c.order, launches.workspaces);
+    expectNoLiveOverlap(c.graph, c.order, plan);
+    // Frozen layers bind Winograd -> a persistent shared region.
+    bool has_shared = false;
+    for (const WorkspacePlacement &w : plan.workspaces)
+        has_shared |= w.sharedBytes > 0;
+    EXPECT_TRUE(has_shared)
+        << "frozen convs should carry a cached-transform region";
+}
+
+TEST(ArenaPlan, InPlaceAliasesConsumeNoArena)
+{
+    Graph g;
+    int w = g.param({64}, "w", true);
+    int grad = g.input({64}, "g");
+    Attrs a;
+    a.set("lr", 0.1);
+    int apply = g.add(OpKind::ApplySgd, {w, grad}, std::move(a));
+    g.markOutput(apply);
+    MemoryPlan plan = planMemory(g, naturalOrder(g));
+    EXPECT_EQ(plan.values[apply].storage, Storage::Alias);
+    EXPECT_EQ(plan.arenaBytes, 0);
+}
+
+TEST(ArenaPlan, ValueSpaceIsReusedAcrossSteps)
+{
+    // A long relu chain: buffers die one step after definition, so
+    // the arena must stay at ~2 live buffers regardless of depth.
+    Graph g;
+    int x = g.input({64}, "x");
+    int h = x;
+    for (int i = 0; i < 30; ++i)
+        h = g.add(OpKind::Relu, {h});
+    g.markOutput(h);
+    MemoryPlan plan = planMemory(g, naturalOrder(g));
+    EXPECT_LE(plan.arenaBytes, 2 * 64 * 4 + 128);
+    // Timeline: one position per scheduled node, peak consistent.
+    EXPECT_EQ(plan.liveBytesAtStep.size(), naturalOrder(g).size());
+    EXPECT_LE(plan.peakLiveBytes, plan.arenaBytes);
+}
+
+TEST(ArenaPlan, WorkspaceSpaceIsReusedAcrossSteps)
+{
+    // Two identical conv steps with workspaces, far apart in the
+    // chain: best-fit must reuse the first workspace's bytes for the
+    // second (their lifetimes are disjoint), so the arena grows by
+    // at most one workspace block.
+    Graph g;
+    int x = g.input({1, 4, 8, 8}, "x");
+    int w1 = g.param({4, 4, 3, 3}, "w1", false);
+    int w2 = g.param({4, 4, 3, 3}, "w2", false);
+    Attrs a1, a2;
+    a1.set("stride", static_cast<int64_t>(1));
+    a1.set("pad", static_cast<int64_t>(1));
+    a2 = a1;
+    int c1 = g.add(OpKind::Conv2d, {x, w1}, std::move(a1));
+    int c2 = g.add(OpKind::Conv2d, {c1, w2}, std::move(a2));
+    g.markOutput(c2);
+    std::vector<int> order = naturalOrder(g);
+    std::vector<std::string> variants(g.numNodes());
+    variants[c1] = "im2col";
+    variants[c2] = "im2col";
+    LaunchSummary launches = planLaunches(g, order, variants, 1);
+    ASSERT_EQ(launches.workspaces.size(), 2u);
+    MemoryPlan plan = planMemory(g, order, launches.workspaces);
+    expectNoLiveOverlap(g, order, plan);
+    ASSERT_EQ(plan.workspaces.size(), 2u);
+    // Same declared size, disjoint lifetimes -> same arena bytes as
+    // a single instance (best-fit reuse), and identical offsets.
+    EXPECT_EQ(plan.workspaces[0].offset, plan.workspaces[1].offset)
+        << "disjoint-lifetime workspaces should recycle the same "
+           "arena block";
+    EXPECT_EQ(plan.workspaceBytes,
+              (plan.workspaces[0].bytesPerShard + 63) & ~63LL);
+}
+
+TEST(ArenaPlan, PlanIsDeterministicAcrossCompiles)
+{
+    for (int round = 0; round < 2; ++round) {
+        WinoNet n1 = winoNet(2);
+        WinoNet n2 = winoNet(2);
+        CompileOptions opt;
+        opt.numThreads = 4;
+        CompiledGraph a =
+            compileGraphOnly(n1.g, n1.loss, headOnlyScheme(), opt);
+        CompiledGraph b =
+            compileGraphOnly(n2.g, n2.loss, headOnlyScheme(), opt);
+        ASSERT_EQ(a.order, b.order);
+        ASSERT_EQ(a.variants, b.variants);
+        EXPECT_EQ(a.report.arenaBytes, b.report.arenaBytes);
+        EXPECT_EQ(a.report.workspaceBytes, b.report.workspaceBytes);
+        EXPECT_EQ(a.report.memoryTimeline, b.report.memoryTimeline);
+        MemoryPlan pa = planMemory(
+            a.graph, a.order,
+            planLaunches(a.graph, a.order, a.variants, 4).workspaces);
+        MemoryPlan pb = planMemory(
+            b.graph, b.order,
+            planLaunches(b.graph, b.order, b.variants, 4).workspaces);
+        ASSERT_EQ(pa.values.size(), pb.values.size());
+        for (size_t i = 0; i < pa.values.size(); ++i) {
+            EXPECT_EQ(pa.values[i].offset, pb.values[i].offset);
+            EXPECT_EQ(pa.values[i].bytes, pb.values[i].bytes);
+        }
+        ASSERT_EQ(pa.workspaces.size(), pb.workspaces.size());
+        for (size_t i = 0; i < pa.workspaces.size(); ++i) {
+            EXPECT_EQ(pa.workspaces[i].offset, pb.workspaces[i].offset);
+            EXPECT_EQ(pa.workspaces[i].sharedOffset,
+                      pb.workspaces[i].sharedOffset);
+        }
+    }
+}
+
+TEST(ArenaPlan, DtypeTagsSizePlacements)
+{
+    Graph g;
+    int x = g.input({8, 8}, "x");
+    int h = g.add(OpKind::Relu, {x});
+    g.markOutput(h);
+    MemoryPlan plan = planMemory(g, naturalOrder(g));
+    EXPECT_EQ(plan.values[h].dtype, DType::F32);
+    EXPECT_EQ(plan.values[h].bytes,
+              numel(g.node(h).shape) * dtypeSize(DType::F32));
+}
+
+// ---- Executor integration -------------------------------------------
+
+TEST(ArenaExec, WinogradShardsAndMatchesSerialBitForBit)
+{
+    // compileInference freezes every param -> all 3x3 stride-1 convs
+    // bind the Winograd variant with a shared transform cache.
+    std::unordered_map<std::string, Tensor> feeds;
+    {
+        Rng r(5);
+        feeds["x"] = Tensor::randn({4, 4, 12, 12}, r);
+    }
+    auto run = [&](int nt) {
+        WinoNet fresh = winoNet(4); // same seed -> same weights
+        CompileOptions opt;
+        opt.numThreads = nt;
+        auto prog = compileInference(fresh.g, {fresh.logits}, opt,
+                                     fresh.store);
+        Tensor out = prog.run(feeds)[0];
+        return std::make_pair(std::move(out),
+                              prog.executor().shardedSteps());
+    };
+    auto [serial, sharded1] = run(1);
+    auto [parallel, shardedN] = run(4);
+    EXPECT_EQ(sharded1, 0);
+    EXPECT_GT(shardedN, 0);
+    ASSERT_EQ(serial.size(), parallel.size());
+    EXPECT_EQ(std::memcmp(serial.data(), parallel.data(),
+                          sizeof(float) * serial.size()),
+              0)
+        << "multi-thread launch plan diverged from serial execution";
+}
+
+TEST(ArenaExec, WinogradStepActuallySharded)
+{
+    WinoNet n = winoNet(4);
+    CompileOptions opt;
+    opt.numThreads = 4;
+    auto prog = compileInference(n.g, {n.logits}, opt, n.store);
+    Executor &ex = prog.executor();
+    // Some bound step must be a sharded Winograd conv with a planned
+    // workspace: find it via the memory plan.
+    const MemoryPlan &plan = ex.memoryPlan();
+    bool sharded_scratch_step = false;
+    for (const WorkspacePlacement &w : plan.workspaces)
+        sharded_scratch_step |= w.shards > 1;
+    EXPECT_TRUE(sharded_scratch_step)
+        << "no scratch-bearing kernel produced a multi-shard launch "
+           "plan at numThreads=4";
+    EXPECT_EQ(ex.serializedByWorkspace(), 0)
+        << "Arena v2 must not serialize kernels for carrying scratch";
+}
+
+TEST(ArenaExec, BlockedGemmShardsWithWorkspaceAndMatchesSerial)
+{
+    // A GEMM big enough for the "blocked" variant (numel >= 64^2),
+    // run through compiled training so the workspace-bearing kernel
+    // executes inside the arena at both thread counts.
+    auto traj = [&](int nt) {
+        Graph g;
+        Rng rng(7);
+        auto store = std::make_shared<ParamStore>();
+        NetBuilder b(g, rng, store.get());
+        int x = b.input({64, 64}, "x");
+        int h = b.relu(b.linear(x, 128, "fc1"));
+        int logits = b.linear(h, 64, "head");
+        int y = b.input({64}, "y");
+        int loss = b.crossEntropy(logits, y);
+        CompileOptions opt;
+        opt.optim = OptimConfig::sgd(0.05);
+        opt.numThreads = nt;
+        auto prog = compileTraining(g, loss, SparseUpdateScheme::full(),
+                                    opt, store);
+        EXPECT_GT(prog.report().workspaceBytes, 0)
+            << "blocked GEMM should declare a packing workspace";
+        EXPECT_EQ(prog.report().serializedByWorkspace, 0);
+        if (nt > 1)
+            EXPECT_GT(prog.report().shardedSteps, 0);
+        Rng r(11);
+        std::vector<float> losses;
+        for (int s = 0; s < 5; ++s) {
+            Tensor tx = Tensor::randn({64, 64}, r);
+            Tensor ty({64});
+            for (int i = 0; i < 64; ++i)
+                ty[i] = static_cast<float>(i % 64);
+            losses.push_back(prog.trainStep({{"x", tx}, {"y", ty}}));
+        }
+        return losses;
+    };
+    std::vector<float> serial = traj(1);
+    std::vector<float> parallel = traj(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(std::memcmp(&serial[i], &parallel[i], sizeof(float)),
+                  0)
+            << "loss diverged at step " << i;
+    }
+}
+
+TEST(ArenaExec, Im2colVariantShardsPerImage)
+{
+    Graph g;
+    int x = g.input({4, 3, 10, 10}, "x");
+    int w = g.param({8, 3, 3, 3}, "w", false);
+    Attrs a;
+    a.set("stride", static_cast<int64_t>(1));
+    a.set("pad", static_cast<int64_t>(1));
+    int conv = g.add(OpKind::Conv2d, {x, w}, std::move(a));
+    g.markOutput(conv);
+
+    Rng rng(9);
+    Tensor tx = Tensor::randn({4, 3, 10, 10}, rng);
+
+    auto run = [&](int nt, const std::string &variant) {
+        ParamStore store;
+        Rng wr(4);
+        store.set("w", Tensor::randn({8, 3, 3, 3}, wr, 0.3f));
+        store.materialize(g);
+        ExecOptions eo;
+        eo.variants.assign(g.numNodes(), "");
+        eo.variants[conv] = variant;
+        eo.numThreads = nt;
+        Executor ex(g, naturalOrder(g), store, eo);
+        ex.bindInput("x", tx);
+        ex.run();
+        return std::make_pair(ex.fetch(conv), ex.shardedSteps());
+    };
+    auto [naive, s0] = run(1, "");
+    auto [serial, s1] = run(1, "im2col");
+    auto [parallel, s2] = run(4, "im2col");
+    EXPECT_EQ(s1, 0);
+    EXPECT_GT(s2, 0) << "im2col should shard over images now";
+    EXPECT_EQ(std::memcmp(serial.data(), parallel.data(),
+                          sizeof(float) * serial.size()),
+              0);
+    EXPECT_LT(maxAbsDiff(naive, serial), 1e-4f);
+}
+
+TEST(ArenaExec, ReportIncludesWorkspaceInFootprint)
+{
+    WinoNet n = winoNet(2);
+    CompileOptions opt;
+    opt.numThreads = 4;
+    CompiledGraph c =
+        compileGraphOnly(n.g, n.loss, headOnlyScheme(), opt);
+    EXPECT_GT(c.report.workspaceBytes, 0);
+    EXPECT_EQ(c.report.serializedByWorkspace, 0);
+    EXPECT_GT(c.report.shardedSteps, 0);
+    EXPECT_GE(c.report.totalBytes,
+              c.report.arenaBytes + c.report.paramBytes);
+    EXPECT_EQ(c.report.memoryTimeline.size(), c.order.size());
+    int64_t peak = 0;
+    for (int64_t b : c.report.memoryTimeline)
+        peak = std::max(peak, b);
+    EXPECT_EQ(peak, c.report.peakLiveBytes);
+    EXPECT_LE(c.report.peakLiveBytes, c.report.arenaBytes);
+}
+
+TEST(ArenaExec, StaticWinogradCacheSurvivesWeightCorruption)
+{
+    // Executor semantics: the shared transform cache is warmed on the
+    // FIRST run (so weights loaded after compile are honored), then
+    // never recomputed — corrupting a frozen weight afterwards must
+    // not change the output. This pins the once-per-bind contract.
+    WinoNet n = winoNet(1);
+    CompileOptions opt;
+    auto prog = compileInference(n.g, {n.logits}, opt, n.store);
+    Rng r(5);
+    Tensor tx = Tensor::randn({1, 4, 12, 12}, r);
+    Tensor first = prog.run({{"x", tx}})[0];
+    // Find a frozen 3x3 conv weight the backend bound to Winograd.
+    std::string frozen;
+    const Graph &g = prog.graph();
+    for (int id = 0; id < g.numNodes(); ++id) {
+        const Node &n = g.node(id);
+        if (n.attrs.getInt("staticWeight", 0) != 0) {
+            frozen = g.node(n.inputs[1]).name;
+            break;
+        }
+    }
+    ASSERT_FALSE(frozen.empty()) << "no Winograd-bound conv found";
+    n.store->get(frozen).fill(0.0f);
+    Tensor second = prog.run({{"x", tx}})[0];
+    EXPECT_EQ(std::memcmp(first.data(), second.data(),
+                          sizeof(float) * first.size()),
+              0)
+        << "cached transforms must shield the output from weight "
+           "changes after warm-up";
+}
+
+} // namespace
+} // namespace pe

@@ -31,11 +31,8 @@ runKernel(const Graph &g, int node, const std::vector<Tensor> &inputs,
     }
     ctx.out = out.data();
     ctx.outShape = &n.shape;
-    std::vector<float> scratch(
-        std::max<int64_t>(1, kernelScratchSize(g, n, variant)), 0.0f);
-    bool ready = false;
-    ctx.scratch = scratch.data();
-    ctx.scratchReady = &ready;
+    DirectWorkspace ws;
+    ws.attach(ctx, g, n, variant);
     lookupKernel(n.op, variant)(ctx);
     return out;
 }
@@ -195,20 +192,19 @@ TEST(WinogradCache, StaticWeightTransformIsCachedAndReused)
     Tensor tx = Tensor::randn({1, 2, 8, 8}, rng);
     Tensor tw = Tensor::randn({2, 2, 3, 3}, rng, 0.3f);
     const Node &n = g.node(conv);
-    std::vector<float> scratch(kernelScratchSize(g, n, "winograd"));
-    bool ready = false;
     Tensor out1(n.shape), out2(n.shape);
     KernelCtx ctx;
     ctx.node = &n;
     ctx.in = {tx.data(), tw.data()};
     ctx.inShapes = {&g.node(x).shape, &g.node(w).shape};
     ctx.outShape = &n.shape;
-    ctx.scratch = scratch.data();
-    ctx.scratchReady = &ready;
+    DirectWorkspace ws;
+    ws.attach(ctx, g, n, "winograd");
     KernelFn fn = lookupKernel(OpKind::Conv2d, "winograd");
     ctx.out = out1.data();
     fn(ctx);
-    EXPECT_TRUE(ready) << "transform should be cached after first call";
+    EXPECT_TRUE(ws.ready())
+        << "transform should be cached after first call";
     // Corrupting the weight now must NOT change the output: the
     // cached transform is in use (this is only legal because the
     // backend-switch pass guarantees the weight is frozen).

@@ -133,14 +133,23 @@ struct KernelCase {
 /**
  * Contract check: unsharded == sequential shards == pooled shards,
  * bit for bit. In-place kernels mutate their inputs, so each variant
- * runs on a fresh clone of every buffer.
+ * runs on a fresh clone of every buffer. Workspaces follow the
+ * executor's Arena v2 contract: every shard gets its own private
+ * instance, all shards of a node see one shared region, and shared
+ * regions are warmed (via the declared init hook) before any
+ * concurrent launch.
  */
 void
 expectShardInvariant(const KernelCase &kc, const std::string &variant = "")
 {
-    KernelInfo info = lookupKernelInfo(kc.g.node(kc.node).op, variant);
+    const Node &node = kc.g.node(kc.node);
+    KernelInfo info = lookupKernelInfo(node.op, variant);
     ASSERT_FALSE(info.fellBack);
     ASSERT_TRUE(info.part.splittable());
+    WorkspaceSpec spec = kernelWorkspace(kc.g, node, variant);
+    auto ws_floats = [](int64_t bytes) {
+        return static_cast<size_t>((bytes + 3) / 4);
+    };
 
     auto clone_inputs = [&] {
         std::vector<Tensor> c;
@@ -154,6 +163,14 @@ expectShardInvariant(const KernelCase &kc, const std::string &variant = "")
     std::vector<Tensor> in_ref = clone_inputs();
     Tensor out_ref = Tensor::zeros(os);
     KernelCtx ref = kc.ctxFor(in_ref, out_ref);
+    std::vector<float> ref_ws(ws_floats(spec.bytesPerShard));
+    std::vector<float> ref_shared(ws_floats(spec.sharedBytes));
+    bool ref_ready = false;
+    if (!ref_ws.empty())
+        ref.workspace = ref_ws.data();
+    if (!ref_shared.empty())
+        ref.shared = ref_shared.data();
+    ref.sharedReady = &ref_ready;
     info.fn(ref);
 
     int64_t extent = info.part.extent(ref);
@@ -164,11 +181,19 @@ expectShardInvariant(const KernelCase &kc, const std::string &variant = "")
         std::vector<Tensor> ins = clone_inputs();
         Tensor out = Tensor::zeros(os);
         KernelCtx base = kc.ctxFor(ins, out);
+        std::vector<float> shared(ws_floats(spec.sharedBytes));
+        bool ready = false;
         int64_t cuts[4] = {0, extent / 3, 2 * extent / 3, extent};
         for (int s = 0; s < 3; ++s) {
             KernelCtx shard = base;
             shard.begin = cuts[s];
             shard.end = cuts[s + 1];
+            std::vector<float> ws(ws_floats(spec.bytesPerShard));
+            if (!ws.empty())
+                shard.workspace = ws.data();
+            if (!shared.empty())
+                shard.shared = shared.data();
+            shard.sharedReady = &ready;
             info.fn(shard);
         }
         EXPECT_EQ(std::memcmp(out.data(), out_ref.data(),
@@ -189,10 +214,25 @@ expectShardInvariant(const KernelCase &kc, const std::string &variant = "")
         std::vector<Tensor> ins = clone_inputs();
         Tensor out = Tensor::zeros(os);
         KernelCtx base = kc.ctxFor(ins, out);
+        std::vector<float> shared(ws_floats(spec.sharedBytes));
+        bool ready = false;
+        if (!shared.empty()) {
+            base.shared = shared.data();
+            base.sharedReady = &ready;
+            // Executor contract: shared regions are warmed serially
+            // before any concurrent launch touches them.
+            ASSERT_NE(spec.init, nullptr)
+                << "shared workspace without an init hook cannot be "
+                   "safely sharded";
+            spec.init(base);
+        }
         pool.parallelFor(extent, 1, [&](int64_t b, int64_t e) {
             KernelCtx shard = base;
             shard.begin = b;
             shard.end = e;
+            std::vector<float> ws(ws_floats(spec.bytesPerShard));
+            if (!ws.empty())
+                shard.workspace = ws.data();
             info.fn(shard);
         });
         ASSERT_EQ(std::memcmp(out.data(), out_ref.data(),
