@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,82 @@
 #include "frontend/models.h"
 
 namespace pe::bench {
+
+// ---- machine-readable output (--json <path>) -------------------------
+
+/**
+ * Flat JSON record collector: each row is one object of string /
+ * integer / double fields; save() writes the array. This is the perf
+ * trajectory format scripts/bench_json.sh snapshots — keep fields
+ * append-only so old BENCH_*.json files stay comparable.
+ */
+class JsonRows
+{
+  public:
+    void
+    begin(const std::string &kind)
+    {
+        rows_.emplace_back("\"kind\":\"" + kind + "\"");
+    }
+
+    void
+    field(const std::string &key, const std::string &value)
+    {
+        std::string escaped;
+        for (char c : value) {
+            if (c == '"' || c == '\\')
+                escaped.push_back('\\');
+            escaped.push_back(c);
+        }
+        rows_.back() += ",\"" + key + "\":\"" + escaped + "\"";
+    }
+
+    void
+    field(const std::string &key, int64_t value)
+    {
+        rows_.back() += ",\"" + key + "\":" + std::to_string(value);
+    }
+
+    void
+    field(const std::string &key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+        rows_.back() += ",\"" + key + "\":" + buf;
+    }
+
+    /** Write the collected array; returns false on I/O failure. */
+    bool
+    save(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            return false;
+        std::fprintf(f, "[\n");
+        for (size_t i = 0; i < rows_.size(); ++i)
+            std::fprintf(f, "  {%s}%s\n", rows_[i].c_str(),
+                         i + 1 < rows_.size() ? "," : "");
+        std::fprintf(f, "]\n");
+        std::fclose(f);
+        return true;
+    }
+
+    bool empty() const { return rows_.empty(); }
+
+  private:
+    std::vector<std::string> rows_;
+};
+
+/** Extract `--json <path>` from argv; empty string when absent. */
+inline std::string
+jsonPathFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            return argv[i + 1];
+    }
+    return "";
+}
 
 inline bool
 fastMode()

@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/tensor.h"
 #include "hw/threadpool.h"
 #include "ir/graph.h"
@@ -231,10 +235,94 @@ BENCHMARK_CAPTURE(BM_ConvVariant, im2col, std::string("im2col"))
 BENCHMARK_CAPTURE(BM_ConvVariant, winograd, std::string("winograd"))
     ->Arg(16)
     ->Arg(32);
+/**
+ * Int8 GEMM vs fp32: same logical [n,n]x[n,n] product, i8 operands
+ * with int32 accumulation and per-column requant. Items processed
+ * counts multiply-accumulates, so GOP/s is directly comparable with
+ * the fp32 GFLOP/s counters above.
+ */
+void
+BM_QuantMatMul(benchmark::State &state)
+{
+    int64_t n = state.range(0);
+    Rng rng(1);
+    Graph g;
+    int a = g.input({n, n}, "a");
+    int b = g.input({n, n}, "b");
+    int s = g.input({n}, "s");
+    Attrs at;
+    at.set("xScale", 0.01);
+    at.set("xZp", static_cast<int64_t>(3));
+    at.set("yScale", 0.05);
+    at.set("yZp", static_cast<int64_t>(0));
+    at.set("perChannel", static_cast<int64_t>(1));
+    at.set("hasBias", static_cast<int64_t>(0));
+    int node = g.add(OpKind::QuantMatMul, {a, b, s}, std::move(at));
+    std::vector<float> qa((n * n + 3) / 4), qb((n * n + 3) / 4);
+    Rng vr(2);
+    for (int64_t i = 0; i < n * n; ++i) {
+        reinterpret_cast<int8_t *>(qa.data())[i] =
+            static_cast<int8_t>(vr.randint(255) - 127);
+        reinterpret_cast<int8_t *>(qb.data())[i] =
+            static_cast<int8_t>(vr.randint(255) - 127);
+    }
+    std::vector<float> scales(static_cast<size_t>(n), 0.02f);
+    std::vector<float> out((n * n + 3) / 4);
+    KernelCtx ctx;
+    ctx.node = &g.node(node);
+    ctx.in = {qa.data(), qb.data(), scales.data()};
+    ctx.inShapes = {&g.node(a).shape, &g.node(b).shape,
+                    &g.node(s).shape};
+    ctx.out = out.data();
+    ctx.outShape = &g.node(node).shape;
+    DirectWorkspace ws;
+    ws.attach(ctx, g, g.node(node), "int8");
+    KernelFn fn = lookupKernel(OpKind::QuantMatMul, "int8");
+    for (auto _ : state) {
+        fn(ctx);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+    state.counters["GOP/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 2e-9 *
+            static_cast<double>(n) * static_cast<double>(n) *
+            static_cast<double>(n),
+        benchmark::Counter::kIsRate);
+}
+
 BENCHMARK(BM_FusedConvBiasRelu)->Arg(16)->Arg(32);
 BENCHMARK(BM_UnfusedConvBiasRelu)->Arg(16)->Arg(32);
+BENCHMARK(BM_QuantMatMul)->Arg(64)->Arg(128);
 
 } // namespace
 } // namespace pe
 
-BENCHMARK_MAIN();
+/**
+ * Custom main instead of BENCHMARK_MAIN(): accepts `--json <path>`
+ * (the repo-wide machine-readable bench flag, see
+ * scripts/bench_json.sh) and translates it to google-benchmark's
+ * JSON reporter flags.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            args.push_back("--benchmark_out=" + std::string(argv[i + 1]));
+            args.push_back("--benchmark_out_format=json");
+            ++i;
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    std::vector<char *> cargs;
+    for (std::string &a : args)
+        cargs.push_back(a.data());
+    int cargc = static_cast<int>(cargs.size());
+    benchmark::Initialize(&cargc, cargs.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -52,6 +52,13 @@ main()
                 static_cast<long long>(prog.report().arenaBytes / 1024),
                 static_cast<long long>(
                     prog.report().arenaBytesNoReorder / 1024));
+    // A nonzero count means the backend pass selected a kernel
+    // variant the library cannot honor (e.g. a quantized op with no
+    // int8 kernel silently running the dequant->fp32->requant
+    // reference tier) — on a real device that is a deploy blocker.
+    if (prog.report().kernelFallbacks > 0)
+        std::printf("kernel fallbacks: %s\n",
+                    prog.report().fallbackSummary().c_str());
 
     // 3. Train on a toy task: class = argmax of 4 feature groups.
     Rng data_rng(7);

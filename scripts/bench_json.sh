@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Machine-readable benchmark snapshot: runs the memory bench and the
+# kernel microbench with --json and drops BENCH_table4.json /
+# BENCH_kernels.json at the repo root — the perf-trajectory files a
+# re-anchor (or CI trend job) diffs against previous PRs.
+#
+# Usage: scripts/bench_json.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+if [ ! -d "$BUILD" ]; then
+    echo "build dir '$BUILD' missing; run: cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+    exit 1
+fi
+
+"$BUILD"/bench_table4_memory --json BENCH_table4.json > /dev/null
+echo "wrote BENCH_table4.json"
+
+if [ -x "$BUILD"/bench_kernels ]; then
+    # Short min_time: this snapshots relative kernel throughput
+    # (fp32 vs blocked vs winograd vs int8), not absolute numbers.
+    "$BUILD"/bench_kernels --json BENCH_kernels.json \
+        --benchmark_min_time=0.05 > /dev/null
+    echo "wrote BENCH_kernels.json"
+else
+    echo "bench_kernels not built (google-benchmark missing); skipped" >&2
+fi

@@ -30,9 +30,12 @@ TrainingProgram::TrainingProgram(Graph g, int loss_id,
     report_.arenaBytes = mp.arenaBytes;
     report_.workspaceBytes = mp.workspaceBytes;
     report_.paramBytes = mp.paramBytes;
+    report_.constBytes = mp.constBytes;
     report_.totalBytes = mp.totalBytes();
     report_.memoryTimeline = mp.liveBytesAtStep;
     report_.peakLiveBytes = mp.peakLiveBytes;
+    report_.arenaBytesByDtype = mp.arenaValueBytesByDtype;
+    report_.constBytesByDtype = mp.constBytesByDtype;
     report_.shardedSteps = executor_->shardedSteps();
     report_.serializedByWorkspace = executor_->serializedByWorkspace();
 }
@@ -55,13 +58,30 @@ TrainingProgram::trainStep(
 
 InferenceProgram::InferenceProgram(Graph g,
                                    std::shared_ptr<ParamStore> store,
-                                   ExecOptions exec_options)
-    : graph_(std::move(g)), store_(std::move(store))
+                                   ExecOptions exec_options,
+                                   CompileReport report)
+    : graph_(std::move(g)), store_(std::move(store)),
+      report_(std::move(report))
 {
     executor_ = std::make_unique<Executor>(graph_,
                                            reorderForMemory(graph_),
                                            *store_,
                                            std::move(exec_options));
+    report_.kernelSteps = executor_->numSteps();
+    const MemoryPlan &mp = executor_->memoryPlan();
+    report_.arenaBytes = mp.arenaBytes;
+    report_.workspaceBytes = mp.workspaceBytes;
+    report_.paramBytes = mp.paramBytes;
+    report_.constBytes = mp.constBytes;
+    report_.totalBytes = mp.totalBytes();
+    report_.memoryTimeline = mp.liveBytesAtStep;
+    report_.peakLiveBytes = mp.peakLiveBytes;
+    report_.arenaBytesByDtype = mp.arenaValueBytesByDtype;
+    report_.constBytesByDtype = mp.constBytesByDtype;
+    report_.shardedSteps = executor_->shardedSteps();
+    report_.serializedByWorkspace = executor_->serializedByWorkspace();
+    report_.kernelFallbacks = executor_->fallbackCount();
+    report_.fallbackKernels = executor_->fallbackKernels();
 }
 
 std::vector<Tensor>
@@ -122,12 +142,13 @@ InferenceProgram::runBatch(
 CompiledGraph
 compileGraphOnly(const Graph &forward, int loss_id,
                  const SparseUpdateScheme &scheme,
-                 const CompileOptions &options)
+                 const CompileOptions &options, const ParamStore *store)
 {
     CompiledGraph out;
     Graph g = forward;
     CompileReport report;
     report.forwardNodes = g.numNodes();
+    report.precision = options.precision;
 
     // Name the loss so its id can be tracked across graph compaction.
     g.node(loss_id).name = "__loss__";
@@ -174,15 +195,32 @@ compileGraphOnly(const Graph &forward, int loss_id,
     report.prunedNodes = dce(g);
 
     // Re-locate the loss node after compaction.
-    int loss = -1;
-    for (int i = 0; i < g.numNodes(); ++i) {
-        if (g.node(i).name == "__loss__") {
-            loss = i;
-            break;
+    auto findLoss = [&g]() {
+        for (int i = 0; i < g.numNodes(); ++i) {
+            if (g.node(i).name == "__loss__")
+                return i;
         }
-    }
-    if (loss < 0)
         throw std::runtime_error("compileGraphOnly: loss eliminated");
+    };
+    int loss = findLoss();
+
+    // 4b. Quantization: rewrite the forward region (the loss node's
+    //     ancestor cone) to int8 or f16 storage. Running after
+    //     autodiff+fusion is what keeps the backward graph fp32: the
+    //     backward ops simply pick up per-use Dequantize reads of the
+    //     now-int8 stored activations (straight-through estimates).
+    //     Trainable weights keep fp32 masters and are re-quantized
+    //     each step, so the in-place optimizer still works.
+    if (options.precision != Precision::F32) {
+        QuantizeOptions qo;
+        qo.precision = options.precision;
+        qo.root = loss;
+        qo.store = store;
+        qo.prequantizeFrozen = false; // training graphs keep masters
+        quantizePass(g, qo, &report.quant);
+        dce(g); // sweep values only the fp32 forward consumed
+        loss = findLoss();
+    }
 
     // 5. Backend switching. Variants are order-independent (they read
     //    shapes and trainability only), and selecting them before
@@ -235,6 +273,9 @@ compileGraphOnly(const Graph &forward, int loss_id,
     report.arenaBytes = plan.arenaBytes;
     report.workspaceBytes = plan.workspaceBytes;
     report.paramBytes = plan.paramBytes;
+    report.constBytes = plan.constBytes;
+    report.arenaBytesByDtype = plan.arenaValueBytesByDtype;
+    report.constBytesByDtype = plan.constBytesByDtype;
     report.totalBytes = plan.totalBytes();
     report.memoryTimeline = std::move(plan.liveBytesAtStep);
     report.peakLiveBytes = plan.peakLiveBytes;
@@ -261,7 +302,8 @@ compileTraining(const Graph &forward, int loss_id,
 {
     if (!store)
         store = std::make_shared<ParamStore>();
-    CompiledGraph c = compileGraphOnly(forward, loss_id, scheme, options);
+    CompiledGraph c =
+        compileGraphOnly(forward, loss_id, scheme, options, store.get());
     ExecOptions eopt;
     eopt.variants = std::move(c.variants);
     eopt.numThreads = options.numThreads;
@@ -319,15 +361,31 @@ compileInference(const Graph &forward,
         fuseOperators(g);
     dce(g);
 
+    CompileReport report;
+    report.precision = options.precision;
+
+    // Deployment-shaped quantization: every param is frozen here, so
+    // weights are pre-quantized into i8 Consts and DCE drops the fp32
+    // masters from the graph — and from the reported footprint.
+    if (options.precision != Precision::F32) {
+        QuantizeOptions qo;
+        qo.precision = options.precision;
+        qo.root = -1; // whole graph feeds the outputs
+        qo.store = store.get();
+        qo.prequantizeFrozen = true;
+        quantizePass(g, qo, &report.quant);
+        dce(g);
+    }
+
     BackendOptions bopt;
     bopt.enableWinograd = options.winograd;
     bopt.enableBlocked = options.blocked;
     ExecOptions eopt;
-    eopt.variants = switchBackends(g, bopt);
+    eopt.variants = switchBackends(g, bopt, &report.backend);
     eopt.numThreads = options.numThreads;
 
     return InferenceProgram(std::move(g), std::move(store),
-                            std::move(eopt));
+                            std::move(eopt), std::move(report));
 }
 
 } // namespace pe

@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -47,6 +48,15 @@ struct CompileOptions {
      * everything else.
      */
     int numThreads = 1;
+    /**
+     * Storage precision of the compiled forward graph. Int8 rewrites
+     * calibrated forward ops (see pe::calibrate) to int8 storage with
+     * int32 accumulation, keeping the sparse-BP backward graph in
+     * fp32; F16 stores forward activations as halves with fp32
+     * compute. The optimizer and parameter masters stay fp32 in every
+     * mode, so fine-tuning on a quantized forward keeps working.
+     */
+    Precision precision = Precision::F32;
 };
 
 /** What the compiler did — consumed by benches and EXPERIMENTS.md. */
@@ -89,6 +99,49 @@ struct CompileReport {
      */
     int kernelFallbacks = 0;
     std::vector<std::string> fallbackKernels; ///< "op/variant" labels
+    /** Storage precision this program was compiled at. */
+    Precision precision = Precision::F32;
+    /** What the QuantizePass did (zeros when precision == F32). */
+    QuantizeStats quant;
+    int64_t constBytes = 0; ///< compile-time constants (pre-quantized
+                            ///< i8 weights land here when deployed)
+    /** Planned arena value bytes by storage dtype (index = DType) —
+     *  the per-precision activation footprint of Table 4's quantized
+     *  rows. Workspaces are excluded (see workspaceBytes). */
+    std::array<int64_t, 3> arenaBytesByDtype{};
+    /** Const bytes by storage dtype (i8 = deployed quantized weights). */
+    std::array<int64_t, 3> constBytesByDtype{};
+
+    /**
+     * The Table-4 "activation + weight" footprint: every planned
+     * arena value (all dtypes, workspaces excluded) plus weights
+     * (params + consts). The single definition the precision bench,
+     * examples and acceptance tests all quote.
+     */
+    int64_t
+    actWeightBytes() const
+    {
+        int64_t act = 0;
+        for (int64_t b : arenaBytesByDtype)
+            act += b;
+        return act + paramBytes + constBytes;
+    }
+
+    /** "N (op/variant, ...)" summary of kernel fallbacks; empty when
+     *  every selected variant is registered. */
+    std::string
+    fallbackSummary() const
+    {
+        if (kernelFallbacks == 0)
+            return "";
+        std::string out = std::to_string(kernelFallbacks) + " (";
+        for (size_t i = 0; i < fallbackKernels.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += fallbackKernels[i];
+        }
+        return out + ")";
+    }
 };
 
 /** A compiled training step. */
@@ -132,7 +185,8 @@ class InferenceProgram
 {
   public:
     InferenceProgram(Graph g, std::shared_ptr<ParamStore> store,
-                     ExecOptions exec_options);
+                     ExecOptions exec_options,
+                     CompileReport report = {});
 
     /** Bind inputs, run, return the graph outputs in order. */
     std::vector<Tensor> run(
@@ -151,11 +205,15 @@ class InferenceProgram
 
     const Graph &graph() const { return graph_; }
     Executor &executor() { return *executor_; }
+    /** Memory/backend summary of the bound program (Table 4 rows for
+     *  deployment-shaped compiles come from here). */
+    const CompileReport &report() const { return report_; }
 
   private:
     Graph graph_;
     std::shared_ptr<ParamStore> store_;
     std::unique_ptr<Executor> executor_;
+    CompileReport report_;
 };
 
 /**
@@ -197,9 +255,15 @@ struct CompiledGraph {
  * binding an executor. This is how full-size (7B-parameter) models
  * are analyzed for memory (Table 4) and projected latency (Fig. 9 /
  * Table 5) on hardware this host could never execute.
+ *
+ * @param store  optional weight values: quantized compiles use them
+ *               for per-channel weight scales (placeholder scales are
+ *               planned when absent, which is fine for memory-only
+ *               analysis).
  */
 CompiledGraph compileGraphOnly(const Graph &forward, int loss_id,
                                const SparseUpdateScheme &scheme,
-                               const CompileOptions &options);
+                               const CompileOptions &options,
+                               const ParamStore *store = nullptr);
 
 } // namespace pe

@@ -1,5 +1,6 @@
 #include "ir/graph.h"
 
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -22,6 +23,7 @@ Graph::add(OpKind op, std::vector<int> inputs, Attrs attrs,
     n.attrs = std::move(attrs);
     n.name = std::move(name);
     n.shape = inferShape(*this, op, n.inputs, n.attrs);
+    n.dtype = inferDType(op, n.attrs);
     nodes_.push_back(std::move(n));
     return nodes_.back().id;
 }
@@ -102,23 +104,71 @@ Graph::consumers() const
 std::vector<int>
 Graph::topoOrder() const
 {
-    std::vector<int> order(nodes_.size());
-    for (size_t i = 0; i < nodes_.size(); ++i)
-        order[i] = static_cast<int>(i);
+    int n = numNodes();
+    // Fast path: creation order is topological (true until a rewrite
+    // points a node at a later-created input).
+    bool forward_only = true;
+    for (const Node &node : nodes_) {
+        for (int in : node.inputs) {
+            if (in >= node.id) {
+                forward_only = false;
+                break;
+            }
+        }
+        if (!forward_only)
+            break;
+    }
+    std::vector<int> order;
+    order.reserve(n);
+    if (forward_only) {
+        for (int i = 0; i < n; ++i)
+            order.push_back(i);
+        return order;
+    }
+    // Stable Kahn: among ready nodes always emit the smallest id, so
+    // the result is exactly creation order whenever that is valid.
+    std::vector<int> indegree(n, 0);
+    auto users = consumers();
+    for (const Node &node : nodes_)
+        indegree[node.id] = static_cast<int>(node.inputs.size());
+    std::set<int> ready;
+    for (int i = 0; i < n; ++i) {
+        if (indegree[i] == 0)
+            ready.insert(i);
+    }
+    while (!ready.empty()) {
+        int id = *ready.begin();
+        ready.erase(ready.begin());
+        order.push_back(id);
+        for (int u : users[id]) {
+            if (--indegree[u] == 0)
+                ready.insert(u);
+        }
+    }
+    if (static_cast<int>(order.size()) != n)
+        throw std::runtime_error("Graph::topoOrder: cycle detected");
     return order;
 }
 
 std::vector<int>
 Graph::compact(const std::vector<bool> &live)
 {
+    // Two sweeps: assign new ids first, then remap inputs — a live
+    // node may reference a LATER-created input after rewiring passes
+    // (QuantizePass), so the remap table must be complete before any
+    // input is translated.
     std::vector<int> remap(nodes_.size(), -1);
+    int next = 0;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (live[i])
+            remap[i] = next++;
+    }
     std::vector<Node> kept;
-    kept.reserve(nodes_.size());
+    kept.reserve(static_cast<size_t>(next));
     for (size_t i = 0; i < nodes_.size(); ++i) {
         if (!live[i])
             continue;
         Node n = std::move(nodes_[i]);
-        remap[i] = static_cast<int>(kept.size());
         n.id = remap[i];
         for (int &in : n.inputs) {
             if (remap[in] < 0)

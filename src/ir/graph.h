@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/dtype.h"
 #include "core/shape.h"
 #include "core/tensor.h"
 #include "ir/attrs.h"
@@ -28,6 +29,9 @@ struct Node {
     std::vector<int> inputs;
     Attrs attrs;
     Shape shape;          ///< inferred output shape
+    DType dtype = DType::F32; ///< storage element type of the output
+                              ///< (inferred from op + attrs; i8/f16
+                              ///< only downstream of the QuantizePass)
     std::string name;     ///< unique for Param nodes; else informational
     bool trainable = false; ///< Param only: does it receive gradients?
 };
@@ -72,8 +76,12 @@ class Graph
     std::vector<std::vector<int>> consumers() const;
 
     /**
-     * Nodes in a valid topological order (creation order is already
-     * topological since inputs must exist when a node is added).
+     * Nodes in a valid topological order. For freshly-built graphs
+     * this is creation order (inputs must exist when a node is
+     * added); after rewrites that point existing nodes at
+     * later-created inputs (the QuantizePass does this), a stable
+     * Kahn sweep — smallest ready id first — restores a valid order
+     * while remaining the identity whenever creation order is valid.
      */
     std::vector<int> topoOrder() const;
 

@@ -341,8 +341,83 @@ inferShape(const Graph &g, OpKind op, const std::vector<int> &inputs,
         return matmulShape(op, in(0), in(1), attrs.getInt("transA", 0),
                            attrs.getInt("transB", 0));
       }
+
+      // --- quantization -------------------------------------------------
+      case OpKind::Quantize:
+      case OpKind::Dequantize:
+        // Optional second input: per-channel scales (f32 const).
+        if (inputs.size() != 1 && inputs.size() != 2)
+            fail(op, "expected 1 or 2 inputs");
+        return in(0);
+
+      case OpKind::Requantize:
+      case OpKind::QuantRelu:
+        expectInputs(op, inputs, 1);
+        return in(0);
+
+      case OpKind::QuantAdd:
+        expectInputs(op, inputs, 2);
+        if (in(0) != in(1))
+            fail(op, "expects equal shapes");
+        return in(0);
+
+      case OpKind::QuantMatMul: {
+        if (inputs.size() < 2 || inputs.size() > 4)
+            fail(op, "expected 2-4 inputs");
+        return matmulShape(op, in(0), in(1), attrs.getInt("transA", 0),
+                           attrs.getInt("transB", 0));
+      }
+
+      case OpKind::QuantConv2d: {
+        if (inputs.size() < 2 || inputs.size() > 4)
+            fail(op, "expected 2-4 inputs");
+        const Shape &x = in(0), &w = in(1);
+        if (x.size() != 4 || w.size() != 4 || x[1] != w[1])
+            fail(op, "expects NCHW x and [Co,Ci,Kh,Kw] w");
+        int64_t s = attrs.getInt("stride", 1), p = attrs.getInt("pad", 0);
+        return {x[0], w[0], convOutDim(x[2], w[2], s, p),
+                convOutDim(x[3], w[3], s, p)};
+      }
+
+      case OpKind::QuantDwConv2d: {
+        if (inputs.size() < 2 || inputs.size() > 4)
+            fail(op, "expected 2-4 inputs");
+        const Shape &x = in(0), &w = in(1);
+        if (x.size() != 4 || w.size() != 4 || w[1] != 1 || x[1] != w[0])
+            fail(op, "expects NCHW x and [C,1,Kh,Kw] w");
+        int64_t s = attrs.getInt("stride", 1), p = attrs.getInt("pad", 0);
+        return {x[0], x[1], convOutDim(x[2], w[2], s, p),
+                convOutDim(x[3], w[3], s, p)};
+      }
     }
     fail(op, "unhandled op");
+}
+
+DType
+inferDType(OpKind op, const Attrs &attrs)
+{
+    switch (op) {
+      case OpKind::Quantize:
+      case OpKind::Const: {
+        // Quantize targets its "dtype" attr; Const may carry one when
+        // the QuantizePass pre-quantized a frozen weight.
+        std::string d = attrs.getString("dtype", "");
+        if (d == "i8")
+            return DType::I8;
+        if (d == "f16")
+            return DType::F16;
+        return op == OpKind::Quantize ? DType::I8 : DType::F32;
+      }
+      case OpKind::Requantize:
+      case OpKind::QuantMatMul:
+      case OpKind::QuantConv2d:
+      case OpKind::QuantDwConv2d:
+      case OpKind::QuantAdd:
+      case OpKind::QuantRelu:
+        return DType::I8;
+      default:
+        return DType::F32;
+    }
 }
 
 } // namespace pe

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "core/dtype.h"
 #include "core/shape.h"
 #include "ir/attrs.h"
 #include "ir/op.h"
@@ -31,5 +32,13 @@ Shape inferShape(const Graph &g, OpKind op, const std::vector<int> &inputs,
 
 /** Output spatial extent of a convolution/pool window. */
 int64_t convOutDim(int64_t in, int64_t kernel, int64_t stride, int64_t pad);
+
+/**
+ * Storage dtype of a prospective node's output. Determined by op kind
+ * alone except for Quantize (and dtype-tagged Const/Dequantize
+ * sources), whose "dtype" attr names the non-f32 storage ("i8" /
+ * "f16"). Everything outside the quantization subsystem is F32.
+ */
+DType inferDType(OpKind op, const Attrs &attrs);
 
 } // namespace pe

@@ -75,6 +75,14 @@ nameTable()
         {OpKind::ConvBiasAct, "ConvBiasAct"},
         {OpKind::DwConvBiasAct, "DwConvBiasAct"},
         {OpKind::MatMulBiasAct, "MatMulBiasAct"},
+        {OpKind::Quantize, "Quantize"},
+        {OpKind::Dequantize, "Dequantize"},
+        {OpKind::Requantize, "Requantize"},
+        {OpKind::QuantMatMul, "QuantMatMul"},
+        {OpKind::QuantConv2d, "QuantConv2d"},
+        {OpKind::QuantDwConv2d, "QuantDwConv2d"},
+        {OpKind::QuantAdd, "QuantAdd"},
+        {OpKind::QuantRelu, "QuantRelu"},
         {OpKind::Identity, "Identity"},
     };
     return table;
@@ -111,6 +119,21 @@ isSourceOp(OpKind op)
 {
     return op == OpKind::Input || op == OpKind::Param ||
            op == OpKind::Const;
+}
+
+bool
+isQuantComputeOp(OpKind op)
+{
+    switch (op) {
+      case OpKind::QuantMatMul:
+      case OpKind::QuantConv2d:
+      case OpKind::QuantDwConv2d:
+      case OpKind::QuantAdd:
+      case OpKind::QuantRelu:
+        return true;
+      default:
+        return false;
+    }
 }
 
 bool

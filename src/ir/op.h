@@ -99,6 +99,28 @@ enum class OpKind {
     DwConvBiasAct,
     MatMulBiasAct, ///< MatMul + bias + activation; attr "act"
 
+    // --- quantization (src/quant/, QuantizePass) -----------------------------
+    // Storage-dtype boundary ops. "dtype" attr names the non-f32 side
+    // ("i8" or "f16"); int8 carries per-tensor affine params
+    // ("yScale"/"yZp" on Quantize, "xScale"/"xZp" on Dequantize) or,
+    // for weights, per-channel scales as a Const f32 input plus a
+    // "qaxis" attr (symmetric, zero-point 0).
+    Quantize,   ///< f32 -> i8|f16; inputs: x [, scales]
+    Dequantize, ///< i8|f16 -> f32; inputs: qx [, scales]
+    Requantize, ///< i8 -> i8 rescale; attrs xScale/xZp/yScale/yZp
+
+    // Int8 compute with int32 accumulation. Inputs: qx, qw
+    // [, bias f32] [, wscales f32]; attrs "hasBias", "perChannel",
+    // "act" plus the originating op's attrs (stride/pad or
+    // transA/transB) and quant params xScale/xZp, wScale (per-tensor
+    // symmetric weights), yScale/yZp. The fused bias+act forms are the
+    // same op with hasBias=1 / act != kActNone.
+    QuantMatMul,
+    QuantConv2d,
+    QuantDwConv2d,
+    QuantAdd,  ///< inputs qa, qb; attrs xScale/xZp, bScale/bZp, yScale/yZp
+    QuantRelu, ///< relu in the dequantized domain, requantized output
+
     Identity,
 };
 
@@ -117,6 +139,10 @@ bool isSourceOp(OpKind op);
 
 /** True for the in-place optimizer ops (output aliases input 0). */
 bool isInPlaceOp(OpKind op);
+
+/** True for the int8-compute ops the QuantizePass emits (the ops the
+ *  backend switcher binds to the "int8" kernel variants). */
+bool isQuantComputeOp(OpKind op);
 
 /** Approximate FLOP count heuristics live with the op table. */
 } // namespace pe

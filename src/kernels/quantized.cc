@@ -1,0 +1,481 @@
+/**
+ * @file
+ * Quantized kernels (int8 storage, int32 accumulation, float
+ * requantization) plus the f32<->f16 storage casts.
+ *
+ * Two tiers per quant compute op:
+ *  - "int8": the real integer kernel. GEMM packs the i8 weight panel
+ *    into a per-shard workspace (contiguous K-major rows, like the
+ *    blocked fp32 GEMM's packed-B panel); conv uses a per-image i8
+ *    im2col column buffer whose padding cells hold the input
+ *    zero-point, so (col - zp) vanishes exactly where fp32 would pad
+ *    zeros. Both accumulate in int32 and requantize per output
+ *    channel.
+ *  - "" (default): a dequant->fp32->requant reference kernel that
+ *    stages fp32 copies of its operands in its workspace and calls
+ *    the existing fp32 kernel. Ops with no "int8" registration (e.g.
+ *    QuantDwConv2d) silently run this tier — which the registry's
+ *    fallback flag, and therefore CompileReport::kernelFallbacks,
+ *    surfaces.
+ *
+ * Thread-count invariance: every shard computes its output elements
+ * with per-element exact integer accumulation and one final rounding,
+ * so numThreads=N is bit-identical to numThreads=1 (asserted by
+ * test_quant).
+ */
+
+#include <cmath>
+#include <cstring>
+
+#include "ir/infer.h"
+#include "kernels/kernel.h"
+#include "quant/quant.h"
+
+namespace pe {
+namespace {
+
+float
+attrF(const KernelCtx &c, const char *key, double dflt = 0.0)
+{
+    return static_cast<float>(c.node->attrs.getFloat(key, dflt));
+}
+
+int32_t
+attrI(const KernelCtx &c, const char *key, int64_t dflt = 0)
+{
+    return static_cast<int32_t>(c.node->attrs.getInt(key, dflt));
+}
+
+float
+actOf(int64_t act, float v)
+{
+    switch (act) {
+      case kActRelu:
+        return v > 0 ? v : 0.0f;
+      case kActGelu: {
+        constexpr float kC = 0.7978845608028654f;
+        return 0.5f * v *
+               (1.0f + std::tanh(kC * (v + 0.044715f * v * v * v)));
+      }
+      case kActSilu:
+        return v / (1.0f + std::exp(-v));
+      default:
+        return v;
+    }
+}
+
+/** Flattened-index stride/extent of the per-channel axis. */
+struct AxisView {
+    int64_t inner = 1, channels = 1;
+
+    int64_t
+    channelOf(int64_t flat) const
+    {
+        return (flat / inner) % channels;
+    }
+};
+
+AxisView
+axisView(const Shape &s, int64_t axis)
+{
+    AxisView v;
+    v.channels = s[axis];
+    for (size_t i = axis + 1; i < s.size(); ++i)
+        v.inner *= s[i];
+    return v;
+}
+
+// ---- storage casts ----------------------------------------------------
+
+void
+quantizeK(const KernelCtx &c)
+{
+    int64_t n = numel(*c.outShape);
+    int64_t hi = partitionEnd(c, n);
+    const float *x = c.in[0];
+    if (c.node->attrs.getString("dtype", "i8") == "f16") {
+        uint16_t *out = reinterpret_cast<uint16_t *>(c.out);
+        for (int64_t i = c.begin; i < hi; ++i)
+            out[i] = floatToHalf(x[i]);
+        return;
+    }
+    int8_t *out = reinterpret_cast<int8_t *>(c.out);
+    if (c.in.size() > 1 && c.node->attrs.has("qaxis")) {
+        // Per-channel symmetric (weights): scales from input 1.
+        AxisView av =
+            axisView(*c.outShape, c.node->attrs.getInt("qaxis"));
+        const float *scales = c.in[1];
+        for (int64_t i = c.begin; i < hi; ++i)
+            out[i] = quantizeValue(x[i], scales[av.channelOf(i)], 0);
+        return;
+    }
+    float s = attrF(c, "yScale", 1.0);
+    int32_t zp = attrI(c, "yZp", 0);
+    for (int64_t i = c.begin; i < hi; ++i)
+        out[i] = quantizeValue(x[i], s, zp);
+}
+
+void
+dequantizeK(const KernelCtx &c)
+{
+    int64_t n = numel(*c.outShape);
+    int64_t hi = partitionEnd(c, n);
+    if (c.node->attrs.getString("dtype", "i8") == "f16") {
+        const uint16_t *x = reinterpret_cast<const uint16_t *>(c.in[0]);
+        for (int64_t i = c.begin; i < hi; ++i)
+            c.out[i] = halfToFloat(x[i]);
+        return;
+    }
+    const int8_t *x = reinterpret_cast<const int8_t *>(c.in[0]);
+    if (c.in.size() > 1 && c.node->attrs.has("qaxis")) {
+        AxisView av =
+            axisView(*c.outShape, c.node->attrs.getInt("qaxis"));
+        const float *scales = c.in[1];
+        for (int64_t i = c.begin; i < hi; ++i)
+            c.out[i] = dequantizeValue(x[i], scales[av.channelOf(i)], 0);
+        return;
+    }
+    float s = attrF(c, "xScale", 1.0);
+    int32_t zp = attrI(c, "xZp", 0);
+    for (int64_t i = c.begin; i < hi; ++i)
+        c.out[i] = dequantizeValue(x[i], s, zp);
+}
+
+void
+requantizeK(const KernelCtx &c)
+{
+    int64_t n = numel(*c.outShape);
+    int64_t hi = partitionEnd(c, n);
+    const int8_t *x = reinterpret_cast<const int8_t *>(c.in[0]);
+    int8_t *out = reinterpret_cast<int8_t *>(c.out);
+    float xs = attrF(c, "xScale", 1.0), ys = attrF(c, "yScale", 1.0);
+    int32_t xzp = attrI(c, "xZp", 0), yzp = attrI(c, "yZp", 0);
+    for (int64_t i = c.begin; i < hi; ++i)
+        out[i] = quantizeValue(dequantizeValue(x[i], xs, xzp), ys, yzp);
+}
+
+// ---- int8 elementwise -------------------------------------------------
+
+void
+qaddK(const KernelCtx &c)
+{
+    int64_t n = numel(*c.outShape);
+    int64_t hi = partitionEnd(c, n);
+    const int8_t *a = reinterpret_cast<const int8_t *>(c.in[0]);
+    const int8_t *b = reinterpret_cast<const int8_t *>(c.in[1]);
+    int8_t *out = reinterpret_cast<int8_t *>(c.out);
+    float as = attrF(c, "xScale", 1.0), bs = attrF(c, "bScale", 1.0);
+    float ys = attrF(c, "yScale", 1.0);
+    int32_t azp = attrI(c, "xZp", 0), bzp = attrI(c, "bZp", 0);
+    int32_t yzp = attrI(c, "yZp", 0);
+    for (int64_t i = c.begin; i < hi; ++i) {
+        float v = dequantizeValue(a[i], as, azp) +
+                  dequantizeValue(b[i], bs, bzp);
+        out[i] = quantizeValue(v, ys, yzp);
+    }
+}
+
+void
+qreluK(const KernelCtx &c)
+{
+    int64_t n = numel(*c.outShape);
+    int64_t hi = partitionEnd(c, n);
+    const int8_t *x = reinterpret_cast<const int8_t *>(c.in[0]);
+    int8_t *out = reinterpret_cast<int8_t *>(c.out);
+    float xs = attrF(c, "xScale", 1.0), ys = attrF(c, "yScale", 1.0);
+    int32_t xzp = attrI(c, "xZp", 0), yzp = attrI(c, "yZp", 0);
+    for (int64_t i = c.begin; i < hi; ++i) {
+        float v = dequantizeValue(x[i], xs, xzp);
+        out[i] = quantizeValue(v > 0 ? v : 0.0f, ys, yzp);
+    }
+}
+
+// ---- int8 GEMM --------------------------------------------------------
+
+/** Requantization context shared by GEMM and conv. */
+struct Requant {
+    float xScale, wScale, yScale;
+    int32_t xZp, yZp;
+    const float *wScales = nullptr; ///< per-channel, else null
+    const float *bias = nullptr;    ///< fp32, else null
+    int64_t act = kActNone;
+
+    int8_t
+    emit(int32_t acc, int64_t channel) const
+    {
+        float sw = wScales ? wScales[channel] : wScale;
+        float r = static_cast<float>(acc) * xScale * sw;
+        if (bias)
+            r += bias[channel];
+        r = actOf(act, r);
+        return quantizeValue(r, yScale, yZp);
+    }
+};
+
+Requant
+requantOf(const KernelCtx &c)
+{
+    Requant r;
+    r.xScale = attrF(c, "xScale", 1.0);
+    r.wScale = attrF(c, "wScale", 1.0);
+    r.yScale = attrF(c, "yScale", 1.0);
+    r.xZp = attrI(c, "xZp", 0);
+    r.yZp = attrI(c, "yZp", 0);
+    r.act = c.node->attrs.getInt("act", kActNone);
+    bool has_bias = c.node->attrs.getInt("hasBias", 0) != 0;
+    bool per_channel = c.node->attrs.getInt("perChannel", 0) != 0;
+    if (has_bias)
+        r.bias = c.in[2];
+    if (per_channel && c.in.size() > static_cast<size_t>(2 + has_bias))
+        r.wScales = c.in[2 + (has_bias ? 1 : 0)];
+    return r;
+}
+
+/**
+ * out[M,N] i8 = requant( sum_k (a[m,k]-xZp) * w[.,.] ). The weight
+ * panel is packed K-contiguous per output column into the shard's
+ * workspace, so the inner loop streams two contiguous i8 vectors.
+ */
+void
+qmatmulK(const KernelCtx &c)
+{
+    const Shape &as = *c.inShapes[0];
+    const Shape &bs = *c.inShapes[1];
+    bool tb = c.node->attrs.getInt("transB", 0) != 0;
+    int64_t m_hi = partitionEnd(c, (*c.outShape)[0]);
+    int64_t k = as[1];
+    int64_t n = (*c.outShape)[1];
+    const int8_t *a = reinterpret_cast<const int8_t *>(c.in[0]);
+    const int8_t *b = reinterpret_cast<const int8_t *>(c.in[1]);
+    int8_t *out = reinterpret_cast<int8_t *>(c.out);
+    Requant rq = requantOf(c);
+
+    // Pack W into [N, K] rows (a value-copy; accumulation order is
+    // untouched, so packing cannot perturb results).
+    int8_t *wp = reinterpret_cast<int8_t *>(c.workspace);
+    for (int64_t j = 0; j < n; ++j) {
+        for (int64_t kk = 0; kk < k; ++kk)
+            wp[j * k + kk] = tb ? b[j * k + kk] : b[kk * n + j];
+    }
+    (void)bs;
+
+    for (int64_t i = c.begin; i < m_hi; ++i) {
+        const int8_t *arow = a + i * k;
+        for (int64_t j = 0; j < n; ++j) {
+            const int8_t *wrow = wp + j * k;
+            int32_t acc = 0;
+            for (int64_t kk = 0; kk < k; ++kk) {
+                acc += (static_cast<int32_t>(arow[kk]) - rq.xZp) *
+                       static_cast<int32_t>(wrow[kk]);
+            }
+            out[i * n + j] = rq.emit(acc, j);
+        }
+    }
+}
+
+WorkspaceSpec
+qmatmulWorkspace(const Graph &g, const Node &n)
+{
+    const Shape &b = g.node(n.inputs[1]).shape;
+    WorkspaceSpec spec;
+    spec.bytesPerShard = numel(b); // packed i8 panel
+    return spec;
+}
+
+// ---- int8 conv (im2col) ----------------------------------------------
+
+void
+qconvK(const KernelCtx &c)
+{
+    const Shape &xs = *c.inShapes[0];
+    const Shape &ws = *c.inShapes[1];
+    int64_t stride = c.node->attrs.getInt("stride", 1);
+    int64_t pad = c.node->attrs.getInt("pad", 0);
+    int64_t nI = xs[0], ci = xs[1], h = xs[2], w = xs[3];
+    int64_t co = ws[0], kh = ws[2], kw = ws[3];
+    int64_t ho = (*c.outShape)[2], wo = (*c.outShape)[3];
+    const int8_t *x = reinterpret_cast<const int8_t *>(c.in[0]);
+    const int8_t *wt = reinterpret_cast<const int8_t *>(c.in[1]);
+    int8_t *out = reinterpret_cast<int8_t *>(c.out);
+    Requant rq = requantOf(c);
+
+    int64_t k = ci * kh * kw;
+    int64_t cols = ho * wo;
+    int8_t *col = reinterpret_cast<int8_t *>(c.workspace);
+    int8_t zp8 = static_cast<int8_t>(
+        std::min<int32_t>(127, std::max<int32_t>(-128, rq.xZp)));
+
+    for (int64_t ni = c.begin; ni < partitionEnd(c, nI); ++ni) {
+        const int8_t *xn = x + ni * ci * h * w;
+        // Unfold; padding cells hold the zero-point so (col - zp) is
+        // exactly zero there, matching fp32 zero padding.
+        int64_t r = 0;
+        for (int64_t cc = 0; cc < ci; ++cc) {
+            for (int64_t a = 0; a < kh; ++a) {
+                for (int64_t b = 0; b < kw; ++b, ++r) {
+                    int8_t *dst = col + r * cols;
+                    for (int64_t i = 0; i < ho; ++i) {
+                        int64_t ih = i * stride - pad + a;
+                        for (int64_t j = 0; j < wo; ++j) {
+                            int64_t iw = j * stride - pad + b;
+                            bool ok = ih >= 0 && ih < h && iw >= 0 &&
+                                      iw < w;
+                            dst[i * wo + j] =
+                                ok ? xn[(cc * h + ih) * w + iw] : zp8;
+                        }
+                    }
+                }
+            }
+        }
+        // GEMM: out[co, cols] = (col - zp) . w[co, k], int32 accum.
+        int8_t *on = out + ni * co * cols;
+        for (int64_t o = 0; o < co; ++o) {
+            const int8_t *wrow = wt + o * k;
+            int8_t *dst = on + o * cols;
+            for (int64_t cc2 = 0; cc2 < cols; ++cc2) {
+                int32_t acc = 0;
+                for (int64_t kk = 0; kk < k; ++kk) {
+                    acc += (static_cast<int32_t>(col[kk * cols + cc2]) -
+                            rq.xZp) *
+                           static_cast<int32_t>(wrow[kk]);
+                }
+                dst[cc2] = rq.emit(acc, o);
+            }
+        }
+    }
+}
+
+WorkspaceSpec
+qconvWorkspace(const Graph &g, const Node &n)
+{
+    const Shape &x = g.node(n.inputs[0]).shape;
+    const Shape &w = g.node(n.inputs[1]).shape;
+    int64_t ho = convOutDim(x[2], w[2], n.attrs.getInt("stride", 1),
+                            n.attrs.getInt("pad", 0));
+    int64_t wo = convOutDim(x[3], w[3], n.attrs.getInt("stride", 1),
+                            n.attrs.getInt("pad", 0));
+    WorkspaceSpec spec;
+    spec.bytesPerShard = x[1] * w[2] * w[3] * ho * wo; // i8 col buffer
+    return spec;
+}
+
+// ---- reference tier: dequant -> fp32 kernel -> requant ---------------
+
+/**
+ * Generic fallback for quant compute ops without an integer kernel.
+ * Stages fp32 copies of the activation and weight in the workspace,
+ * runs the corresponding fp32 kernel, and requantizes the fp32
+ * result. Serial by construction (no PartitionSpec) — this is the
+ * slow path the compile report's fallback counter exists to expose.
+ */
+template <OpKind PlainOp, OpKind BiasOp, int64_t WAxis>
+void
+refQuantK(const KernelCtx &c)
+{
+    int64_t nx = numel(*c.inShapes[0]);
+    int64_t nw = numel(*c.inShapes[1]);
+    int64_t ny = numel(*c.outShape);
+    float *fx = c.workspace;
+    float *fw = fx + nx;
+    float *fy = fw + nw;
+    Requant rq = requantOf(c);
+
+    const int8_t *qx = reinterpret_cast<const int8_t *>(c.in[0]);
+    for (int64_t i = 0; i < nx; ++i)
+        fx[i] = dequantizeValue(qx[i], rq.xScale, rq.xZp);
+    const int8_t *qw = reinterpret_cast<const int8_t *>(c.in[1]);
+    AxisView av = axisView(*c.inShapes[1], WAxis);
+    for (int64_t i = 0; i < nw; ++i) {
+        float sw = rq.wScales ? rq.wScales[av.channelOf(i)] : rq.wScale;
+        fw[i] = dequantizeValue(qw[i], sw, 0);
+    }
+
+    bool has_bias = rq.bias != nullptr;
+    KernelCtx sub;
+    Node proxy = *c.node; // attrs (stride/pad/trans/act) pass through
+    proxy.op = has_bias ? BiasOp : PlainOp;
+    sub.node = &proxy;
+    sub.in = {fx, fw};
+    sub.inShapes = {c.inShapes[0], c.inShapes[1]};
+    if (has_bias) {
+        sub.in.push_back(rq.bias);
+        sub.inShapes.push_back(c.inShapes[2]);
+    }
+    sub.out = fy;
+    sub.outShape = c.outShape;
+    sub.step = c.step;
+    lookupKernel(proxy.op, "")(sub);
+
+    int8_t *out = reinterpret_cast<int8_t *>(c.out);
+    for (int64_t i = 0; i < ny; ++i)
+        out[i] = quantizeValue(fy[i], rq.yScale, rq.yZp);
+}
+
+/** Per-tensor matmul axis resolves transB at run time, so the ref
+ *  matmul picks the weight axis dynamically. */
+void
+refQMatmulK(const KernelCtx &c)
+{
+    if (c.node->attrs.getInt("transB", 0) != 0)
+        refQuantK<OpKind::MatMul, OpKind::MatMulBiasAct, 0>(c);
+    else
+        refQuantK<OpKind::MatMul, OpKind::MatMulBiasAct, 1>(c);
+}
+
+WorkspaceSpec
+refQuantWorkspace(const Graph &g, const Node &n)
+{
+    WorkspaceSpec spec;
+    spec.bytesPerShard = 4 * (numel(g.node(n.inputs[0]).shape) +
+                              numel(g.node(n.inputs[1]).shape) +
+                              numel(n.shape));
+    return spec;
+}
+
+int64_t
+qmatmulRows(const KernelCtx &c)
+{
+    return (*c.outShape)[0];
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerQuantizedKernels()
+{
+    PartitionSpec elems{part::outElems, 1024};
+    PartitionSpec rows{qmatmulRows, 8};
+    PartitionSpec images{part::outDim0, 1};
+
+    registerKernel(OpKind::Quantize, "", quantizeK, elems);
+    registerKernel(OpKind::Dequantize, "", dequantizeK, elems);
+    registerKernel(OpKind::Requantize, "", requantizeK, elems);
+
+    // Elementwise int8 is the same code at both tiers.
+    registerKernel(OpKind::QuantAdd, "", qaddK, elems);
+    registerKernel(OpKind::QuantAdd, "int8", qaddK, elems);
+    registerKernel(OpKind::QuantRelu, "", qreluK, elems);
+    registerKernel(OpKind::QuantRelu, "int8", qreluK, elems);
+
+    registerKernel(OpKind::QuantMatMul, "", refQMatmulK, {},
+                   refQuantWorkspace);
+    registerKernel(OpKind::QuantMatMul, "int8", qmatmulK, rows,
+                   qmatmulWorkspace);
+
+    registerKernel(OpKind::QuantConv2d, "",
+                   refQuantK<OpKind::Conv2d, OpKind::ConvBiasAct, 0>, {},
+                   refQuantWorkspace);
+    registerKernel(OpKind::QuantConv2d, "int8", qconvK, images,
+                   qconvWorkspace);
+
+    // Deliberately no "int8" variant: depthwise runs the reference
+    // tier and is the live demonstration of the fallback counter.
+    registerKernel(OpKind::QuantDwConv2d, "",
+                   refQuantK<OpKind::DwConv2d, OpKind::DwConvBiasAct, 0>,
+                   {}, refQuantWorkspace);
+}
+
+} // namespace detail
+} // namespace pe

@@ -78,6 +78,7 @@ void registerReduceKernels();
 void registerShapeOpKernels();
 void registerOptimApplyKernels();
 void registerFusedKernels();
+void registerQuantizedKernels();
 
 void
 ensureKernelsRegistered()
@@ -96,6 +97,7 @@ ensureKernelsRegistered()
         registerShapeOpKernels();
         registerOptimApplyKernels();
         registerFusedKernels();
+        registerQuantizedKernels();
         return true;
     }();
     (void)done;

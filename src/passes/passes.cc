@@ -254,9 +254,19 @@ fuseOperators(Graph &g)
                 !isBiasFor(bias_id, lin)) {
                 continue;
             }
-            // Rewrite the root node into the fused op.
+            // Rewrite the root node into the fused op. The fused
+            // value IS the root's value, so the root's calibration
+            // range (stamped by quant calibration before fusion) must
+            // override the linear node's pre-bias/pre-act range.
             Attrs attrs = lin.attrs;
             attrs.set("act", act);
+            if (root.attrs.has(kCalibMinAttr) &&
+                root.attrs.has(kCalibMaxAttr)) {
+                attrs.set(kCalibMinAttr,
+                          root.attrs.getFloat(kCalibMinAttr, 0.0));
+                attrs.set(kCalibMaxAttr,
+                          root.attrs.getFloat(kCalibMaxAttr, 0.0));
+            }
             Shape shape = root.shape;
             root.op = fk;
             root.inputs = {lin.inputs[0], lin.inputs[1], bias_id};
@@ -329,12 +339,15 @@ reorderForMemory(const Graph &g)
                 continue;
             const Node &node = g.node(id);
             bool inplace = isInPlaceOp(node.op);
-            int64_t alloc = isArena(id) ? numel(node.shape) * 4 : 0;
+            int64_t alloc =
+                isArena(id) ? numel(node.shape) * dtypeSize(node.dtype)
+                            : 0;
             int64_t freed = 0;
             for (int in : node.inputs) {
                 if (remaining_users[in] == 1 && isArena(in) &&
                     !is_output[in]) {
-                    freed += numel(g.node(in).shape) * 4;
+                    freed += numel(g.node(in).shape) *
+                             dtypeSize(g.node(in).dtype);
                 }
             }
             int64_t score = freed - alloc;
@@ -398,6 +411,15 @@ switchBackends(Graph &g, const BackendOptions &opts, PassStats *stats)
                 if (stats)
                     ++stats->blockedBound;
             }
+        } else if (isQuantComputeOp(n.op)) {
+            // Quant compute ops want the real int8 kernels. Ops whose
+            // int8 kernel is not registered (e.g. QuantDwConv2d) fall
+            // back to the dequant->fp32->requant reference kernel at
+            // bind time — and the existing fallback counters surface
+            // exactly that.
+            variants[id] = "int8";
+            if (stats)
+                ++stats->int8Bound;
         }
     }
     return variants;

@@ -25,8 +25,11 @@
 #include <vector>
 
 #include "ir/graph.h"
+#include "quant/quant.h"
 
 namespace pe {
+
+class ParamStore;
 
 /** Per-pass bookkeeping, aggregated by the engine for reporting. */
 struct PassStats {
@@ -35,6 +38,7 @@ struct PassStats {
     int nodesFolded = 0;
     int winogradBound = 0;
     int blockedBound = 0;
+    int int8Bound = 0; ///< quant compute ops bound to "int8" variants
 };
 
 /** Nodes reachable from the graph outputs (plus in-place effects). */
@@ -79,10 +83,69 @@ struct BackendOptions {
 /**
  * Choose a kernel variant per node. Frozen-weight 3x3 stride-1
  * convolutions get "winograd" (weight transform cached across steps);
- * large GEMMs get "blocked"; everything else keeps the default.
+ * large GEMMs get "blocked"; quant compute ops get "int8" (ops whose
+ * int8 kernel is not registered fall back to the dequant->fp32->
+ * requant reference kernel, surfaced via CompileReport's fallback
+ * counters); everything else keeps the default.
  */
 std::vector<std::string> switchBackends(Graph &g,
                                         const BackendOptions &opts,
                                         PassStats *stats = nullptr);
+
+// ---- QuantizePass (src/passes/quantize.cc) ---------------------------
+
+/** Configuration of the graph quantization rewrite. */
+struct QuantizeOptions {
+    Precision precision = Precision::Int8;
+    /**
+     * Forward-region root: only ancestors of this node are rewritten,
+     * which is what keeps the sparse-BP backward graph (descendants
+     * of the loss) in fp32. -1 = ancestors of all graph outputs
+     * (inference graphs).
+     */
+    int root = -1;
+    /**
+     * Quantize frozen Param weights at compile time into i8 Const
+     * nodes (deployment shape: the fp32 masters drop out of the
+     * graph, and out of the reported parameter footprint, after DCE).
+     * Requires @p store for the weight values; trainable weights are
+     * always re-quantized at run time from their fp32 masters so
+     * sparse-BP fine-tuning keeps working on a quantized forward.
+     */
+    bool prequantizeFrozen = false;
+    /** Weight values for scale computation / prequantization. Null is
+     *  allowed (analysis-only compiles): scales become placeholders. */
+    const ParamStore *store = nullptr;
+};
+
+/** What the QuantizePass did — folded into the compile report. */
+struct QuantizeStats {
+    int quantizedOps = 0;        ///< compute nodes rewritten to int8
+                                 ///< (or wrapped in f16 storage)
+    int quantizeNodes = 0;       ///< Quantize nodes inserted
+    int dequantizeNodes = 0;     ///< Dequantize nodes inserted
+    int requantFolded = 0;       ///< Dequantize->Quantize chains folded
+    int prequantizedWeights = 0; ///< weights folded to i8 Consts
+};
+
+/**
+ * Rewrite the forward region of @p g to quantized storage.
+ *
+ * Int8: eligible ops (Conv2d/DwConv2d/MatMul, their fused BiasAct
+ * forms, same-shape Add, Relu) whose values carry calibration attrs
+ * (see calibrate()) are rewritten to the Quant* op set — int8
+ * storage, int32 accumulation, per-output-channel weight scales.
+ * Boundary Quantize/Dequantize nodes are inserted where quantized
+ * values meet fp32 consumers (the backward graph, losses, pooling);
+ * Dequantize->Quantize chains fold to Requantize (or nothing).
+ *
+ * F16: the same eligible ops keep fp32 compute but their outputs are
+ * stored as f16 (Quantize/Dequantize casts) — a pure activation-
+ * footprint mode.
+ *
+ * @return number of compute ops converted
+ */
+int quantizePass(Graph &g, const QuantizeOptions &opts,
+                 QuantizeStats *stats = nullptr);
 
 } // namespace pe

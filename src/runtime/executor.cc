@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ir/op.h"
+#include "quant/quant.h"
 
 namespace pe {
 
@@ -32,13 +33,37 @@ Executor::Executor(const Graph &g, std::vector<int> order,
     inputPtrs_.assign(g_.numNodes(), nullptr);
     valuePtr_.assign(g_.numNodes(), nullptr);
 
-    // Materialize constants and input staging buffers.
+    // Materialize constants and input staging buffers. Non-f32
+    // constants (pre-quantized i8 weights) pack their integer values
+    // into raw byte storage: the graph-side const data stays a float
+    // tensor of exact small integers, but kernels read the buffer as
+    // int8_t*/uint16_t*, sized by the placement's dtype.
     for (int id = 0; id < g_.numNodes(); ++id) {
         const Node &n = g_.node(id);
         if (n.op == OpKind::Const) {
-            constBufs_[id] = g_.hasConstData(id)
-                                 ? g_.constData(id).clone()
-                                 : Tensor::zeros(n.shape);
+            if (n.dtype == DType::F32) {
+                constBufs_[id] = g_.hasConstData(id)
+                                     ? g_.constData(id).clone()
+                                     : Tensor::zeros(n.shape);
+            } else {
+                int64_t bytes = numel(n.shape) * dtypeSize(n.dtype);
+                Tensor packed({(bytes + 3) / 4});
+                if (g_.hasConstData(id)) {
+                    const Tensor &v = g_.constData(id);
+                    if (n.dtype == DType::I8) {
+                        int8_t *p =
+                            reinterpret_cast<int8_t *>(packed.data());
+                        for (int64_t i = 0; i < v.size(); ++i)
+                            p[i] = static_cast<int8_t>(v[i]);
+                    } else {
+                        uint16_t *p =
+                            reinterpret_cast<uint16_t *>(packed.data());
+                        for (int64_t i = 0; i < v.size(); ++i)
+                            p[i] = floatToHalf(v[i]);
+                    }
+                }
+                constBufs_[id] = std::move(packed);
+            }
         } else if (n.op == OpKind::Input) {
             constBufs_[id] = Tensor::zeros(n.shape); // staging buffer
         }
@@ -244,7 +269,32 @@ Executor::fetch(int node_id) const
     const Node &n = g_.node(node_id);
     Tensor out(n.shape);
     const float *src = const_cast<Executor *>(this)->resolve(node_id);
-    std::memcpy(out.data(), src, sizeof(float) * out.size());
+    switch (n.dtype) {
+      case DType::F32:
+        std::memcpy(out.data(), src, sizeof(float) * out.size());
+        break;
+      case DType::I8: {
+        // Dequantize through the node's stamped output params when
+        // present; raw integer codes otherwise (per-channel weights).
+        const int8_t *q = reinterpret_cast<const int8_t *>(src);
+        if (n.attrs.has("yScale")) {
+            float s = static_cast<float>(n.attrs.getFloat("yScale", 1.0));
+            int32_t zp = static_cast<int32_t>(n.attrs.getInt("yZp", 0));
+            for (int64_t i = 0; i < out.size(); ++i)
+                out[i] = dequantizeValue(q[i], s, zp);
+        } else {
+            for (int64_t i = 0; i < out.size(); ++i)
+                out[i] = static_cast<float>(q[i]);
+        }
+        break;
+      }
+      case DType::F16: {
+        const uint16_t *h = reinterpret_cast<const uint16_t *>(src);
+        for (int64_t i = 0; i < out.size(); ++i)
+            out[i] = halfToFloat(h[i]);
+        break;
+      }
+    }
     return out;
 }
 

@@ -82,12 +82,12 @@ class FreeList
     int64_t top_ = 0;
 };
 
-/** Storage dtype of a value. Every graph value is fp32 today; the
- *  per-placement tag is what a quantized/fp16 lowering would set. */
+/** Storage dtype of a value: the node's inferred tag (i8/f16 appear
+ *  downstream of the QuantizePass; everything else is fp32). */
 DType
-dtypeOf(const Node &)
+dtypeOf(const Node &n)
 {
-    return DType::F32;
+    return n.dtype;
 }
 
 /** Total per-step block of a workspace placement (all shard
@@ -125,6 +125,7 @@ planMemory(const Graph &g, const std::vector<int> &order,
         } else if (node.op == OpKind::Const) {
             v.storage = Storage::ConstBuf;
             plan.constBytes += v.bytes;
+            plan.constBytesByDtype[static_cast<int>(v.dtype)] += v.bytes;
         } else if (node.op == OpKind::Input) {
             v.storage = Storage::External;
             plan.inputBytes += v.bytes;
@@ -132,6 +133,10 @@ planMemory(const Graph &g, const std::vector<int> &order,
             v.storage = Storage::Alias;
         } else {
             v.storage = Storage::Arena;
+            if (pos[id] >= 0) { // scheduled: actually materialized
+                plan.arenaValueBytesByDtype[static_cast<int>(v.dtype)] +=
+                    v.bytes;
+            }
         }
     }
 

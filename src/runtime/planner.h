@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -92,6 +93,13 @@ struct MemoryPlan {
     int64_t paramBytes = 0; ///< weights + optimizer state
     int64_t constBytes = 0;
     int64_t inputBytes = 0;
+    /** Arena value bytes split by storage dtype (index = DType) —
+     *  the per-precision activation footprint the quantized modes
+     *  are judged on. Workspaces excluded (reported separately). */
+    std::array<int64_t, 3> arenaValueBytesByDtype{};
+    /** Const bytes split by storage dtype (pre-quantized i8 weights
+     *  land here in deployment compiles). */
+    std::array<int64_t, 3> constBytesByDtype{};
     /** Live arena bytes (values + workspaces) during each execution
      *  position — the per-step memory timeline Table 4's peak is the
      *  max of. Indexed by position in the order. */

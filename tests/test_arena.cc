@@ -465,5 +465,111 @@ TEST(ArenaExec, StaticWinogradCacheSurvivesWeightCorruption)
            "changes after warm-up";
 }
 
+// ---- DirectWorkspace (the un-planned-caller path) --------------------
+
+TEST(DirectWorkspace_, ReusesStorageAcrossSameSpecAttaches)
+{
+    DirectWorkspace ws;
+    WorkspaceSpec spec;
+    spec.bytesPerShard = 256;
+    KernelCtx c;
+    ws.attach(c, spec);
+    ASSERT_NE(c.workspace, nullptr);
+    float *first = c.workspace;
+    c.workspace[0] = 42.0f;
+    // Re-attach with the same spec: same storage, contents intact
+    // (this is what lets repeated direct calls skip reallocation).
+    KernelCtx c2;
+    ws.attach(c2, spec);
+    EXPECT_EQ(c2.workspace, first);
+    EXPECT_EQ(c2.workspace[0], 42.0f);
+    // A different size reallocates and zero-fills.
+    WorkspaceSpec bigger;
+    bigger.bytesPerShard = 1024;
+    KernelCtx c3;
+    ws.attach(c3, bigger);
+    EXPECT_EQ(c3.workspace[0], 0.0f);
+}
+
+TEST(DirectWorkspace_, BuffersAreFloatAlignedAndByteSized)
+{
+    // Odd byte counts round up to whole floats; pointers carry float
+    // alignment (the strictest any current kernel — including the i8
+    // quantized ones reading reinterpret_cast'd bytes — requires).
+    DirectWorkspace ws;
+    WorkspaceSpec spec;
+    spec.bytesPerShard = 13;
+    spec.sharedBytes = 7;
+    KernelCtx c;
+    ws.attach(c, spec);
+    ASSERT_NE(c.workspace, nullptr);
+    ASSERT_NE(c.shared, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(c.workspace) %
+                  alignof(float),
+              0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(c.shared) % alignof(float),
+              0u);
+    // 13 bytes -> 4 floats: writing the final byte must be in
+    // bounds (exercised hard under ASan).
+    reinterpret_cast<int8_t *>(c.workspace)[12] = 1;
+    reinterpret_cast<int8_t *>(c.shared)[6] = 1;
+}
+
+TEST(DirectWorkspace_, SharedRegionInitSemantics)
+{
+    DirectWorkspace ws;
+    WorkspaceSpec spec;
+    spec.sharedBytes = 64;
+    KernelCtx c;
+    ws.attach(c, spec);
+    ASSERT_NE(c.shared, nullptr);
+    ASSERT_NE(c.sharedReady, nullptr);
+    EXPECT_FALSE(*c.sharedReady) << "fresh shared region starts cold";
+    // A kernel lazily fills the region and marks it ready.
+    c.shared[0] = 7.0f;
+    *c.sharedReady = true;
+    // Same spec again: cache survives — ready flag and contents.
+    KernelCtx c2;
+    ws.attach(c2, spec);
+    EXPECT_TRUE(*c2.sharedReady);
+    EXPECT_EQ(c2.shared[0], 7.0f);
+    EXPECT_TRUE(ws.ready());
+    // Resizing the shared region invalidates the cache.
+    spec.sharedBytes = 128;
+    KernelCtx c3;
+    ws.attach(c3, spec);
+    EXPECT_FALSE(*c3.sharedReady);
+}
+
+TEST(DirectWorkspace_, NodeChangeInvalidatesSharedCache)
+{
+    // One DirectWorkspace reused across two DIFFERENT Winograd conv
+    // nodes must never serve the first node's cached transforms to
+    // the second — the node-aware attach resets the ready flag.
+    Graph g;
+    int x = g.input({1, 4, 8, 8}, "x");
+    int w1 = g.param({4, 4, 3, 3}, "w1", false);
+    int w2 = g.param({4, 4, 3, 3}, "w2", false);
+    Attrs a;
+    a.set("stride", static_cast<int64_t>(1));
+    a.set("pad", static_cast<int64_t>(1));
+    a.set("staticWeight", static_cast<int64_t>(1));
+    int c1 = g.add(OpKind::Conv2d, {x, w1}, a);
+    int c2 = g.add(OpKind::Conv2d, {x, w2}, a);
+
+    DirectWorkspace ws;
+    KernelCtx k1;
+    ws.attach(k1, g, g.node(c1), "winograd");
+    ASSERT_NE(k1.sharedReady, nullptr);
+    *k1.sharedReady = true; // simulate a warmed cache for node c1
+    KernelCtx again;
+    ws.attach(again, g, g.node(c1), "winograd");
+    EXPECT_TRUE(*again.sharedReady) << "same node keeps the cache";
+    KernelCtx k2;
+    ws.attach(k2, g, g.node(c2), "winograd");
+    EXPECT_FALSE(*k2.sharedReady)
+        << "switching nodes must invalidate the cached transforms";
+}
+
 } // namespace
 } // namespace pe
