@@ -56,9 +56,12 @@ main()
     // variant the library cannot honor (e.g. a quantized op with no
     // int8 kernel silently running the dequant->fp32->requant
     // reference tier) — on a real device that is a deploy blocker.
+    // The breakdown names each missing op/variant with its count, so
+    // the gap is attributable, not just countable.
     if (prog.report().kernelFallbacks > 0)
-        std::printf("kernel fallbacks: %s\n",
-                    prog.report().fallbackSummary().c_str());
+        std::printf("kernel fallbacks: %d -> %s\n",
+                    prog.report().kernelFallbacks,
+                    prog.report().fallbackBreakdown().c_str());
 
     // 3. Train on a toy task: class = argmax of 4 feature groups.
     Rng data_rng(7);

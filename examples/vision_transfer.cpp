@@ -140,10 +140,12 @@ main(int argc, char **argv)
                     rq.quant.prequantizedWeights);
         // Surface kernel-library gaps: quantized ops with no int8
         // kernel silently run the dequant->fp32->requant reference
-        // tier — visible here instead of only in profiles.
+        // tier — visible here BY NAME (the per-op breakdown makes the
+        // QuantDwConv2d gap attributable instead of an opaque count).
         if (rq.kernelFallbacks > 0)
-            std::printf("[int8 deploy] kernel fallbacks: %s\n",
-                        rq.fallbackSummary().c_str());
+            std::printf("[int8 deploy] kernel fallbacks: %d -> %s\n",
+                        rq.kernelFallbacks,
+                        rq.fallbackBreakdown().c_str());
     }
     return 0;
 }

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: compare a fresh bench JSON snapshot
+against the committed baseline.
+
+Two file shapes are understood, auto-detected:
+
+* google-benchmark JSON (BENCH_kernels.json): the GATE. Single-thread
+  rows must hold >= (1 - tolerance) of the baseline's throughput
+  (items_per_second, falling back to 1/real_time). Thread-scaling rows
+  (families named *Threads* at thread counts > 1) are reported but
+  never gate — CI runners expose too few cores for those numbers to
+  mean anything (the ROADMAP's multicore-host run is where they count).
+
+* table4 memory JSON (BENCH_table4.json): INFORMATIONAL. Byte counts
+  are deterministic, so any drift is a real planner change — printed
+  loudly so the author either explains it or regenerates the committed
+  file, but never failed on: intentional planner improvements are the
+  point of the trajectory.
+
+Usage: bench_check.py BASELINE FRESH [--tolerance 0.25]
+Exit status 1 iff a gated row regressed more than the tolerance.
+"""
+
+import argparse
+import json
+import sys
+
+
+def thread_count(name):
+    """Thread count encoded in a *Threads* family's benchmark name
+    (e.g. BM_MatMulThreads/256/4/real_time -> 4); 1 otherwise."""
+    parts = name.split("/")
+    if "Threads" not in parts[0]:
+        return 1
+    nums = [p for p in parts[1:] if p.isdigit()]
+    return int(nums[-1]) if nums else 1
+
+
+def throughput(row):
+    """Ops-per-second-shaped rate for a gbench row."""
+    if "items_per_second" in row:
+        return float(row["items_per_second"])
+    # Per-iteration time in the row's unit; invert so "bigger = better"
+    # holds for every gated metric.
+    scale = {"ns": 1e9, "us": 1e6, "ms": 1e3, "s": 1.0}
+    return scale.get(row.get("time_unit", "ns"), 1e9) / float(
+        row["real_time"])
+
+
+def rows_of(doc):
+    """name -> row for gbench docs (iteration rows only)."""
+    return {
+        r["name"]: r
+        for r in doc.get("benchmarks", [])
+        if r.get("run_type", "iteration") == "iteration"
+    }
+
+
+def check_gbench(base, fresh, tolerance):
+    b, f = rows_of(base), rows_of(fresh)
+    missing = sorted(set(b) - set(f))
+    added = sorted(set(f) - set(b))
+    for name in missing:
+        print(f"  [info] baseline-only row (not gated): {name}")
+    for name in added:
+        print(f"  [info] new row (no baseline yet): {name}")
+
+    failures = 0
+    for name in sorted(set(b) & set(f)):
+        old, new = throughput(b[name]), throughput(f[name])
+        ratio = new / old if old > 0 else float("inf")
+        gated = thread_count(name) == 1
+        status = "ok"
+        if gated and ratio < 1.0 - tolerance:
+            status = "FAIL"
+            failures += 1
+        elif not gated:
+            status = "info (multi-thread row, not gated)"
+        print(f"  {name}: {old:.3g} -> {new:.3g} ops/s "
+              f"({ratio:.2f}x)  {status}")
+    if failures:
+        print(f"{failures} single-thread row(s) regressed more than "
+              f"{tolerance:.0%} — investigate or refresh the committed "
+              f"baseline with scripts/bench_json.sh")
+    return failures == 0
+
+
+def table4_key(row):
+    return tuple(
+        str(row.get(k, ""))
+        for k in ("kind", "platform", "model", "method", "mode",
+                  "precision"))
+
+
+def check_table4(base, fresh):
+    b = {table4_key(r): r for r in base}
+    f = {table4_key(r): r for r in fresh}
+    drifted = 0
+    for key in sorted(set(b) & set(f)):
+        for field in ("total_bytes", "arena_bytes", "workspace_bytes",
+                      "act_weight_bytes"):
+            if field in b[key] and b[key][field] != f[key].get(field):
+                drifted += 1
+                print(f"  [drift] {'/'.join(k for k in key if k)} "
+                      f"{field}: {b[key][field]} -> "
+                      f"{f[key].get(field)}")
+    for key in sorted(set(b) ^ set(f)):
+        drifted += 1
+        side = "baseline-only" if key in b else "fresh-only"
+        print(f"  [drift] {side} row: {'/'.join(k for k in key if k)}")
+    if drifted:
+        print(f"{drifted} memory-plan drift(s) vs the committed "
+              f"table4 baseline — deterministic numbers, so this is a "
+              f"real planner change: explain it in the PR or refresh "
+              f"BENCH_table4.json (informational, not gated)")
+    else:
+        print("  table4 memory plan matches the committed baseline "
+              "exactly")
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="max allowed single-thread throughput "
+                         "regression (default 0.25)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as fp:
+        base = json.load(fp)
+    with open(args.fresh) as fp:
+        fresh = json.load(fp)
+
+    if isinstance(base, list):
+        print(f"table4 check: {args.baseline} vs {args.fresh}")
+        ok = check_table4(base, fresh)
+    else:
+        print(f"throughput gate: {args.baseline} vs {args.fresh} "
+              f"(tolerance {args.tolerance:.0%} on single-thread rows)")
+        ok = check_gbench(base, fresh, args.tolerance)
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,24 @@
 
 namespace pe {
 
+void
+finalizeExecReport(CompileReport &report, const Executor &ex)
+{
+    report.kernelSteps = ex.numSteps();
+    const MemoryPlan &mp = ex.memoryPlan();
+    report.arenaBytes = mp.arenaBytes;
+    report.workspaceBytes = mp.workspaceBytes;
+    report.paramBytes = mp.paramBytes;
+    report.constBytes = mp.constBytes;
+    report.totalBytes = mp.totalBytes();
+    report.memoryTimeline = mp.liveBytesAtStep;
+    report.peakLiveBytes = mp.peakLiveBytes;
+    report.arenaBytesByDtype = mp.arenaValueBytesByDtype;
+    report.constBytesByDtype = mp.constBytesByDtype;
+    report.shardedSteps = ex.shardedSteps();
+    report.serializedByWorkspace = ex.serializedByWorkspace();
+}
+
 TrainingProgram::TrainingProgram(Graph g, int loss_id,
                                  std::vector<int> order,
                                  std::shared_ptr<ParamStore> store,
@@ -25,19 +43,7 @@ TrainingProgram::TrainingProgram(Graph g, int loss_id,
         applyExecutor_ = std::make_unique<Executor>(
             applyGraph_, naturalOrder(applyGraph_), *store_);
     }
-    report_.kernelSteps = executor_->numSteps();
-    const MemoryPlan &mp = executor_->memoryPlan();
-    report_.arenaBytes = mp.arenaBytes;
-    report_.workspaceBytes = mp.workspaceBytes;
-    report_.paramBytes = mp.paramBytes;
-    report_.constBytes = mp.constBytes;
-    report_.totalBytes = mp.totalBytes();
-    report_.memoryTimeline = mp.liveBytesAtStep;
-    report_.peakLiveBytes = mp.peakLiveBytes;
-    report_.arenaBytesByDtype = mp.arenaValueBytesByDtype;
-    report_.constBytesByDtype = mp.constBytesByDtype;
-    report_.shardedSteps = executor_->shardedSteps();
-    report_.serializedByWorkspace = executor_->serializedByWorkspace();
+    finalizeExecReport(report_, *executor_);
 }
 
 float
@@ -59,27 +65,17 @@ TrainingProgram::trainStep(
 InferenceProgram::InferenceProgram(Graph g,
                                    std::shared_ptr<ParamStore> store,
                                    ExecOptions exec_options,
-                                   CompileReport report)
+                                   CompileReport report,
+                                   std::vector<int> order)
     : graph_(std::move(g)), store_(std::move(store)),
       report_(std::move(report))
 {
-    executor_ = std::make_unique<Executor>(graph_,
-                                           reorderForMemory(graph_),
+    if (order.empty())
+        order = reorderForMemory(graph_);
+    executor_ = std::make_unique<Executor>(graph_, std::move(order),
                                            *store_,
                                            std::move(exec_options));
-    report_.kernelSteps = executor_->numSteps();
-    const MemoryPlan &mp = executor_->memoryPlan();
-    report_.arenaBytes = mp.arenaBytes;
-    report_.workspaceBytes = mp.workspaceBytes;
-    report_.paramBytes = mp.paramBytes;
-    report_.constBytes = mp.constBytes;
-    report_.totalBytes = mp.totalBytes();
-    report_.memoryTimeline = mp.liveBytesAtStep;
-    report_.peakLiveBytes = mp.peakLiveBytes;
-    report_.arenaBytesByDtype = mp.arenaValueBytesByDtype;
-    report_.constBytesByDtype = mp.constBytesByDtype;
-    report_.shardedSteps = executor_->shardedSteps();
-    report_.serializedByWorkspace = executor_->serializedByWorkspace();
+    finalizeExecReport(report_, *executor_);
     report_.kernelFallbacks = executor_->fallbackCount();
     report_.fallbackKernels = executor_->fallbackKernels();
 }
@@ -340,15 +336,13 @@ compileTraining(const Graph &forward, int loss_id,
                            std::move(accum_buffers));
 }
 
-InferenceProgram
-compileInference(const Graph &forward,
-                 const std::vector<int> &output_ids,
-                 const CompileOptions &options,
-                 std::shared_ptr<ParamStore> store)
+CompiledGraph
+compileInferenceGraph(const Graph &forward,
+                      const std::vector<int> &output_ids,
+                      const CompileOptions &options,
+                      std::shared_ptr<ParamStore> store)
 {
-    if (!store)
-        store = std::make_shared<ParamStore>();
-
+    CompiledGraph out;
     Graph g = forward;
     g.outputs() = output_ids;
     for (int id : g.paramIds())
@@ -361,8 +355,7 @@ compileInference(const Graph &forward,
         fuseOperators(g);
     dce(g);
 
-    CompileReport report;
-    report.precision = options.precision;
+    out.report.precision = options.precision;
 
     // Deployment-shaped quantization: every param is frozen here, so
     // weights are pre-quantized into i8 Consts and DCE drops the fp32
@@ -373,19 +366,36 @@ compileInference(const Graph &forward,
         qo.root = -1; // whole graph feeds the outputs
         qo.store = store.get();
         qo.prequantizeFrozen = true;
-        quantizePass(g, qo, &report.quant);
+        quantizePass(g, qo, &out.report.quant);
         dce(g);
     }
 
     BackendOptions bopt;
     bopt.enableWinograd = options.winograd;
     bopt.enableBlocked = options.blocked;
-    ExecOptions eopt;
-    eopt.variants = switchBackends(g, bopt, &report.backend);
-    eopt.numThreads = options.numThreads;
+    out.variants = switchBackends(g, bopt, &out.report.backend);
+    out.order = reorderForMemory(g);
+    out.graph = std::move(g);
+    return out;
+}
 
-    return InferenceProgram(std::move(g), std::move(store),
-                            std::move(eopt), std::move(report));
+InferenceProgram
+compileInference(const Graph &forward,
+                 const std::vector<int> &output_ids,
+                 const CompileOptions &options,
+                 std::shared_ptr<ParamStore> store)
+{
+    if (!store)
+        store = std::make_shared<ParamStore>();
+
+    CompiledGraph c =
+        compileInferenceGraph(forward, output_ids, options, store);
+    ExecOptions eopt;
+    eopt.variants = std::move(c.variants);
+    eopt.numThreads = options.numThreads;
+    return InferenceProgram(std::move(c.graph), std::move(store),
+                            std::move(eopt), std::move(c.report),
+                            std::move(c.order));
 }
 
 } // namespace pe

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "autodiff/autodiff.h"
@@ -127,20 +128,39 @@ struct CompileReport {
         return act + paramBytes + constBytes;
     }
 
-    /** "N (op/variant, ...)" summary of kernel fallbacks; empty when
-     *  every selected variant is registered. */
+    /**
+     * Per-op aggregation of the fallback labels — "op/variant x count"
+     * in first-appearance order — so a model that hits the same
+     * missing kernel on every layer (e.g. QuantDwConv2d's absent int8
+     * tier) reads as one line, not N duplicates. Empty when every
+     * selected variant is registered.
+     */
     std::string
-    fallbackSummary() const
+    fallbackBreakdown() const
     {
         if (kernelFallbacks == 0)
             return "";
-        std::string out = std::to_string(kernelFallbacks) + " (";
-        for (size_t i = 0; i < fallbackKernels.size(); ++i) {
+        std::vector<std::pair<std::string, int>> counts;
+        for (const std::string &label : fallbackKernels) {
+            bool found = false;
+            for (auto &[l, c] : counts) {
+                if (l == label) {
+                    ++c;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                counts.emplace_back(label, 1);
+        }
+        std::string out;
+        for (size_t i = 0; i < counts.size(); ++i) {
             if (i)
                 out += ", ";
-            out += fallbackKernels[i];
+            out += counts[i].first + " x" +
+                   std::to_string(counts[i].second);
         }
-        return out + ")";
+        return out;
     }
 };
 
@@ -153,6 +173,13 @@ class TrainingProgram
                     ExecOptions exec_options, CompileReport report,
                     Graph apply_graph = {}, int grad_accum_steps = 1,
                     std::vector<std::string> accum_buffers = {});
+
+    // The executor holds a reference into graph_, so relocating a
+    // program would dangle it. compile*() returns work via C++17
+    // guaranteed elision; heap placement goes through CompiledGraph +
+    // Executor directly (see the serving runtime's Bucket).
+    TrainingProgram(TrainingProgram &&) = delete;
+    TrainingProgram &operator=(TrainingProgram &&) = delete;
 
     /**
      * Bind inputs, run one compiled step, return the loss. Under
@@ -184,9 +211,17 @@ class TrainingProgram
 class InferenceProgram
 {
   public:
+    /** @param order  execution order; empty = memory-aware reorder of
+     *                @p g (the historical behavior). */
     InferenceProgram(Graph g, std::shared_ptr<ParamStore> store,
                      ExecOptions exec_options,
-                     CompileReport report = {});
+                     CompileReport report = {},
+                     std::vector<int> order = {});
+
+    // Non-relocatable for the same reason as TrainingProgram: the
+    // bound executor references graph_ by address.
+    InferenceProgram(InferenceProgram &&) = delete;
+    InferenceProgram &operator=(InferenceProgram &&) = delete;
 
     /** Bind inputs, run, return the graph outputs in order. */
     std::vector<Tensor> run(
@@ -265,5 +300,27 @@ CompiledGraph compileGraphOnly(const Graph &forward, int loss_id,
                                const SparseUpdateScheme &scheme,
                                const CompileOptions &options,
                                const ParamStore *store = nullptr);
+
+/**
+ * The inference compile pipeline (freeze + simplify/fold/fuse/DCE +
+ * deployment quantization + backend switch + memory-aware order)
+ * WITHOUT binding an executor. The returned CompiledGraph is plain
+ * movable data, which is what lets the serving runtime place one
+ * compiled plan per shape bucket at a stable address and then bind
+ * many concurrent session contexts against it. compileInference() is
+ * a thin wrapper that binds this product into an InferenceProgram.
+ */
+CompiledGraph compileInferenceGraph(const Graph &forward,
+                                    const std::vector<int> &output_ids,
+                                    const CompileOptions &options,
+                                    std::shared_ptr<ParamStore> store);
+
+/**
+ * Copy the bound-executor facts (kernel steps, arena/workspace/param
+ * bytes, memory timeline, shard stats, fallbacks) into @p report —
+ * shared by TrainingProgram / InferenceProgram construction and the
+ * serving runtime's per-bucket reports.
+ */
+void finalizeExecReport(CompileReport &report, const Executor &ex);
 
 } // namespace pe

@@ -24,55 +24,80 @@ Executor::Executor(const Graph &g, std::vector<int> order,
     // Plan launch shapes from static shapes, then hand the resulting
     // workspace intervals to the memory planner: one arena holds
     // values AND kernel scratch, so the reported footprint is honest.
+    // The summary's shard statistics ARE the bound plan's (both
+    // derive from the same PartitionSpec extents and splitRange), so
+    // program-level stats need no context bind.
     LaunchSummary launches =
         planLaunches(g_, order_, variants_, numThreads_);
     plan_ = planMemory(g_, order_, launches.workspaces);
-    arena_.reset(plan_.arenaBytes);
+    shardedSteps_ = launches.shardedSteps;
+    serializedByWorkspace_ = launches.serializedByWorkspace;
+    shardsPerStep_ = std::move(launches.shardsPerStep);
+    for (int id : order_) {
+        const Node &n = g_.node(id);
+        if (isSourceOp(n.op))
+            continue;
+        ++numSteps_;
+        if (lookupKernelInfo(n.op, variants_[id]).fellBack)
+            fallbacks_.push_back(std::string(opName(n.op)) + "/" +
+                                 variants_[id]);
+    }
 
+    // Materialize constants. Non-f32 constants (pre-quantized i8
+    // weights) pack their integer values into raw byte storage: the
+    // graph-side const data stays a float tensor of exact small
+    // integers, but kernels read the buffer as int8_t*/uint16_t*,
+    // sized by the placement's dtype. The const pool is immutable
+    // after this loop and shared read-only by every session context.
     constBufs_.resize(g_.numNodes());
-    inputPtrs_.assign(g_.numNodes(), nullptr);
-    valuePtr_.assign(g_.numNodes(), nullptr);
-
-    // Materialize constants and input staging buffers. Non-f32
-    // constants (pre-quantized i8 weights) pack their integer values
-    // into raw byte storage: the graph-side const data stays a float
-    // tensor of exact small integers, but kernels read the buffer as
-    // int8_t*/uint16_t*, sized by the placement's dtype.
     for (int id = 0; id < g_.numNodes(); ++id) {
         const Node &n = g_.node(id);
-        if (n.op == OpKind::Const) {
-            if (n.dtype == DType::F32) {
-                constBufs_[id] = g_.hasConstData(id)
-                                     ? g_.constData(id).clone()
-                                     : Tensor::zeros(n.shape);
-            } else {
-                int64_t bytes = numel(n.shape) * dtypeSize(n.dtype);
-                Tensor packed({(bytes + 3) / 4});
-                if (g_.hasConstData(id)) {
-                    const Tensor &v = g_.constData(id);
-                    if (n.dtype == DType::I8) {
-                        int8_t *p =
-                            reinterpret_cast<int8_t *>(packed.data());
-                        for (int64_t i = 0; i < v.size(); ++i)
-                            p[i] = static_cast<int8_t>(v[i]);
-                    } else {
-                        uint16_t *p =
-                            reinterpret_cast<uint16_t *>(packed.data());
-                        for (int64_t i = 0; i < v.size(); ++i)
-                            p[i] = floatToHalf(v[i]);
-                    }
+        if (n.op != OpKind::Const)
+            continue;
+        if (n.dtype == DType::F32) {
+            constBufs_[id] = g_.hasConstData(id)
+                                 ? g_.constData(id).clone()
+                                 : Tensor::zeros(n.shape);
+        } else {
+            int64_t bytes = numel(n.shape) * dtypeSize(n.dtype);
+            Tensor packed({(bytes + 3) / 4});
+            if (g_.hasConstData(id)) {
+                const Tensor &v = g_.constData(id);
+                if (n.dtype == DType::I8) {
+                    int8_t *p =
+                        reinterpret_cast<int8_t *>(packed.data());
+                    for (int64_t i = 0; i < v.size(); ++i)
+                        p[i] = static_cast<int8_t>(v[i]);
+                } else {
+                    uint16_t *p =
+                        reinterpret_cast<uint16_t *>(packed.data());
+                    for (int64_t i = 0; i < v.size(); ++i)
+                        p[i] = floatToHalf(v[i]);
                 }
-                constBufs_[id] = std::move(packed);
             }
-        } else if (n.op == OpKind::Input) {
-            constBufs_[id] = Tensor::zeros(n.shape); // staging buffer
+            constBufs_[id] = std::move(packed);
         }
     }
-    bindSteps();
+}
+
+std::unique_ptr<ExecContext>
+Executor::makeContext() const
+{
+    auto ctx = std::make_unique<ExecContext>();
+    bindInto(*ctx);
+    return ctx;
+}
+
+ExecContext &
+Executor::defaultCtx() const
+{
+    if (!defaultCtx_)
+        defaultCtx_ = makeContext();
+    return *defaultCtx_;
 }
 
 float *
-Executor::resolve(int id)
+Executor::resolve(ExecContext &ctx, int id) const
 {
     const Node &n = g_.node(id);
     const ValuePlacement &v = plan_.values[id];
@@ -80,21 +105,32 @@ Executor::resolve(int id)
       case Storage::Param:
         return store_.get(n.name).data();
       case Storage::ConstBuf:
+        return const_cast<Tensor &>(constBufs_[id]).data();
       case Storage::External:
-        return constBufs_[id].data();
+        return ctx.inputBufs_[id].data();
       case Storage::Alias:
-        return resolve(n.inputs[0]);
+        return resolve(ctx, n.inputs[0]);
       case Storage::Arena:
-        return arena_.at<float>(v.offset);
+        return ctx.arena_.at<float>(v.offset);
     }
     throw std::runtime_error("Executor::resolve: bad storage");
 }
 
 void
-Executor::bindSteps()
+Executor::bindInto(ExecContext &ctx) const
 {
-    steps_.clear();
-    steps_.reserve(order_.size());
+    ctx.arena_.reset(plan_.arenaBytes);
+
+    // Input staging buffers are per-session: two in-flight requests
+    // must never share the bytes their feeds land in.
+    ctx.inputBufs_.resize(g_.numNodes());
+    for (int id = 0; id < g_.numNodes(); ++id) {
+        if (g_.node(id).op == OpKind::Input)
+            ctx.inputBufs_[id] = Tensor::zeros(g_.node(id).shape);
+    }
+
+    ctx.steps_.clear();
+    ctx.steps_.reserve(order_.size());
 
     // Workspace placements by node id, from the plan.
     std::vector<const WorkspacePlacement *> wsOf(g_.numNodes(), nullptr);
@@ -106,29 +142,26 @@ Executor::bindSteps()
         if (isSourceOp(n.op))
             continue;
         KernelInfo info = lookupKernelInfo(n.op, variants_[id]);
-        if (info.fellBack)
-            fallbacks_.push_back(std::string(opName(n.op)) + "/" +
-                                 variants_[id]);
         BoundStep s;
         s.node = id;
         s.fn = info.fn;
         s.ctx.node = &g_.node(id);
         for (int in : n.inputs) {
-            s.ctx.in.push_back(resolve(in));
+            s.ctx.in.push_back(resolve(ctx, in));
             s.ctx.inShapes.push_back(&g_.node(in).shape);
         }
-        s.ctx.out = resolve(id);
+        s.ctx.out = resolve(ctx, id);
         s.ctx.outShape = &g_.node(id).shape;
         s.ctx.pool = pool_;
-        steps_.push_back(std::move(s));
+        ctx.steps_.push_back(std::move(s));
     }
 
     // Shard-ready flags need stable addresses across the ctx copies
     // below; size once, then never resize.
-    sharedReady_.assign(steps_.size(), 0);
+    ctx.sharedReady_.assign(ctx.steps_.size(), 0);
 
-    for (size_t si = 0; si < steps_.size(); ++si) {
-        BoundStep &s = steps_[si];
+    for (size_t si = 0; si < ctx.steps_.size(); ++si) {
+        BoundStep &s = ctx.steps_[si];
         const Node &n = g_.node(s.node);
         KernelInfo info = lookupKernelInfo(n.op, variants_[s.node]);
         const WorkspacePlacement *wsp = wsOf[s.node];
@@ -142,14 +175,15 @@ Executor::bindSteps()
                 std::string(opName(n.op)));
         if (wsp) {
             if (wsp->bytesPerShard > 0)
-                s.ctx.workspace = arena_.at<float>(wsp->shardOffset(0));
+                s.ctx.workspace =
+                    ctx.arena_.at<float>(wsp->shardOffset(0));
             if (wsp->sharedBytes > 0) {
-                s.ctx.shared = arena_.at<float>(wsp->sharedOffset);
+                s.ctx.shared = ctx.arena_.at<float>(wsp->sharedOffset);
                 s.init = spec.init;
             }
         }
         s.ctx.sharedReady =
-            reinterpret_cast<bool *>(&sharedReady_[si]);
+            reinterpret_cast<bool *>(&ctx.sharedReady_[si]);
 
         // Launch plan: how many shards, over which ranges. Decided
         // here, once, from static shapes — run() only replays it.
@@ -175,21 +209,29 @@ Executor::bindSteps()
                     shard.end = bounds[i + 1];
                     if (wsp && wsp->bytesPerShard > 0)
                         shard.workspace =
-                            arena_.at<float>(wsp->shardOffset(i));
+                            ctx.arena_.at<float>(wsp->shardOffset(i));
                     s.shards.push_back(std::move(shard));
                 }
             }
-            // Regression tripwire, measured against the plan actually
-            // bound above: a splittable scratch-bearing step whose
-            // domain splits at this thread count must have sharded —
-            // the pre-Arena-v2 executor refused exactly this case.
-            if (spec.any() && s.shards.size() <= 1 &&
-                bounds.size() > 2) {
-                ++serializedByWorkspace_;
-            }
         }
+
+        // Regression tripwire: the bound shard count must equal the
+        // compile-time launch summary's (both derive from the same
+        // extents and splitRange). A divergence means bind applied a
+        // rule the plan does not know — e.g. the pre-Arena-v2
+        // "scratch serializes the kernel" gate — which would skew
+        // every shard statistic the reports assert on, so fail loudly
+        // on the first context bind instead.
+        int bound = s.shards.empty() ? 1
+                                     : static_cast<int>(s.shards.size());
+        if (bound != shardsPerStep_[si])
+            throw std::runtime_error(
+                "Executor: bound launch plan diverges from the "
+                "compile-time summary for " +
+                std::string(opName(n.op)) + " (bound " +
+                std::to_string(bound) + " shards, planned " +
+                std::to_string(shardsPerStep_[si]) + ")");
     }
-    bound_ = true;
 }
 
 void
@@ -214,6 +256,12 @@ Executor::inputId(const std::string &name) const
 void
 Executor::bindInputById(int id, const Tensor &t)
 {
+    bindInputById(defaultCtx(), id, t);
+}
+
+void
+Executor::bindInputById(ExecContext &ctx, int id, const Tensor &t) const
+{
     const Node &n = g_.node(id);
     if (t.shape() != n.shape) {
         throw std::runtime_error("bindInput: shape mismatch for " +
@@ -221,54 +269,89 @@ Executor::bindInputById(int id, const Tensor &t)
                                  shapeToString(t.shape()) + " want " +
                                  shapeToString(n.shape));
     }
-    std::memcpy(constBufs_[id].data(), t.data(), sizeof(float) * t.size());
+    std::memcpy(ctx.inputBufs_[id].data(), t.data(),
+                sizeof(float) * t.size());
+}
+
+void
+Executor::bindInputRows(ExecContext &ctx, int id, const Tensor &t) const
+{
+    const Node &n = g_.node(id);
+    if (n.shape.empty() || t.shape().empty() ||
+        t.shape().size() != n.shape.size())
+        throw std::runtime_error(
+            "bindInputRows: rank mismatch for " + n.name);
+    for (size_t d = 1; d < n.shape.size(); ++d) {
+        if (t.shape()[d] != n.shape[d])
+            throw std::runtime_error(
+                "bindInputRows: shape mismatch for " + n.name +
+                ": got " + shapeToString(t.shape()) + " want " +
+                shapeToString(n.shape) + " (rows may differ)");
+    }
+    int64_t rows = t.shape()[0];
+    if (rows > n.shape[0])
+        throw std::runtime_error(
+            "bindInputRows: " + n.name + " holds " +
+            std::to_string(n.shape[0]) + " rows, got " +
+            std::to_string(rows));
+    int64_t rowElems = numel(n.shape) / n.shape[0];
+    float *dst = ctx.inputBufs_[id].data();
+    std::memcpy(dst, t.data(), sizeof(float) * rows * rowElems);
+    // Zero the pad rows so a padded request is byte-identical to
+    // running the bucket-sized batch with explicit zero padding.
+    std::memset(dst + rows * rowElems, 0,
+                sizeof(float) * (n.shape[0] - rows) * rowElems);
 }
 
 void
 Executor::run()
 {
-    if (!warm_) {
+    run(defaultCtx());
+}
+
+void
+Executor::run(ExecContext &ctx) const
+{
+    if (!ctx.warm_) {
         // Serial warm-up: fill every declared shared region (cached
         // Winograd filter transforms) before any sharded launch can
-        // touch it. Runs once; kernels then see sharedReady == true
-        // and never write the region again.
-        for (BoundStep &s : steps_) {
+        // touch it. Runs once per context; kernels then see
+        // sharedReady == true and never write the region again.
+        for (BoundStep &s : ctx.steps_) {
             if (s.init && !*s.ctx.sharedReady)
                 s.init(s.ctx);
         }
-        warm_ = true;
+        ctx.warm_ = true;
     }
-    ++step_;
-    for (BoundStep &s : steps_) {
+    ++ctx.step_;
+    for (BoundStep &s : ctx.steps_) {
         if (s.shards.empty()) {
-            s.ctx.step = step_;
+            s.ctx.step = ctx.step_;
             s.fn(s.ctx);
         } else {
             // One dispatch per step: shards run concurrently, and the
             // dispatch's completion wait is the inter-step barrier.
             pool_->dispatch(static_cast<int>(s.shards.size()), [&](int i) {
-                s.shards[i].step = step_;
+                s.shards[i].step = ctx.step_;
                 s.fn(s.shards[i]);
             });
         }
     }
 }
 
-int
-Executor::shardedSteps() const
-{
-    int n = 0;
-    for (const BoundStep &s : steps_)
-        n += s.shards.size() > 1 ? 1 : 0;
-    return n;
-}
-
 Tensor
 Executor::fetch(int node_id) const
 {
+    return fetch(defaultCtx(), node_id);
+}
+
+Tensor
+Executor::fetch(const ExecContext &ctx, int node_id) const
+{
     const Node &n = g_.node(node_id);
     Tensor out(n.shape);
-    const float *src = const_cast<Executor *>(this)->resolve(node_id);
+    const float *src =
+        resolve(const_cast<ExecContext &>(ctx), node_id);
     switch (n.dtype) {
       case DType::F32:
         std::memcpy(out.data(), src, sizeof(float) * out.size());

@@ -6,13 +6,13 @@
  * everything was resolved at compile time (the paper's central
  * systems argument).
  *
- * Parallel execution keeps that invariant: bindSteps() precomputes a
+ * Parallel execution keeps that invariant: bindInto() precomputes a
  * per-node launch plan (shard count and [begin, end) ranges over the
  * kernel's declared partition domain, one fully-bound KernelCtx per
- * shard), and run() only replays it — dispatching each step's shards
- * to the worker pool with a barrier before the next step. With
- * numThreads == 1 no plan is built and run() is the same straight
- * loop as before, bit for bit.
+ * shard, held by the ExecContext being bound), and run() only replays
+ * it — dispatching each step's shards to the worker pool with a
+ * barrier before the next step. With numThreads == 1 no shards are
+ * built and run() is the same straight loop as before, bit for bit.
  *
  * Arena v2: kernel scratch is no longer ad-hoc per-node vectors. The
  * planner places every workspace in the arena (live only during its
@@ -21,6 +21,19 @@
  * declared init hooks serially (warming Winograd's cached transforms
  * before any sharded launch can race on them). Scratch-bearing
  * kernels therefore shard like any other.
+ *
+ * Sessions (serving runtime): the Executor itself is an IMMUTABLE
+ * compiled program — graph, order, memory plan, const pool, launch
+ * geometry. All per-run mutable state (the arena, input staging
+ * buffers, shared-region warm-up flags, the step counter, and the
+ * per-shard bound KernelCtx copies whose pointers land in the arena)
+ * lives in an ExecContext. makeContext() mints additional contexts
+ * over the same plan + frozen ParamStore, so N sessions execute the
+ * one compiled program concurrently — one thread per context — with
+ * no shared mutable state and no locking on the hot path. The classic
+ * single-session API (run()/bindInput()/fetch()) operates on a
+ * default context owned by the executor and behaves exactly as
+ * before.
  */
 
 #pragma once
@@ -51,6 +64,51 @@ struct ExecOptions {
     int numThreads = 1;
 };
 
+/** One bound kernel invocation: the launch-plan unit an ExecContext
+ *  replays. Pointer fields resolve into the owning context's arena
+ *  (or the executor's shared const pool / ParamStore). */
+struct BoundStep {
+    int node;
+    KernelFn fn;
+    KernelCtx ctx;
+    /** Warm-up hook: fills ctx.shared before the first run. */
+    void (*init)(const KernelCtx &) = nullptr;
+    /** Precomputed per-shard contexts; empty = run ctx serially. */
+    std::vector<KernelCtx> shards;
+};
+
+/**
+ * One session's mutable execution state over a compiled program: its
+ * private arena (values + workspaces + shared regions), input staging
+ * buffers, warm-up flags and step counter, plus the bound step list
+ * whose pointers resolve into this context's storage. Contexts from
+ * the same Executor share the graph, memory plan, kernel variants,
+ * ParamStore and const pool strictly read-only, so distinct contexts
+ * may run() concurrently from distinct threads. A single context is
+ * NOT thread-safe — one in-flight request per context at a time.
+ */
+class ExecContext
+{
+  public:
+    ExecContext() = default;
+    ExecContext(const ExecContext &) = delete;
+    ExecContext &operator=(const ExecContext &) = delete;
+
+    /** Steps executed through this context so far. */
+    int64_t stepCount() const { return step_; }
+
+  private:
+    friend class Executor;
+    Arena arena_;                   ///< values + workspaces
+    std::vector<Tensor> inputBufs_; ///< by node id (Input staging)
+    std::vector<BoundStep> steps_;
+    /** Shared-region validity flags, by step index (stable storage
+     *  for KernelCtx::sharedReady across shard copies). */
+    std::vector<char> sharedReady_;
+    int64_t step_ = 0;
+    bool warm_ = false; ///< init hooks run on the first run()
+};
+
 /**
  * Executes a scheduled graph. Pointers are resolved once at
  * construction; run() is a straight loop over bound kernel calls.
@@ -60,6 +118,8 @@ class Executor
   public:
     Executor(const Graph &g, std::vector<int> order, ParamStore &store,
              ExecOptions options = {});
+
+    // ---- classic single-session API (the executor's own context) ----
 
     /** Point an Input node at caller-owned data (shape-checked). */
     void bindInput(const std::string &name, const Tensor &t);
@@ -77,16 +137,50 @@ class Executor
     /** Copy a value out of the arena/store (by node id). */
     Tensor fetch(int node_id) const;
 
+    // ---- session API (serving runtime) ------------------------------
+
+    /**
+     * Mint a fresh session context over this compiled program: its
+     * own zeroed arena and input staging, bound against the SAME
+     * memory plan, const pool and ParamStore. Read-only w.r.t. the
+     * executor, so concurrent makeContext() calls are safe; the
+     * returned context must then be driven by one thread at a time.
+     */
+    std::unique_ptr<ExecContext> makeContext() const;
+
+    /** bindInputById against @p ctx. */
+    void bindInputById(ExecContext &ctx, int id, const Tensor &t) const;
+
+    /**
+     * Bind the first @p t.shape()[0] rows of Input @p id from @p t
+     * and zero-fill the remaining rows — the pad-to-bucket serving
+     * path. @p t must match the input's shape in every dim but the
+     * first, with no more rows than the input declares.
+     */
+    void bindInputRows(ExecContext &ctx, int id, const Tensor &t) const;
+
+    /** Execute one step on @p ctx. Touches only @p ctx's mutable
+     *  state; distinct contexts may run concurrently. */
+    void run(ExecContext &ctx) const;
+
+    /** Copy a value out of @p ctx's arena (by node id). */
+    Tensor fetch(const ExecContext &ctx, int node_id) const;
+
+    // ---- program introspection --------------------------------------
+
     const MemoryPlan &memoryPlan() const { return plan_; }
     const Graph &graph() const { return g_; }
     const std::vector<int> &order() const { return order_; }
-    int64_t stepCount() const { return step_; }
+    int64_t stepCount() const
+    {
+        return defaultCtx_ ? defaultCtx_->stepCount() : 0;
+    }
 
     /** Number of kernel invocations per step. */
-    int numSteps() const { return static_cast<int>(steps_.size()); }
+    int numSteps() const { return numSteps_; }
 
     /** Steps whose launch plan has more than one shard. */
-    int shardedSteps() const;
+    int shardedSteps() const { return shardedSteps_; }
 
     /**
      * Splittable steps whose launch plan stayed serial only because
@@ -108,40 +202,40 @@ class Executor
     }
 
   private:
-    struct BoundStep {
-        int node;
-        KernelFn fn;
-        KernelCtx ctx;
-        /** Warm-up hook: fills ctx.shared before the first run. */
-        void (*init)(const KernelCtx &) = nullptr;
-        /** Precomputed per-shard contexts; empty = run ctx serially. */
-        std::vector<KernelCtx> shards;
-    };
+    float *resolve(ExecContext &ctx, int id) const;
 
-    float *resolve(int id);
+    /** Build @p ctx's arena, staging and bound steps. Mutates only
+     *  @p ctx: program-level stats (step/shard counts, fallback
+     *  labels, the serialized-by-workspace tripwire) come from the
+     *  compile-time launch summary in the constructor, so contexts
+     *  are interchangeable and bind is re-entrant. */
+    void bindInto(ExecContext &ctx) const;
+
+    /** The classic API's session, minted on first use so executors
+     *  driven purely through makeContext() sessions (serving buckets)
+     *  never allocate an arena they do not run on. */
+    ExecContext &defaultCtx() const;
 
     const Graph &g_;
     std::vector<int> order_;
     ParamStore &store_;
     MemoryPlan plan_;
-    Arena arena_;                          ///< values + workspaces
-    std::vector<Tensor> constBufs_;        ///< by node id (sparse)
-    std::vector<const float *> inputPtrs_; ///< by node id
-    std::vector<float *> valuePtr_;        ///< by node id
-    std::vector<BoundStep> steps_;
-    /** Shared-region validity flags, by step index (stable storage
-     *  for KernelCtx::sharedReady across shard copies). */
-    std::vector<char> sharedReady_;
+    std::vector<Tensor> constBufs_; ///< by node id; Const nodes only,
+                                    ///< read-only, shared by contexts
     std::vector<std::string> variants_;
     std::vector<std::string> fallbacks_;
     int numThreads_ = 1;
+    int numSteps_ = 0;
+    int shardedSteps_ = 0;
     int serializedByWorkspace_ = 0;
+    /** Compile-time shard count per kernel step; bindInto verifies
+     *  every context's bound plan against it (see planLaunches). */
+    std::vector<int> shardsPerStep_;
     ThreadPool *pool_ = nullptr; ///< owned by HostDevice; null if serial
-    int64_t step_ = 0;
-    bool bound_ = false;
-    bool warm_ = false; ///< init hooks run on the first run()
-
-    void bindSteps();
+    /** Lazy classic-API state; mutable so const reads (fetch) can
+     *  mint it. The classic API is single-session by contract, so
+     *  this involves no cross-thread sharing. */
+    mutable std::unique_ptr<ExecContext> defaultCtx_;
 };
 
 } // namespace pe

@@ -281,6 +281,7 @@ planLaunches(const Graph &g, const std::vector<int> &order,
         }
         if (shards > 1)
             ++out.shardedSteps;
+        out.shardsPerStep.push_back(shards);
 
         WorkspaceSpec ws =
             info.workspace ? info.workspace(g, n) : WorkspaceSpec{};
@@ -295,10 +296,11 @@ planLaunches(const Graph &g, const std::vector<int> &order,
     }
     // serializedByWorkspace stays 0 here BY CONSTRUCTION: the shard
     // counts above never consult the workspace, which is Arena v2's
-    // whole point. The executor recomputes the counter from its
-    // actually-bound launch plan (Executor::serializedByWorkspace),
-    // so a reintroduced scratch-serializes-kernels gate in bindSteps
-    // trips the report even though this summary cannot.
+    // whole point. The tripwire is shardsPerStep: every context bind
+    // (Executor::bindInto) verifies its actually-bound shard count
+    // against this summary and THROWS on divergence, so a
+    // reintroduced scratch-serializes-kernels gate fails the first
+    // bind instead of silently zeroing the report field.
     return out;
 }
 

@@ -142,6 +142,12 @@ struct LaunchSummary {
      *  every shard gets its own workspace instance; kept as a
      *  regression tripwire. */
     int serializedByWorkspace = 0;
+    /** Planned shard count per kernel step, in execution order
+     *  (source ops skipped) — the executor's bind verifies its
+     *  actually-bound count against this, so any divergence (e.g. a
+     *  reintroduced scratch-serializes-kernels gate) throws at bind
+     *  instead of silently skewing the report. */
+    std::vector<int> shardsPerStep;
 };
 
 /**

@@ -1,0 +1,433 @@
+#include "serve/serving.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace pe {
+
+namespace {
+
+/** First-dim slice: the padded bucket output cut back to the
+ *  request's rows. Outputs whose leading dim is not the bucket batch
+ *  (scalars, reductions) are returned whole. */
+Tensor
+sliceRows(Tensor full, int64_t batch, int64_t rows)
+{
+    if (full.shape().empty() || full.shape()[0] != batch ||
+        rows == batch)
+        return full;
+    Shape s = full.shape();
+    s[0] = rows;
+    Tensor out(s);
+    std::memcpy(out.data(), full.data(), sizeof(float) * out.size());
+    return out;
+}
+
+} // namespace
+
+std::string
+ServeStats::summary() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%lld done / %lld submitted (%lld rejected, "
+                  "%lld failed) | "
+                  "p50 %.0fus p99 %.0fus | %.1f req/s | "
+                  "queue %lld (max %lld) | %lld sessions",
+                  static_cast<long long>(completed),
+                  static_cast<long long>(submitted),
+                  static_cast<long long>(rejected),
+                  static_cast<long long>(failed), p50LatencyUs,
+                  p99LatencyUs, throughputRps,
+                  static_cast<long long>(queueDepth),
+                  static_cast<long long>(maxQueueDepth),
+                  static_cast<long long>(sessionsCreated));
+    std::string out = buf;
+    out += " | buckets:";
+    for (const BucketStats &b : buckets) {
+        std::snprintf(buf, sizeof(buf), " b%lld:%lld(+%lld pad)",
+                      static_cast<long long>(b.batch),
+                      static_cast<long long>(b.hits),
+                      static_cast<long long>(b.paddedRows));
+        out += buf;
+    }
+    return out;
+}
+
+ServingEngine::ServingEngine(const ModelFactory &model,
+                             std::shared_ptr<ParamStore> store,
+                             ServeOptions options)
+    : store_(store ? std::move(store) : std::make_shared<ParamStore>()),
+      options_(std::move(options)),
+      workers_(std::max(1, options_.workers)),
+      queue_(options_.queueCapacity)
+{
+    // Sessions execute serially inside; concurrency comes from
+    // running `workers` sessions at once (see file comment).
+    options_.compile.numThreads = 1;
+
+    std::vector<int64_t> batches = options_.buckets;
+    batches.erase(std::remove_if(batches.begin(), batches.end(),
+                                 [](int64_t b) { return b < 1; }),
+                  batches.end());
+    std::sort(batches.begin(), batches.end());
+    batches.erase(std::unique(batches.begin(), batches.end()),
+                  batches.end());
+    if (batches.empty())
+        batches.push_back(1);
+
+    // Compile once per (precision, shape bucket). Every bucket binds
+    // the same frozen ParamStore; the factory must name parameters
+    // batch-independently (true of NetBuilder and the model zoo).
+    for (int64_t batch : batches) {
+        auto b = std::make_unique<Bucket>();
+        b->batch = batch;
+        ServedModel m = model(batch);
+        if (m.outputs.empty())
+            throw std::invalid_argument(
+                "ServingEngine: model factory produced no outputs");
+        b->cg = compileInferenceGraph(m.graph, m.outputs,
+                                      options_.compile, store_);
+        ExecOptions eopt;
+        eopt.variants = b->cg.variants;
+        eopt.numThreads = 1;
+        b->exec = std::make_unique<Executor>(b->cg.graph, b->cg.order,
+                                             *store_, std::move(eopt));
+        finalizeExecReport(b->cg.report, *b->exec);
+        b->cg.report.kernelFallbacks = b->exec->fallbackCount();
+        b->cg.report.fallbackKernels = b->exec->fallbackKernels();
+        buckets_.push_back(std::move(b));
+    }
+
+    sessions_.resize(workers_);
+    for (auto &row : sessions_)
+        row.resize(buckets_.size());
+
+    start_ = std::chrono::steady_clock::now();
+
+    // Park the serving workers on a dedicated pool via one persistent
+    // dispatch; its completion barrier is the shutdown join. The pool
+    // is engine-owned (not HostDevice's shared one) so a long-lived
+    // engine never starves other dispatchers.
+    pool_ = std::make_unique<ThreadPool>(workers_);
+    runner_ = std::thread([this] {
+        pool_->dispatch(workers_, [this](int w) { workerLoop(w); });
+    });
+}
+
+ServingEngine::~ServingEngine()
+{
+    // close() rejects new submissions but still delivers everything
+    // already queued, so destruction drains in-flight work.
+    queue_.close();
+    if (runner_.joinable())
+        runner_.join();
+}
+
+int
+ServingEngine::bucketIndexFor(int64_t rows) const
+{
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i]->batch >= rows)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int64_t
+ServingEngine::bucketFor(int64_t rows) const
+{
+    int i = bucketIndexFor(rows);
+    return i < 0 ? -1 : buckets_[i]->batch;
+}
+
+const CompileReport &
+ServingEngine::bucketReport(int64_t batch) const
+{
+    for (const auto &b : buckets_) {
+        if (b->batch == batch)
+            return b->cg.report;
+    }
+    throw std::invalid_argument("ServingEngine: no bucket of batch " +
+                                std::to_string(batch));
+}
+
+std::shared_ptr<ServingEngine::RequestState>
+ServingEngine::makeRequest(
+    std::unordered_map<std::string, Tensor> &feeds)
+{
+    if (feeds.empty())
+        throw std::invalid_argument("ServingEngine: empty feed set");
+    int64_t rows = -1;
+    for (const auto &[name, t] : feeds) {
+        if (t.shape().empty())
+            throw std::invalid_argument(
+                "ServingEngine: scalar feed " + name +
+                " has no row dimension");
+        if (rows < 0)
+            rows = t.shape()[0];
+        else if (t.shape()[0] != rows)
+            throw std::invalid_argument(
+                "ServingEngine: feeds disagree on rows (" + name +
+                ")");
+    }
+
+    int bucket = bucketIndexFor(rows);
+    if (bucket < 0)
+        throw std::invalid_argument(
+            "ServingEngine: request rows " + std::to_string(rows) +
+            " exceed the largest bucket (" +
+            std::to_string(buckets_.back()->batch) + ")");
+
+    Bucket &bk = *buckets_[bucket];
+    auto st = std::make_shared<RequestState>();
+    st->bucket = bucket;
+    st->rows = rows;
+    st->feeds.reserve(feeds.size());
+    for (auto &[name, t] : feeds) {
+        int id = bk.exec->inputId(name);
+        if (id < 0)
+            throw std::invalid_argument(
+                "ServingEngine: no input named " + name);
+        const Shape &want = bk.cg.graph.node(id).shape;
+        if (t.shape().size() != want.size() ||
+            !std::equal(t.shape().begin() + 1, t.shape().end(),
+                        want.begin() + 1))
+            throw std::invalid_argument(
+                "ServingEngine: feed " + name + " shape " +
+                shapeToString(t.shape()) +
+                " does not match input shape " + shapeToString(want) +
+                " (rows may differ)");
+        st->feeds.emplace_back(id, std::move(t));
+    }
+    // Sessions are reused across requests, so an unfed input would
+    // silently read the PREVIOUS request's staging bytes (or warm-up
+    // zeros on a cold session) — require full coverage instead. Feed
+    // names are unique map keys and unknown names threw above, so
+    // count equality means every compiled Input is bound.
+    size_t want = bk.cg.graph.inputIds().size();
+    if (st->feeds.size() != want)
+        throw std::invalid_argument(
+            "ServingEngine: request binds " +
+            std::to_string(st->feeds.size()) + " of " +
+            std::to_string(want) + " model inputs");
+    st->id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    st->submitTime = std::chrono::steady_clock::now();
+    return st;
+}
+
+void
+ServingEngine::finishSubmit(const std::shared_ptr<RequestState> &st)
+{
+    int64_t depth = static_cast<int64_t>(queue_.size());
+    int64_t prev = maxQueueDepth_.load(std::memory_order_relaxed);
+    while (depth > prev &&
+           !maxQueueDepth_.compare_exchange_weak(
+               prev, depth, std::memory_order_relaxed)) {
+    }
+}
+
+ServingEngine::RequestId
+ServingEngine::submit(std::unordered_map<std::string, Tensor> feeds)
+{
+    std::shared_ptr<RequestState> st = makeRequest(feeds);
+    {
+        std::lock_guard<std::mutex> lock(stateMu_);
+        states_.emplace(st->id, st);
+    }
+    // Count the submission BEFORE the enqueue: a worker can pop and
+    // complete the request before this thread runs another line, and
+    // completed > submitted must never be observable.
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (!queue_.push(st)) {
+        submitted_.fetch_sub(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(stateMu_);
+        states_.erase(st->id);
+        throw std::runtime_error("ServingEngine: engine is stopped");
+    }
+    finishSubmit(st);
+    return st->id;
+}
+
+ServingEngine::RequestId
+ServingEngine::trySubmit(std::unordered_map<std::string, Tensor> feeds)
+{
+    std::shared_ptr<RequestState> st = makeRequest(feeds);
+    {
+        std::lock_guard<std::mutex> lock(stateMu_);
+        states_.emplace(st->id, st);
+    }
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (!queue_.tryPush(st)) {
+        submitted_.fetch_sub(1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(stateMu_);
+            states_.erase(st->id);
+        }
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return kRejected;
+    }
+    finishSubmit(st);
+    return st->id;
+}
+
+void
+ServingEngine::workerLoop(int worker)
+{
+    std::shared_ptr<RequestState> st;
+    while (queue_.pop(st)) {
+        Bucket &bk = *buckets_[st->bucket];
+
+        // Any worker-path throw (first-bind validation, allocation
+        // failure) is captured into the request and rethrown by
+        // wait() — an uncaught exception here would std::terminate
+        // the process and strand every waiter.
+        try {
+            // Session acquisition is lock-free by ownership: worker w
+            // is the only thread that ever touches sessions_[w].
+            // After one request per (worker, bucket) pair the pool is
+            // warm and the hot path performs no allocation besides
+            // result tensors.
+            std::unique_ptr<ExecContext> &sess =
+                sessions_[worker][st->bucket];
+            if (!sess) {
+                sess = bk.exec->makeContext();
+                sessionsCreated_.fetch_add(1,
+                                           std::memory_order_relaxed);
+            }
+
+            for (const auto &[id, t] : st->feeds)
+                bk.exec->bindInputRows(*sess, id, t);
+            bk.exec->run(*sess);
+
+            const std::vector<int> &outs = bk.cg.graph.outputs();
+            st->outputs.reserve(outs.size());
+            for (int oid : outs)
+                st->outputs.push_back(sliceRows(
+                    bk.exec->fetch(*sess, oid), bk.batch, st->rows));
+        } catch (const std::exception &e) {
+            st->outputs.clear();
+            st->error = e.what();
+        }
+
+        if (!st->error.empty()) {
+            // Failures stay out of completed/hits/latency: a failing
+            // fleet must read as failing, not as healthy throughput.
+            failed_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            bk.hits.fetch_add(1, std::memory_order_relaxed);
+            bk.paddedRows.fetch_add(bk.batch - st->rows,
+                                    std::memory_order_relaxed);
+            double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() -
+                            st->submitTime)
+                            .count();
+            {
+                std::lock_guard<std::mutex> lock(statsMu_);
+                latenciesUs_.push_back(us);
+                // Bounded sample window so a long-lived engine's
+                // stats stay O(1) in memory.
+                if (latenciesUs_.size() > 65536)
+                    latenciesUs_.pop_front();
+            }
+            completed_.fetch_add(1, std::memory_order_relaxed);
+        }
+        {
+            std::lock_guard<std::mutex> lock(doneMu_);
+            st->done.store(true, std::memory_order_release);
+        }
+        doneCv_.notify_all();
+        st.reset();
+    }
+}
+
+bool
+ServingEngine::poll(RequestId id) const
+{
+    std::lock_guard<std::mutex> lock(stateMu_);
+    auto it = states_.find(id);
+    if (it == states_.end())
+        throw std::out_of_range(
+            "ServingEngine::poll: unknown or consumed request " +
+            std::to_string(id));
+    return it->second->done.load(std::memory_order_acquire);
+}
+
+std::vector<Tensor>
+ServingEngine::wait(RequestId id)
+{
+    std::shared_ptr<RequestState> st;
+    {
+        // Consume the id atomically at entry: of two concurrent
+        // waiters only one gets the state, the other throws — never
+        // a racy double-move of the result tensors.
+        std::lock_guard<std::mutex> lock(stateMu_);
+        auto it = states_.find(id);
+        if (it == states_.end())
+            throw std::out_of_range(
+                "ServingEngine::wait: unknown or consumed request " +
+                std::to_string(id));
+        st = std::move(it->second);
+        states_.erase(it);
+    }
+    {
+        std::unique_lock<std::mutex> lock(doneMu_);
+        doneCv_.wait(lock, [&] {
+            return st->done.load(std::memory_order_acquire);
+        });
+    }
+    if (!st->error.empty())
+        throw std::runtime_error("ServingEngine: request " +
+                                 std::to_string(id) + " failed: " +
+                                 st->error);
+    return std::move(st->outputs);
+}
+
+ServeStats
+ServingEngine::stats() const
+{
+    ServeStats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.queueDepth = static_cast<int64_t>(queue_.size());
+    s.maxQueueDepth = maxQueueDepth_.load(std::memory_order_relaxed);
+    s.sessionsCreated = sessionsCreated_.load(std::memory_order_relaxed);
+    for (const auto &b : buckets_) {
+        BucketStats bs;
+        bs.batch = b->batch;
+        bs.hits = b->hits.load(std::memory_order_relaxed);
+        bs.paddedRows = b->paddedRows.load(std::memory_order_relaxed);
+        s.buckets.push_back(bs);
+    }
+    // Copy the sample window under the lock, sort after releasing it:
+    // workers take statsMu_ on every completion, and sorting 64k
+    // doubles under it would let a stats poll loop stall the very
+    // path the engine keeps lock-free otherwise.
+    std::vector<double> lat;
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        lat.assign(latenciesUs_.begin(), latenciesUs_.end());
+    }
+    if (!lat.empty()) {
+        std::sort(lat.begin(), lat.end());
+        auto pct = [&](double p) {
+            size_t i = static_cast<size_t>(p * (lat.size() - 1));
+            return lat[i];
+        };
+        s.p50LatencyUs = pct(0.50);
+        s.p99LatencyUs = pct(0.99);
+    }
+    s.elapsedSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+    if (s.elapsedSeconds > 0)
+        s.throughputRps = static_cast<double>(s.completed) /
+                          s.elapsedSeconds;
+    return s;
+}
+
+} // namespace pe

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Concurrent serving runtime (the "heavy traffic" leg of the ROADMAP
+ * north star).
+ *
+ * The paper compiles training/inference into a static plan so that
+ * deployment-time execution makes no runtime decisions; the serving
+ * layer exploits exactly that property. A ServingEngine compiles a
+ * model ONCE per (precision, shape-bucket) into an immutable
+ * CompiledPlan — graph, schedule, memory plan, kernel variants — over
+ * one shared frozen ParamStore + const pool, and every in-flight
+ * request executes that plan on a pooled per-session ExecContext
+ * (private arena + input staging + bound kernel contexts). N requests
+ * therefore run concurrently with zero cross-session allocation or
+ * locking on the hot path: the only synchronization a request crosses
+ * is the bounded MPMC admission queue on the way in and one
+ * condition-variable signal on the way out.
+ *
+ * Shape buckets: requests whose leading (batch) dimension does not
+ * match a compiled plan are padded up to the smallest bucket that
+ * fits — amortizing compilation across request shapes exactly like
+ * the paper amortizes planning across steps. Pad rows are zero-filled
+ * and results are sliced back to the request's rows, so a padded
+ * request returns byte-identical values to an explicitly zero-padded
+ * serial run.
+ *
+ * Concurrency model: `workers` serving workers are parked on a
+ * dedicated ThreadPool via one persistent dispatch (the pool's
+ * completion barrier doubles as shutdown join). Each worker owns at
+ * most one session context per bucket, minted lazily on first use and
+ * reused for every later request — the session "pool" is therefore
+ * lock-free by ownership, bounded by workers x buckets, and stops
+ * allocating once warm. Sessions execute serially inside
+ * (numThreads = 1 per session); concurrency comes from running many
+ * sessions at once, which is the right trade for throughput-bound
+ * serving (and keeps per-request results bit-identical to the serial
+ * executor).
+ */
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+#include "serve/queue.h"
+
+namespace pe {
+
+/** What the engine serves: a forward graph + the output node ids,
+ *  built for one bucket's batch size. The factory is called once per
+ *  bucket at engine construction; parameter names must not depend on
+ *  the batch size so every bucket binds the same frozen weights. */
+struct ServedModel {
+    Graph graph;
+    std::vector<int> outputs;
+};
+
+/** Builds the served model at a given leading (batch) dimension. */
+using ModelFactory = std::function<ServedModel(int64_t batch)>;
+
+/** Serving-engine construction options. */
+struct ServeOptions {
+    /** Shape buckets: the leading-dimension sizes compiled plans
+     *  exist for. Requests are padded up to the smallest bucket that
+     *  fits; larger requests are rejected at submit. Sorted and
+     *  deduplicated internally; empty = {1}. */
+    std::vector<int64_t> buckets = {1};
+    /** Concurrent serving workers (= max in-flight sessions). */
+    int workers = 2;
+    /** Bounded admission-queue capacity: submit() blocks and
+     *  trySubmit() bounces when this many requests are queued. */
+    size_t queueCapacity = 64;
+    /** Per-bucket compile switches (precision, fusion, ...).
+     *  numThreads is forced to 1: sessions are serial inside, and
+     *  concurrency comes from running many sessions at once. */
+    CompileOptions compile;
+};
+
+/** Per-bucket serving counters. */
+struct BucketStats {
+    int64_t batch = 0;      ///< the bucket's compiled batch size
+    int64_t hits = 0;       ///< requests routed to this bucket
+    int64_t paddedRows = 0; ///< total pad rows executed (waste)
+};
+
+/** Aggregate serving statistics (CompileReport-style snapshot). */
+struct ServeStats {
+    int64_t submitted = 0;
+    int64_t completed = 0; ///< successfully served
+    int64_t rejected = 0;  ///< trySubmit bounces (queue full)
+    /** Worker-path failures (the exception is rethrown by wait());
+     *  excluded from completed/hits/latency so a failing fleet reads
+     *  as failing, not as healthy throughput. */
+    int64_t failed = 0;
+    int64_t queueDepth = 0;
+    int64_t maxQueueDepth = 0;
+    /** Session contexts minted so far. Bounded by workers x buckets
+     *  and stable once traffic has warmed every (worker, bucket)
+     *  pair — the arena-pool-reuse invariant tests assert on. */
+    int64_t sessionsCreated = 0;
+    double p50LatencyUs = 0; ///< submit-to-complete, median
+    double p99LatencyUs = 0;
+    double throughputRps = 0; ///< completed / elapsed
+    double elapsedSeconds = 0;
+    std::vector<BucketStats> buckets;
+
+    std::string summary() const;
+};
+
+/**
+ * A session-based concurrent inference server over one model family.
+ * Construction compiles every bucket; submit()/poll()/wait() then
+ * run requests asynchronously. Thread-safe: any thread may submit,
+ * poll or wait. Destruction drains queued requests, then joins.
+ */
+class ServingEngine
+{
+  public:
+    using RequestId = uint64_t;
+    /** Returned by trySubmit when the admission queue is full. */
+    static constexpr RequestId kRejected = 0;
+
+    ServingEngine(const ModelFactory &model,
+                  std::shared_ptr<ParamStore> store,
+                  ServeOptions options);
+    ~ServingEngine();
+
+    ServingEngine(const ServingEngine &) = delete;
+    ServingEngine &operator=(const ServingEngine &) = delete;
+
+    /**
+     * Enqueue one request. Each feed's first dimension is the
+     * request's row count (all feeds must agree); remaining dims must
+     * match the model's inputs. Blocks while the admission queue is
+     * full. Throws std::invalid_argument for unknown input names,
+     * shape mismatches, or more rows than the largest bucket.
+     */
+    RequestId submit(std::unordered_map<std::string, Tensor> feeds);
+
+    /** submit() without blocking: kRejected when the queue is full
+     *  (counted in ServeStats::rejected — the backpressure signal). */
+    RequestId trySubmit(std::unordered_map<std::string, Tensor> feeds);
+
+    /** True once @p id has completed (its results are ready). Throws
+     *  std::out_of_range for ids never issued or already consumed. */
+    bool poll(RequestId id) const;
+
+    /**
+     * Block until @p id completes and return its outputs (one tensor
+     * per model output, sliced back to the request's rows). Consumes
+     * the result: a second wait on the same id throws std::out_of_range
+     * (the id is claimed atomically at entry, so concurrent waiters
+     * never race on the result). A request that failed on the worker
+     * path rethrows here as std::runtime_error.
+     */
+    std::vector<Tensor> wait(RequestId id);
+
+    /** Snapshot of the serving counters and latency percentiles. */
+    ServeStats stats() const;
+
+    /** Compiled-plan report of the bucket whose batch is @p batch. */
+    const CompileReport &bucketReport(int64_t batch) const;
+
+    /** The bucket batch a @p rows -row request routes to; -1 when
+     *  @p rows exceeds every bucket. Exposed for routing tests. */
+    int64_t bucketFor(int64_t rows) const;
+
+    int workers() const { return workers_; }
+
+  private:
+    struct RequestState {
+        RequestId id = 0;
+        int bucket = -1; ///< index into buckets_
+        int64_t rows = 0;
+        /** (input node id in the bucket's graph, request tensor). */
+        std::vector<std::pair<int, Tensor>> feeds;
+        std::chrono::steady_clock::time_point submitTime;
+        std::vector<Tensor> outputs;
+        /** Worker-path failure, rethrown by wait(). Written before
+         *  the done flag's release store, read after its acquire. */
+        std::string error;
+        std::atomic<bool> done{false};
+    };
+
+    /** One (precision, shape-bucket) compiled plan. The CompiledGraph
+     *  lives at a stable heap address so the Executor's graph
+     *  reference stays valid for the engine's lifetime; its report is
+     *  finalized in place at construction (the one copy bucketReport
+     *  serves). */
+    struct Bucket {
+        int64_t batch = 0;
+        CompiledGraph cg;
+        std::unique_ptr<Executor> exec;
+        std::atomic<int64_t> hits{0};
+        std::atomic<int64_t> paddedRows{0};
+    };
+
+    std::shared_ptr<RequestState> makeRequest(
+        std::unordered_map<std::string, Tensor> &feeds);
+    void finishSubmit(const std::shared_ptr<RequestState> &st);
+    void workerLoop(int worker);
+    /** Index of the smallest bucket fitting @p rows; -1 if none. The
+     *  ONE routing rule — bucketFor() and makeRequest() share it. */
+    int bucketIndexFor(int64_t rows) const;
+
+    std::shared_ptr<ParamStore> store_;
+    ServeOptions options_;
+    int workers_ = 1;
+    std::vector<std::unique_ptr<Bucket>> buckets_;
+
+    BoundedQueue<std::shared_ptr<RequestState>> queue_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::thread runner_; ///< holds the pool's persistent dispatch
+
+    /** sessions_[worker][bucket]: lazily minted, worker-owned — no
+     *  lock is ever taken to acquire a session. */
+    std::vector<std::vector<std::unique_ptr<ExecContext>>> sessions_;
+
+    mutable std::mutex stateMu_; ///< id -> in-flight request states
+    std::unordered_map<RequestId, std::shared_ptr<RequestState>> states_;
+    std::atomic<RequestId> nextId_{1};
+
+    mutable std::mutex doneMu_; ///< completion signaling only
+    std::condition_variable doneCv_;
+
+    std::atomic<int64_t> submitted_{0};
+    std::atomic<int64_t> completed_{0};
+    std::atomic<int64_t> rejected_{0};
+    std::atomic<int64_t> failed_{0};
+    std::atomic<int64_t> maxQueueDepth_{0};
+    std::atomic<int64_t> sessionsCreated_{0};
+    mutable std::mutex statsMu_; ///< latency samples
+    std::deque<double> latenciesUs_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace pe
