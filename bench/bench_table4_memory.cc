@@ -23,6 +23,7 @@
  */
 
 #include "bench_common.h"
+#include "plan/plan.h"
 #include "quant/quant.h"
 
 using namespace pe;
@@ -116,10 +117,20 @@ precisionSection()
             CompileOptions opt;
             opt.precision = p;
             CompileReport r;
+            int64_t plan_bytes = 0;
             if (mode == 0) {
                 InferenceProgram prog =
                     compileInference(m.graph, {m.logits}, opt, store);
                 r = prog.report();
+                // Deployment artifact size: the binary plan file a
+                // fleet/MCU would actually ship (src/plan/) —
+                // deterministic, so drift is a real format/plan
+                // change.
+                plan_bytes = static_cast<int64_t>(
+                    serializePlan(prog.graph(),
+                                  prog.executor().exportArtifact(),
+                                  prog.report(), *store)
+                        .size());
             } else {
                 opt.optim = OptimConfig::sgd(0.01);
                 r = compileGraphOnly(m.graph, m.loss,
@@ -164,6 +175,8 @@ precisionSection()
             g_json.field(
                 "prequantized_weights",
                 static_cast<int64_t>(r.quant.prequantizedWeights));
+            if (mode == 0)
+                g_json.field("plan_file_bytes", plan_bytes);
         }
     }
     std::printf("\nint8 infer pre-quantizes frozen weights to i8 "

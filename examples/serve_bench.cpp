@@ -16,6 +16,13 @@
  * sessions still interleave correctly but wall-clock speedup cannot
  * appear (same caveat as the PR-1 thread-scaling bench).
  *
+ * Two deployment-shaped sections follow the fp32 run: an INT8 serving
+ * path (calibrate() wired into the bucket factory via
+ * ServeOptions::calibration, reporting footprint vs fp32 and top-1
+ * agreement), and a plan-directory cold start — the int8 bucket plans
+ * are saved once with savePlans() and a second engine boots from
+ * ServeOptions::planDir with zero compile work (src/plan/).
+ *
  *   ./build/serve_bench [requests-per-family]   (default: 64)
  */
 
@@ -25,9 +32,12 @@
 #include <cstring>
 #include <vector>
 
+#include <filesystem>
+
 #include "engine/engine.h"
 #include "frontend/builder.h"
 #include "frontend/models.h"
+#include "plan/plan.h"
 #include "serve/serving.h"
 
 using namespace pe;
@@ -219,5 +229,117 @@ main(int argc, char **argv)
                             (r.paramBytes + r.constBytes) / 1024));
         }
     }
-    return 0;
+
+    // ---- int8 serving: calibrate() wired into the bucket factory --
+    // The engine pads each calibration batch to every bucket's shape
+    // (the same zero-pad real traffic gets), stamps observed ranges,
+    // and the QuantizePass turns each bucket into an int8 plan with
+    // pre-quantized i8 weight consts.
+    std::printf("\n=== int8 serving (calibrated buckets) ===\n");
+    auto cnnFactory = [&](int64_t b) {
+        return mcunetModel(b, cnnStore.get());
+    };
+    ServeOptions qco;
+    qco.buckets = cnnBuckets;
+    qco.workers = 4;
+    qco.queueCapacity = 32;
+    qco.compile.precision = Precision::Int8;
+    {
+        Rng crng(17);
+        for (int i = 0; i < 2; ++i)
+            qco.calibration.push_back(
+                {{"x", Tensor::randn({2, 3, 16, 16}, crng)}});
+    }
+    ServingEngine qcnn(cnnFactory, cnnStore, qco);
+
+    // Agreement + throughput vs the fp32 engine on the same traffic.
+    ServeOptions fo;
+    fo.buckets = cnnBuckets;
+    fo.workers = 4;
+    fo.queueCapacity = 32;
+    ServingEngine fcnn(cnnFactory, cnnStore, fo);
+    int agree = 0, total = 0;
+    auto tq = std::chrono::steady_clock::now();
+    for (const Traffic &req : traffic) {
+        if (req.family != 1)
+            continue;
+        Tensor f = fcnn.wait(fcnn.submit({{"x", req.x}}))[0];
+        Tensor q = qcnn.wait(qcnn.submit({{"x", req.x}}))[0];
+        int64_t classes = f.shape()[1];
+        for (int64_t row = 0; row < f.shape()[0]; ++row) {
+            int64_t fa = 0, qa = 0;
+            for (int64_t c = 1; c < classes; ++c) {
+                if (f[row * classes + c] > f[row * classes + fa])
+                    fa = c;
+                if (q[row * classes + c] > q[row * classes + qa])
+                    qa = c;
+            }
+            agree += fa == qa;
+            ++total;
+        }
+    }
+    double qSec = secondsSince(tq);
+    const CompileReport &q1 = qcnn.bucketReport(1);
+    const CompileReport &f1 = fcnn.bucketReport(1);
+    std::printf("int8 top-1 agreement vs fp32: %d/%d rows\n", agree,
+                total);
+    std::printf("int8 bucket-1 act+weight: %lld KB (fp32 %lld KB, "
+                "%.2fx); fallbacks: %s\n",
+                static_cast<long long>(q1.actWeightBytes() / 1024),
+                static_cast<long long>(f1.actWeightBytes() / 1024),
+                static_cast<double>(q1.actWeightBytes()) /
+                    static_cast<double>(f1.actWeightBytes()),
+                q1.fallbackBreakdown().empty()
+                    ? "none"
+                    : q1.fallbackBreakdown().c_str());
+    std::printf("mixed fp32+int8 interleaved: %.2fs for %d requests\n",
+                qSec, 2 * perFamily);
+
+    // ---- compile once, deploy anywhere: plan-directory cold start --
+    // savePlans() freezes every (precision, bucket) plan to disk; a
+    // fresh engine boots from the directory with ZERO compile work
+    // (the constructor asserts no planner/scheduler/QuantizePass
+    // stage runs) — the serving-fleet startup story of src/plan/.
+    std::printf("\n=== serving from a plan directory ===\n");
+    std::string planDir =
+        (std::filesystem::temp_directory_path() / "serve_bench_plans")
+            .string();
+    auto ts = std::chrono::steady_clock::now();
+    qcnn.savePlans(planDir);
+    double saveSec = secondsSince(ts);
+
+    auto tc = std::chrono::steady_clock::now();
+    ServeOptions po = qco;
+    po.calibration.clear();
+    po.planDir = planDir;
+    ServingEngine planCnn(
+        [](int64_t) -> ServedModel {
+            throw std::logic_error("factory unused with planDir");
+        },
+        nullptr, po);
+    double loadSec = secondsSince(tc);
+
+    // Bit-parity spot check: plans serve exactly what compiles serve.
+    bool parity = true;
+    for (int i = 0; i < 8; ++i) {
+        Rng prng(100 + i);
+        Tensor x = Tensor::randn({1 + (i % 2), 3, 16, 16}, prng);
+        Tensor a = qcnn.wait(qcnn.submit({{"x", x}}))[0];
+        Tensor b = planCnn.wait(planCnn.submit({{"x", x}}))[0];
+        parity = parity && a.shape() == b.shape() &&
+                 std::memcmp(a.data(), b.data(),
+                             sizeof(float) * a.size()) == 0;
+    }
+    int64_t planBytes = 0;
+    for (const auto &e :
+         std::filesystem::directory_iterator(planDir))
+        planBytes += static_cast<int64_t>(e.file_size());
+    std::printf("saved %lld KB of int8 bucket plans in %.1f ms; "
+                "engine from planDir up in %.1f ms (zero compile "
+                "work, asserted); bit-parity vs compiled engine: "
+                "%s\n",
+                static_cast<long long>(planBytes / 1024),
+                saveSec * 1e3, loadSec * 1e3,
+                parity ? "EXACT" : "BROKEN");
+    return parity ? 0 : 1;
 }

@@ -11,14 +11,19 @@ Two file shapes are understood, auto-detected:
   never gate — CI runners expose too few cores for those numbers to
   mean anything (the ROADMAP's multicore-host run is where they count).
 
-* table4 memory JSON (BENCH_table4.json): INFORMATIONAL. Byte counts
-  are deterministic, so any drift is a real planner change — printed
-  loudly so the author either explains it or regenerates the committed
-  file, but never failed on: intentional planner improvements are the
-  point of the trajectory.
+* table4 memory JSON (BENCH_table4.json): GATED on peak memory. Byte
+  counts are deterministic, so any drift is a real planner change.
+  Drift is always printed, but only REGRESSIONS fail: a row whose
+  total_bytes / peak_live_bytes / act_weight_bytes grew more than
+  --table4-tolerance (default 5%) over the committed baseline exits 1
+  — the author must either fix the regression or refresh the
+  committed BENCH_table4.json in the same PR (the refresh IS the
+  explicit sign-off). Improvements and other field drift (arena
+  layout, workspace split, plan-file sizes) stay informational.
 
 Usage: bench_check.py BASELINE FRESH [--tolerance 0.25]
-Exit status 1 iff a gated row regressed more than the tolerance.
+                                     [--table4-tolerance 0.05]
+Exit status 1 iff a gated row regressed more than its tolerance.
 """
 
 import argparse
@@ -92,31 +97,72 @@ def table4_key(row):
                   "precision"))
 
 
-def check_table4(base, fresh):
+# Peak-memory metrics: growth beyond the tolerance FAILS the gate.
+GATED_TABLE4_FIELDS = ("total_bytes", "peak_live_bytes",
+                       "act_weight_bytes")
+# Reported on drift but never gated (layout shifts, artifact sizes).
+INFO_TABLE4_FIELDS = ("arena_bytes", "workspace_bytes",
+                      "plan_file_bytes")
+
+
+def check_table4(base, fresh, tolerance):
     b = {table4_key(r): r for r in base}
     f = {table4_key(r): r for r in fresh}
     drifted = 0
+    failures = 0
     for key in sorted(set(b) & set(f)):
-        for field in ("total_bytes", "arena_bytes", "workspace_bytes",
-                      "act_weight_bytes"):
-            if field in b[key] and b[key][field] != f[key].get(field):
+        for field in GATED_TABLE4_FIELDS + INFO_TABLE4_FIELDS:
+            if field not in b[key]:
+                continue  # new fields gate once the baseline has them
+            if field not in f[key]:
+                # A gated metric VANISHING is a gate bypass, not
+                # drift: fail it so a bench change cannot silently
+                # stop emitting the number the gate watches.
                 drifted += 1
-                print(f"  [drift] {'/'.join(k for k in key if k)} "
-                      f"{field}: {b[key][field]} -> "
-                      f"{f[key].get(field)}")
+                gate_bypass = field in GATED_TABLE4_FIELDS
+                failures += gate_bypass
+                status = "FAIL" if gate_bypass else "drift"
+                print(f"  [{status}] {'/'.join(k for k in key if k)} "
+                      f"{field}: {b[key][field]} -> (missing)")
+                continue
+            old, new = b[key][field], f[key][field]
+            if old == new:
+                continue
+            drifted += 1
+            regressed = (field in GATED_TABLE4_FIELDS and old > 0
+                         and new > old * (1.0 + tolerance))
+            status = "FAIL" if regressed else "drift"
+            failures += regressed
+            print(f"  [{status}] {'/'.join(k for k in key if k)} "
+                  f"{field}: {old} -> {new}")
     for key in sorted(set(b) ^ set(f)):
         drifted += 1
-        side = "baseline-only" if key in b else "fresh-only"
-        print(f"  [drift] {side} row: {'/'.join(k for k in key if k)}")
-    if drifted:
+        if key in b:
+            # A whole baseline row vanishing is the row-level version
+            # of the field-vanishing bypass above: whatever it gated
+            # is no longer watched, so it fails until the committed
+            # baseline is refreshed.
+            failures += 1
+            print(f"  [FAIL] baseline-only row: "
+                  f"{'/'.join(k for k in key if k)}")
+        else:
+            print(f"  [drift] fresh-only row: "
+                  f"{'/'.join(k for k in key if k)}")
+    if failures:
+        print(f"{failures} peak-memory regression(s) beyond "
+              f"{tolerance:.0%} vs the committed table4 baseline — "
+              f"deterministic numbers, so this is a real planner "
+              f"change: fix it or refresh BENCH_table4.json in this "
+              f"PR as the explicit sign-off")
+    elif drifted:
         print(f"{drifted} memory-plan drift(s) vs the committed "
-              f"table4 baseline — deterministic numbers, so this is a "
-              f"real planner change: explain it in the PR or refresh "
-              f"BENCH_table4.json (informational, not gated)")
+              f"table4 baseline (none beyond the {tolerance:.0%} "
+              f"peak-memory gate) — explain in the PR or refresh "
+              f"BENCH_table4.json")
     else:
         print("  table4 memory plan matches the committed baseline "
               "exactly")
-    return True
+    return failures == 0
 
 
 def main():
@@ -126,6 +172,9 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="max allowed single-thread throughput "
                          "regression (default 0.25)")
+    ap.add_argument("--table4-tolerance", type=float, default=0.05,
+                    help="max allowed peak-memory growth before the "
+                         "table4 gate fails (default 0.05)")
     args = ap.parse_args()
 
     with open(args.baseline) as fp:
@@ -134,8 +183,10 @@ def main():
         fresh = json.load(fp)
 
     if isinstance(base, list):
-        print(f"table4 check: {args.baseline} vs {args.fresh}")
-        ok = check_table4(base, fresh)
+        print(f"table4 gate: {args.baseline} vs {args.fresh} "
+              f"(tolerance {args.table4_tolerance:.0%} on peak "
+              f"memory)")
+        ok = check_table4(base, fresh, args.table4_tolerance)
     else:
         print(f"throughput gate: {args.baseline} vs {args.fresh} "
               f"(tolerance {args.tolerance:.0%} on single-thread rows)")

@@ -80,6 +80,20 @@ InferenceProgram::InferenceProgram(Graph g,
     report_.fallbackKernels = executor_->fallbackKernels();
 }
 
+InferenceProgram::InferenceProgram(Graph g,
+                                   std::shared_ptr<ParamStore> store,
+                                   ProgramArtifact art,
+                                   CompileReport report)
+    : graph_(std::move(g)), store_(std::move(store)),
+      report_(std::move(report))
+{
+    executor_ =
+        std::make_unique<Executor>(graph_, std::move(art), *store_);
+    finalizeExecReport(report_, *executor_);
+    report_.kernelFallbacks = executor_->fallbackCount();
+    report_.fallbackKernels = executor_->fallbackKernels();
+}
+
 std::vector<Tensor>
 InferenceProgram::run(
     const std::unordered_map<std::string, Tensor> &feeds)
@@ -348,12 +362,13 @@ compileInferenceGraph(const Graph &forward,
     for (int id : g.paramIds())
         g.node(id).trainable = false;
 
+    out.report.forwardNodes = g.numNodes();
     simplify(g);
     if (options.foldConstants)
-        constantFold(g);
+        out.report.folded = constantFold(g);
     if (options.fuse)
-        fuseOperators(g);
-    dce(g);
+        out.report.fusions = fuseOperators(g);
+    out.report.prunedNodes = dce(g);
 
     out.report.precision = options.precision;
 
@@ -375,6 +390,7 @@ compileInferenceGraph(const Graph &forward,
     bopt.enableBlocked = options.blocked;
     out.variants = switchBackends(g, bopt, &out.report.backend);
     out.order = reorderForMemory(g);
+    out.report.flopsPerStep = g.totalFlops();
     out.graph = std::move(g);
     return out;
 }

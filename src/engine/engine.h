@@ -218,6 +218,14 @@ class InferenceProgram
                      CompileReport report = {},
                      std::vector<int> order = {});
 
+    /**
+     * Bind a deserialized compiled product (src/plan/): the executor
+     * is constructed from @p art verbatim, with zero planner/
+     * scheduler/QuantizePass work. This is the loadPlan() path.
+     */
+    InferenceProgram(Graph g, std::shared_ptr<ParamStore> store,
+                     ProgramArtifact art, CompileReport report);
+
     // Non-relocatable for the same reason as TrainingProgram: the
     // bound executor references graph_ by address.
     InferenceProgram(InferenceProgram &&) = delete;
@@ -240,9 +248,23 @@ class InferenceProgram
 
     const Graph &graph() const { return graph_; }
     Executor &executor() { return *executor_; }
+    const Executor &executor() const { return *executor_; }
     /** Memory/backend summary of the bound program (Table 4 rows for
      *  deployment-shaped compiles come from here). */
     const CompileReport &report() const { return report_; }
+
+    /**
+     * Serialize this compiled program — graph, order, variants,
+     * memory plan, launch geometry, packed const pool, frozen params
+     * — into the versioned binary plan format (src/plan/) at @p path.
+     * loadPlan(path) reconstructs a bit-identical program without
+     * invoking any compile pipeline stage. @p tag is a free-form
+     * provenance string (plan_tool records the model recipe there so
+     * `plan_tool run --verify` can rebuild and bit-compare). Defined
+     * in src/plan/plan.cc.
+     */
+    void savePlan(const std::string &path,
+                  const std::string &tag = "") const;
 
   private:
     Graph graph_;

@@ -29,6 +29,14 @@ Graph::add(OpKind op, std::vector<int> inputs, Attrs attrs,
 }
 
 int
+Graph::addRaw(Node n)
+{
+    n.id = numNodes();
+    nodes_.push_back(std::move(n));
+    return nodes_.back().id;
+}
+
+int
 Graph::input(Shape shape, std::string name)
 {
     Attrs a;

@@ -48,6 +48,18 @@ class Graph
     int add(OpKind op, std::vector<int> inputs, Attrs attrs = {},
             std::string name = "");
 
+    /**
+     * Append a fully-specified node WITHOUT shape/dtype inference or
+     * input-range validation — the deserialization path for compiled
+     * plans (src/plan/). Compiled graphs may contain forward input
+     * references (the QuantizePass points existing nodes at
+     * later-created inputs and compact() preserves that), so inputs
+     * cannot be range-checked until the whole table is rebuilt; the
+     * caller is responsible for validating afterwards. @p n.id is
+     * overwritten with the assigned id.
+     */
+    int addRaw(Node n);
+
     /** Add an Input node with an explicit shape. */
     int input(Shape shape, std::string name);
     /** Add a Param node (trainable by default). */

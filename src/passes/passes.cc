@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "kernels/kernel.h"
+#include "runtime/planner.h"
 
 namespace pe {
 
@@ -288,6 +289,7 @@ naturalOrder(const Graph &g)
 std::vector<int>
 reorderForMemory(const Graph &g)
 {
+    detail::countReorderInvocation();
     int n = g.numNodes();
     auto users = g.consumers();
     std::vector<bool> is_output(n, false);

@@ -28,6 +28,7 @@
 #include <unordered_set>
 
 #include "runtime/paramstore.h"
+#include "runtime/planner.h"
 
 namespace pe {
 
@@ -505,6 +506,7 @@ quantizeF16(Graph &g, const QuantizeOptions &opts, QuantizeStats &stats)
 int
 quantizePass(Graph &g, const QuantizeOptions &opts, QuantizeStats *stats)
 {
+    detail::countQuantizePassInvocation();
     QuantizeStats local;
     QuantizeStats &s = stats ? *stats : local;
     switch (opts.precision) {

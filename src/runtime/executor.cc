@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include "ir/op.h"
@@ -33,15 +34,7 @@ Executor::Executor(const Graph &g, std::vector<int> order,
     shardedSteps_ = launches.shardedSteps;
     serializedByWorkspace_ = launches.serializedByWorkspace;
     shardsPerStep_ = std::move(launches.shardsPerStep);
-    for (int id : order_) {
-        const Node &n = g_.node(id);
-        if (isSourceOp(n.op))
-            continue;
-        ++numSteps_;
-        if (lookupKernelInfo(n.op, variants_[id]).fellBack)
-            fallbacks_.push_back(std::string(opName(n.op)) + "/" +
-                                 variants_[id]);
-    }
+    countStepsAndFallbacks();
 
     // Materialize constants. Non-f32 constants (pre-quantized i8
     // weights) pack their integer values into raw byte storage: the
@@ -77,6 +70,198 @@ Executor::Executor(const Graph &g, std::vector<int> order,
             }
             constBufs_[id] = std::move(packed);
         }
+    }
+}
+
+Executor::Executor(const Graph &g, ProgramArtifact art,
+                   ParamStore &store)
+    : g_(g), order_(std::move(art.order)), store_(store),
+      variants_(std::move(art.variants)),
+      numThreads_(art.numThreads <= 0 ? HostDevice::hardwareThreads()
+                                      : art.numThreads)
+{
+    detail::ensureKernelsRegistered();
+    pool_ = HostDevice::instance().pool(numThreads_);
+    plan_ = std::move(art.plan);
+    shardedSteps_ = art.shardedSteps;
+    serializedByWorkspace_ = art.serializedByWorkspace;
+    shardsPerStep_ = std::move(art.shardsPerStep);
+    constBufs_ = std::move(art.constPool);
+    validateArtifact();
+    store_.materialize(g_);
+    countStepsAndFallbacks();
+    // No planLaunches/planMemory and no const repacking happened
+    // above: binding a deserialized plan is pointer resolution only.
+    // bindInto()'s shard-count tripwire still cross-checks the
+    // artifact's launch geometry against what the registry's
+    // PartitionSpecs produce on THIS machine at first context bind.
+}
+
+ProgramArtifact
+Executor::exportArtifact() const
+{
+    ProgramArtifact art;
+    art.order = order_;
+    art.variants = variants_;
+    art.plan = plan_;
+    art.shardsPerStep = shardsPerStep_;
+    art.shardedSteps = shardedSteps_;
+    art.serializedByWorkspace = serializedByWorkspace_;
+    art.numThreads = numThreads_;
+    art.constPool = constBufs_;
+    return art;
+}
+
+void
+Executor::countStepsAndFallbacks()
+{
+    for (int id : order_) {
+        const Node &n = g_.node(id);
+        if (isSourceOp(n.op))
+            continue;
+        ++numSteps_;
+        if (lookupKernelInfo(n.op, variants_[id]).fellBack)
+            fallbacks_.push_back(std::string(opName(n.op)) + "/" +
+                                 variants_[id]);
+    }
+}
+
+void
+Executor::validateArtifact() const
+{
+    const int n = g_.numNodes();
+    if (static_cast<int>(variants_.size()) != n)
+        throw std::runtime_error(
+            "Executor: artifact variants do not cover the graph");
+    if (static_cast<int>(plan_.values.size()) != n)
+        throw std::runtime_error(
+            "Executor: artifact memory plan does not cover the graph");
+    if (order_.empty())
+        throw std::runtime_error("Executor: artifact order is empty");
+    std::vector<char> seen(n, 0);
+    for (int id : order_) {
+        if (id < 0 || id >= n || seen[id])
+            throw std::runtime_error(
+                "Executor: artifact order is not a permutation of "
+                "node ids");
+        seen[id] = 1;
+    }
+    int steps = 0;
+    for (int id : order_) {
+        if (!isSourceOp(g_.node(id).op))
+            ++steps;
+    }
+    if (static_cast<int>(shardsPerStep_.size()) != steps)
+        throw std::runtime_error(
+            "Executor: artifact launch geometry does not match the "
+            "step count");
+    if (static_cast<int>(constBufs_.size()) != n)
+        throw std::runtime_error(
+            "Executor: artifact const pool does not cover the graph");
+    // Placement bounds. Every offset/size below is file-controlled in
+    // the loadPlan path, so the checks must hold for ADVERSARIAL
+    // values too: reject negatives outright and compare extents in
+    // 128-bit so no crafted int64 can overflow the comparison itself.
+    if (plan_.arenaBytes < 0)
+        throw std::runtime_error(
+            "Executor: artifact arena extent is negative");
+    auto fits = [&](int64_t offset, int64_t bytes) {
+        return offset >= 0 && bytes >= 0 &&
+               static_cast<__int128>(offset) + bytes <=
+                   plan_.arenaBytes;
+    };
+    for (int id = 0; id < n; ++id) {
+        const Node &node = g_.node(id);
+        for (int in : node.inputs) {
+            if (in < 0 || in >= n)
+                throw std::runtime_error(
+                    "Executor: artifact graph has out-of-range "
+                    "input ids");
+        }
+        if (node.op == OpKind::Const && !constBufs_[id].defined())
+            throw std::runtime_error(
+                "Executor: artifact const pool is missing a Const "
+                "buffer");
+        const ValuePlacement &v = plan_.values[id];
+        // Storage class is a FUNCTION of the op (planMemory's
+        // classification); a crafted tag — External on a Mul, say —
+        // would dereference unallocated staging at bind.
+        Storage want = node.op == OpKind::Param ? Storage::Param
+                       : node.op == OpKind::Const ? Storage::ConstBuf
+                       : node.op == OpKind::Input ? Storage::External
+                       : isInPlaceOp(node.op)    ? Storage::Alias
+                                                 : Storage::Arena;
+        if (v.storage != want)
+            throw std::runtime_error(
+                "Executor: artifact storage class does not match "
+                "the node's op");
+        if (v.dtype != node.dtype)
+            throw std::runtime_error(
+                "Executor: artifact placement dtype does not match "
+                "the node");
+        // Overflow-safe element count; kernels write numel(shape)
+        // elements, so the placement MUST be sized for exactly that.
+        __int128 ne = 1;
+        for (int64_t d : node.shape) {
+            if (d < 0 ||
+                (d > 0 &&
+                 ne > std::numeric_limits<int64_t>::max() / d))
+                throw std::runtime_error(
+                    "Executor: artifact shape is negative or "
+                    "overflows");
+            ne *= d;
+        }
+        if (v.storage == Storage::Arena &&
+            (ne * dtypeSize(v.dtype) != v.bytes ||
+             !fits(v.offset, v.bytes)))
+            throw std::runtime_error(
+                "Executor: artifact placement does not fit its "
+                "value inside the arena");
+    }
+    // Alias chains: resolve() walks input 0 until a non-alias
+    // placement, so every alias node needs an input and the chain
+    // must terminate (a crafted cycle would otherwise recurse
+    // forever; input ids were range-checked above).
+    for (int id = 0; id < n; ++id) {
+        if (plan_.values[id].storage != Storage::Alias)
+            continue;
+        int cur = id, hops = 0;
+        while (plan_.values[cur].storage == Storage::Alias) {
+            if (g_.node(cur).inputs.empty())
+                throw std::runtime_error(
+                    "Executor: artifact aliases a node with no "
+                    "inputs");
+            cur = g_.node(cur).inputs[0];
+            if (++hops > n)
+                throw std::runtime_error(
+                    "Executor: artifact alias chain does not "
+                    "terminate");
+        }
+    }
+    for (const WorkspacePlacement &w : plan_.workspaces) {
+        if (w.node < 0 || w.node >= n)
+            throw std::runtime_error(
+                "Executor: artifact workspace names a bad node");
+        if (w.shards < 1 || w.bytesPerShard < 0 ||
+            w.shardStride < 0 || w.sharedBytes < 0)
+            throw std::runtime_error(
+                "Executor: artifact workspace has negative sizes");
+        if (w.bytesPerShard > 0) {
+            if (w.shards > 1 && w.shardStride < w.bytesPerShard)
+                throw std::runtime_error(
+                    "Executor: artifact workspace shards overlap");
+            __int128 top = static_cast<__int128>(w.offset) +
+                           static_cast<__int128>(w.shards - 1) *
+                               w.shardStride +
+                           w.bytesPerShard;
+            if (w.offset < 0 || top > plan_.arenaBytes)
+                throw std::runtime_error(
+                    "Executor: artifact workspace exceeds the arena");
+        }
+        if (w.sharedBytes > 0 &&
+            !fits(w.sharedOffset, w.sharedBytes))
+            throw std::runtime_error(
+                "Executor: artifact shared region exceeds the arena");
     }
 }
 

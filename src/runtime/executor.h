@@ -64,6 +64,31 @@ struct ExecOptions {
     int numThreads = 1;
 };
 
+/**
+ * The full compiled product of one program, detached from any
+ * executor: execution order, kernel-variant choices, the memory plan,
+ * the launch geometry (per-step shard counts + thread count), and the
+ * packed const pool (non-f32 consts already in their deployed byte
+ * layout). An Executor can export one (savePlan) and be constructed
+ * from one (loadPlan) — the artifact constructor performs ZERO
+ * planner/scheduler invocations, which is what makes binary-plan
+ * deployment "load and run" rather than "recompile" (src/plan/).
+ */
+struct ProgramArtifact {
+    std::vector<int> order;
+    std::vector<std::string> variants; ///< by node id ("" = default)
+    MemoryPlan plan;
+    /** Compile-time shard count per kernel step (planLaunches). */
+    std::vector<int> shardsPerStep;
+    int shardedSteps = 0;
+    int serializedByWorkspace = 0;
+    int numThreads = 1;
+    /** Packed const buffers by node id (Const nodes only). Non-f32
+     *  consts hold raw i8/f16 bytes exactly as kernels read them, so
+     *  binding an artifact repacks nothing. */
+    std::vector<Tensor> constPool;
+};
+
 /** One bound kernel invocation: the launch-plan unit an ExecContext
  *  replays. Pointer fields resolve into the owning context's arena
  *  (or the executor's shared const pool / ParamStore). */
@@ -118,6 +143,19 @@ class Executor
   public:
     Executor(const Graph &g, std::vector<int> order, ParamStore &store,
              ExecOptions options = {});
+
+    /**
+     * Bind a deserialized compiled product: everything the planning
+     * constructor computes (memory plan, launch geometry, packed
+     * consts) is taken from @p art verbatim — planLaunches/planMemory
+     * are NOT called (the plan loader asserts this via
+     * pipelineCounters). Throws std::runtime_error when the artifact
+     * is inconsistent with @p g.
+     */
+    Executor(const Graph &g, ProgramArtifact art, ParamStore &store);
+
+    /** Copy out this program's compiled product (for savePlan). */
+    ProgramArtifact exportArtifact() const;
 
     // ---- classic single-session API (the executor's own context) ----
 
@@ -203,6 +241,12 @@ class Executor
 
   private:
     float *resolve(ExecContext &ctx, int id) const;
+
+    /** Shared ctor tail: count kernel steps + registry fallbacks. */
+    void countStepsAndFallbacks();
+
+    /** Artifact-ctor validation: sizes/ids consistent with g_. */
+    void validateArtifact() const;
 
     /** Build @p ctx's arena, staging and bound steps. Mutates only
      *  @p ctx: program-level stats (step/shard counts, fallback

@@ -1,6 +1,7 @@
 #include "runtime/planner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <stdexcept>
 
@@ -98,12 +99,48 @@ shardBlockBytes(int shards, int64_t bytesPerShard)
     return static_cast<int64_t>(shards) * alignUp(bytesPerShard);
 }
 
+// The pipeline-stage invocation counters the binary-plan loader
+// asserts stay flat across a load (see PipelineCounters). Plain
+// atomics: incremented on compile paths only, never on the hot path.
+std::atomic<int64_t> g_planMemoryCalls{0};
+std::atomic<int64_t> g_planLaunchesCalls{0};
+std::atomic<int64_t> g_reorderCalls{0};
+std::atomic<int64_t> g_quantizePassCalls{0};
+
 } // namespace
+
+PipelineCounters
+pipelineCounters()
+{
+    PipelineCounters c;
+    c.planMemory = g_planMemoryCalls.load(std::memory_order_relaxed);
+    c.planLaunches = g_planLaunchesCalls.load(std::memory_order_relaxed);
+    c.reorder = g_reorderCalls.load(std::memory_order_relaxed);
+    c.quantizePass = g_quantizePassCalls.load(std::memory_order_relaxed);
+    return c;
+}
+
+namespace detail {
+
+void
+countReorderInvocation()
+{
+    g_reorderCalls.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+countQuantizePassInvocation()
+{
+    g_quantizePassCalls.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace detail
 
 MemoryPlan
 planMemory(const Graph &g, const std::vector<int> &order,
            const std::vector<WorkspaceRequest> &workspaces)
 {
+    g_planMemoryCalls.fetch_add(1, std::memory_order_relaxed);
     int n = g.numNodes();
     MemoryPlan plan;
     plan.values.resize(n);
@@ -253,6 +290,7 @@ LaunchSummary
 planLaunches(const Graph &g, const std::vector<int> &order,
              const std::vector<std::string> &variants, int numThreads)
 {
+    g_planLaunchesCalls.fetch_add(1, std::memory_order_relaxed);
     detail::ensureKernelsRegistered();
     LaunchSummary out;
     for (int id : order) {

@@ -159,4 +159,37 @@ LaunchSummary planLaunches(const Graph &g, const std::vector<int> &order,
                            const std::vector<std::string> &variants,
                            int numThreads);
 
+/**
+ * Process-wide invocation counts of the compile pipeline's expensive
+ * stages. The binary-plan loader (src/plan/) snapshots these around a
+ * load and asserts zero delta — the executable proof that loading a
+ * serialized plan performs NO planning, scheduling or quantization
+ * work, only pointer binding. Counters are monotonically increasing
+ * and atomic; they are a debugging/assertion aid, not a profiler.
+ */
+struct PipelineCounters {
+    int64_t planMemory = 0;   ///< planMemory() calls
+    int64_t planLaunches = 0; ///< planLaunches() calls
+    int64_t reorder = 0;      ///< reorderForMemory() calls
+    int64_t quantizePass = 0; ///< quantizePass() calls
+
+    bool
+    operator==(const PipelineCounters &o) const
+    {
+        return planMemory == o.planMemory &&
+               planLaunches == o.planLaunches && reorder == o.reorder &&
+               quantizePass == o.quantizePass;
+    }
+    bool operator!=(const PipelineCounters &o) const { return !(*this == o); }
+};
+
+/** Snapshot of the pipeline-stage invocation counters. */
+PipelineCounters pipelineCounters();
+
+namespace detail {
+/** Increment hooks for the stages living outside planner.cc. */
+void countReorderInvocation();
+void countQuantizePassInvocation();
+} // namespace detail
+
 } // namespace pe

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
+
+#include "plan/plan.h"
+#include "runtime/planner.h"
 
 namespace pe {
 
@@ -22,6 +26,27 @@ sliceRows(Tensor full, int64_t batch, int64_t rows)
     s[0] = rows;
     Tensor out(s);
     std::memcpy(out.data(), full.data(), sizeof(float) * out.size());
+    return out;
+}
+
+/** Fit a calibration tensor to a bucket's batch: zero-pad the rows up
+ *  (exactly what bindInputRows does to real traffic, so calibration
+ *  sees representative pad statistics) or truncate them down. */
+Tensor
+fitRows(const Tensor &t, int64_t batch)
+{
+    if (t.shape().empty() || t.shape()[0] <= 0)
+        throw std::invalid_argument(
+            "ServingEngine: calibration batch has no rows");
+    if (t.shape()[0] == batch)
+        return t;
+    Shape s = t.shape();
+    int64_t rows = std::min(s[0], batch);
+    int64_t row_elems = numel(s) / s[0];
+    s[0] = batch;
+    Tensor out(s); // zero-initialized: pad rows stay zero
+    std::memcpy(out.data(), t.data(),
+                sizeof(float) * static_cast<size_t>(rows * row_elems));
     return out;
 }
 
@@ -78,28 +103,91 @@ ServingEngine::ServingEngine(const ModelFactory &model,
     if (batches.empty())
         batches.push_back(1);
 
-    // Compile once per (precision, shape bucket). Every bucket binds
-    // the same frozen ParamStore; the factory must name parameters
-    // batch-independently (true of NetBuilder and the model zoo).
+    // One compiled plan per (precision, shape bucket). Every bucket
+    // binds the same frozen ParamStore; the factory must name
+    // parameters batch-independently (true of NetBuilder and the
+    // model zoo). With ServeOptions::planDir set the plans come from
+    // disk instead — the factory is never invoked and the snapshot
+    // below proves no compile pipeline stage ran.
+    const bool from_plans = !options_.planDir.empty();
+    PipelineCounters before = pipelineCounters();
     for (int64_t batch : batches) {
         auto b = std::make_unique<Bucket>();
         b->batch = batch;
-        ServedModel m = model(batch);
-        if (m.outputs.empty())
-            throw std::invalid_argument(
-                "ServingEngine: model factory produced no outputs");
-        b->cg = compileInferenceGraph(m.graph, m.outputs,
-                                      options_.compile, store_);
-        ExecOptions eopt;
-        eopt.variants = b->cg.variants;
-        eopt.numThreads = 1;
-        b->exec = std::make_unique<Executor>(b->cg.graph, b->cg.order,
-                                             *store_, std::move(eopt));
+        if (from_plans) {
+            std::string path =
+                options_.planDir + "/" +
+                planFileName(options_.compile.precision, batch);
+            PlanData pd = deserializePlan(readPlanFile(path));
+            if (pd.precision != options_.compile.precision)
+                throw std::invalid_argument(
+                    "ServingEngine: plan '" + path +
+                    "' precision does not match ServeOptions");
+            if (pd.artifact.numThreads != 1)
+                throw std::invalid_argument(
+                    "ServingEngine: plan '" + path +
+                    "' was compiled at numThreads != 1; serving "
+                    "sessions are serial inside");
+            std::vector<int> input_ids = pd.graph.inputIds();
+            if (input_ids.empty() ||
+                pd.graph.node(input_ids[0]).shape.empty() ||
+                pd.graph.node(input_ids[0]).shape[0] != batch)
+                throw std::invalid_argument(
+                    "ServingEngine: plan '" + path +
+                    "' batch does not match bucket " +
+                    std::to_string(batch));
+            // All bucket plans freeze the same weights, so repeated
+            // sets write identical values.
+            for (auto &[name, t] : pd.params)
+                store_->set(name, std::move(t));
+            b->cg.graph = std::move(pd.graph);
+            b->cg.lossId = pd.lossId;
+            b->cg.order = pd.artifact.order;
+            b->cg.variants = pd.artifact.variants;
+            b->cg.report = std::move(pd.report);
+            b->exec = std::make_unique<Executor>(
+                b->cg.graph, std::move(pd.artifact), *store_);
+        } else {
+            ServedModel m = model(batch);
+            if (m.outputs.empty())
+                throw std::invalid_argument(
+                    "ServingEngine: model factory produced no "
+                    "outputs");
+            // Quantized buckets: stamp observed ranges before the
+            // QuantizePass consumes them. Feeds are fitted to this
+            // bucket's batch (zero-pad up / truncate down), matching
+            // the padding real traffic gets.
+            if (options_.compile.precision != Precision::F32 &&
+                !options_.calibration.empty()) {
+                std::vector<std::unordered_map<std::string, Tensor>>
+                    fitted;
+                fitted.reserve(options_.calibration.size());
+                for (const auto &feeds : options_.calibration) {
+                    std::unordered_map<std::string, Tensor> fit;
+                    for (const auto &[name, t] : feeds)
+                        fit.emplace(name, fitRows(t, batch));
+                    fitted.push_back(std::move(fit));
+                }
+                calibrate(m.graph, *store_, fitted);
+            }
+            b->cg = compileInferenceGraph(m.graph, m.outputs,
+                                          options_.compile, store_);
+            ExecOptions eopt;
+            eopt.variants = b->cg.variants;
+            eopt.numThreads = 1;
+            b->exec = std::make_unique<Executor>(
+                b->cg.graph, b->cg.order, *store_, std::move(eopt));
+        }
         finalizeExecReport(b->cg.report, *b->exec);
         b->cg.report.kernelFallbacks = b->exec->fallbackCount();
         b->cg.report.fallbackKernels = b->exec->fallbackKernels();
         buckets_.push_back(std::move(b));
     }
+    if (from_plans && pipelineCounters() != before)
+        throw std::logic_error(
+            "ServingEngine: a compile pipeline stage ran while "
+            "serving from a plan directory — the zero-recompile "
+            "contract is broken");
 
     sessions_.resize(workers_);
     for (auto &row : sessions_)
@@ -124,6 +212,28 @@ ServingEngine::~ServingEngine()
     queue_.close();
     if (runner_.joinable())
         runner_.join();
+}
+
+std::string
+ServingEngine::planFileName(Precision p, int64_t batch)
+{
+    return std::string(precisionName(p)) + "_b" +
+           std::to_string(batch) + ".peplan";
+}
+
+void
+ServingEngine::savePlans(const std::string &dir) const
+{
+    std::filesystem::create_directories(dir);
+    for (const auto &b : buckets_) {
+        std::string path =
+            dir + "/" +
+            planFileName(options_.compile.precision, b->batch);
+        writePlanFile(path, serializePlan(b->cg.graph,
+                                          b->exec->exportArtifact(),
+                                          b->cg.report, *store_, "",
+                                          b->cg.lossId));
+    }
 }
 
 int

@@ -86,6 +86,29 @@ struct ServeOptions {
      *  numThreads is forced to 1: sessions are serial inside, and
      *  concurrency comes from running many sessions at once. */
     CompileOptions compile;
+    /**
+     * When non-empty, bucket plans are LOADED from this directory —
+     * one binary plan file per bucket, named
+     * planFileName(compile.precision, batch) — instead of compiled.
+     * The model factory is never invoked and engine construction
+     * performs ZERO planner/scheduler/QuantizePass work (asserted via
+     * pipelineCounters; std::logic_error if the contract breaks), so
+     * serving startup is file reads + pointer binding. Write such a
+     * directory with savePlans() or `plan_tool compile`. Plans must
+     * have been compiled at numThreads = 1 (sessions are serial
+     * inside; loading a multi-threaded plan throws).
+     */
+    std::string planDir;
+    /**
+     * Calibration batches for quantized buckets (compile.precision !=
+     * F32; ignored when planDir is set). Each feed map is fitted to
+     * every bucket's batch — rows zero-padded up (exactly the pad the
+     * serving path applies to real requests) or truncated down — and
+     * calibrate() stamps the observed ranges on the bucket's graph
+     * before the QuantizePass consumes them. Empty = quantize with
+     * whatever calibration attrs the factory's graph already carries.
+     */
+    std::vector<std::unordered_map<std::string, Tensor>> calibration;
 };
 
 /** Per-bucket serving counters. */
@@ -178,6 +201,19 @@ class ServingEngine
     int64_t bucketFor(int64_t rows) const;
 
     int workers() const { return workers_; }
+
+    /**
+     * Serialize every bucket's compiled plan (graph, order, variants,
+     * memory plan, launch geometry, packed consts, frozen params)
+     * into @p dir — one file per bucket, named planFileName(). A
+     * later engine constructed with ServeOptions::planDir = @p dir
+     * serves bit-identical results without compiling anything.
+     */
+    void savePlans(const std::string &dir) const;
+
+    /** Canonical plan file name of one (precision, bucket) plan,
+     *  e.g. "int8_b4.peplan". */
+    static std::string planFileName(Precision p, int64_t batch);
 
   private:
     struct RequestState {
