@@ -3,7 +3,14 @@
  * Kernel-variant microbenchmarks (google-benchmark): the Section 4.3
  * claims that backend switching pays — blocked vs naive GEMM,
  * im2col / Winograd vs direct convolution, fused vs unfused
- * conv+bias+relu.
+ * conv+bias+relu, and the SIMD kernel tier (scalar vs "@avx2"/"@neon"
+ * rows for GEMM, im2col conv, int8 GEMM and int8 depthwise).
+ *
+ * Tier rows register ONLY when this host's registry has the variant,
+ * so a scalar-only machine emits a scalar-only JSON; the snapshot's
+ * custom context records pe_simd_tier and pe_build_type so
+ * scripts/bench_check.py can tell "tier unavailable" from "row
+ * silently vanished" and refuse debug-build numbers outright.
  */
 
 #include <benchmark/benchmark.h>
@@ -242,7 +249,7 @@ BENCHMARK_CAPTURE(BM_ConvVariant, winograd, std::string("winograd"))
  * the fp32 GFLOP/s counters above.
  */
 void
-BM_QuantMatMul(benchmark::State &state)
+BM_QuantMatMul(benchmark::State &state, const std::string &variant)
 {
     int64_t n = state.range(0);
     Rng rng(1);
@@ -276,8 +283,8 @@ BM_QuantMatMul(benchmark::State &state)
     ctx.out = out.data();
     ctx.outShape = &g.node(node).shape;
     DirectWorkspace ws;
-    ws.attach(ctx, g, g.node(node), "int8");
-    KernelFn fn = lookupKernel(OpKind::QuantMatMul, "int8");
+    ws.attach(ctx, g, g.node(node), variant);
+    KernelFn fn = lookupKernel(OpKind::QuantMatMul, variant);
     for (auto _ : state) {
         fn(ctx);
         benchmark::DoNotOptimize(out.data());
@@ -290,9 +297,121 @@ BM_QuantMatMul(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 
+/**
+ * Int8 depthwise conv: the MCUNet/MobileNetV2 hot loop. "" is the
+ * dequant->fp32->requant reference tier the native kernel replaced;
+ * "int8" is the scalar native kernel; the SIMD row registers when the
+ * host has the tier. Items processed counts multiply-accumulates.
+ */
+void
+BM_QuantDwConv(benchmark::State &state, const std::string &variant)
+{
+    int64_t ch = state.range(0);
+    int64_t hw = 16, k = 3;
+    Graph g;
+    int xi = g.input({1, ch, hw, hw}, "x");
+    int wi = g.input({ch, 1, k, k}, "w");
+    int bi = g.input({ch, 1, 1}, "b");
+    int si = g.input({ch}, "s");
+    Attrs a;
+    a.set("stride", static_cast<int64_t>(1));
+    a.set("pad", static_cast<int64_t>(1));
+    a.set("act", static_cast<int64_t>(1)); // relu
+    a.set("hasBias", static_cast<int64_t>(1));
+    a.set("perChannel", static_cast<int64_t>(1));
+    a.set("xScale", 0.01);
+    a.set("xZp", static_cast<int64_t>(3));
+    a.set("yScale", 0.02);
+    a.set("yZp", static_cast<int64_t>(0));
+    int node =
+        g.add(OpKind::QuantDwConv2d, {xi, wi, bi, si}, std::move(a));
+    std::vector<float> qx((ch * hw * hw + 3) / 4),
+        qw((ch * k * k + 3) / 4);
+    Rng vr(2);
+    for (int64_t i = 0; i < ch * hw * hw; ++i)
+        reinterpret_cast<int8_t *>(qx.data())[i] =
+            static_cast<int8_t>(vr.randint(255) - 127);
+    for (int64_t i = 0; i < ch * k * k; ++i)
+        reinterpret_cast<int8_t *>(qw.data())[i] =
+            static_cast<int8_t>(vr.randint(255) - 127);
+    std::vector<float> bias(static_cast<size_t>(ch), 0.1f);
+    std::vector<float> scales(static_cast<size_t>(ch), 0.02f);
+    int64_t out_n = numel(g.node(node).shape);
+    std::vector<float> out((out_n + 3) / 4);
+    KernelCtx ctx;
+    ctx.node = &g.node(node);
+    ctx.in = {qx.data(), qw.data(), bias.data(), scales.data()};
+    ctx.inShapes = {&g.node(xi).shape, &g.node(wi).shape,
+                    &g.node(bi).shape, &g.node(si).shape};
+    ctx.out = out.data();
+    ctx.outShape = &g.node(node).shape;
+    DirectWorkspace ws;
+    ws.attach(ctx, g, g.node(node), variant);
+    KernelFn fn = lookupKernel(OpKind::QuantDwConv2d, variant);
+    for (auto _ : state) {
+        fn(ctx);
+        benchmark::DoNotOptimize(out.data());
+    }
+    int64_t macs = out_n * k * k;
+    state.SetItemsProcessed(state.iterations() * 2 * macs);
+}
+
 BENCHMARK(BM_FusedConvBiasRelu)->Arg(16)->Arg(32);
 BENCHMARK(BM_UnfusedConvBiasRelu)->Arg(16)->Arg(32);
-BENCHMARK(BM_QuantMatMul)->Arg(64)->Arg(128);
+BENCHMARK_CAPTURE(BM_QuantMatMul, int8, std::string("int8"))
+    ->Arg(64)
+    ->Arg(128);
+BENCHMARK_CAPTURE(BM_QuantDwConv, ref, std::string(""))
+    ->Arg(32)
+    ->Arg(96);
+BENCHMARK_CAPTURE(BM_QuantDwConv, int8, std::string("int8"))
+    ->Arg(32)
+    ->Arg(96);
+
+/**
+ * SIMD-tier rows, registered at static init only when the host
+ * registry actually has the tier variants (capability-gated
+ * registration makes hasKernelVariant the probe). Row names embed the
+ * variant ("BM_MatMul/blocked@avx2/128"), which is how the perf gate
+ * recognizes tier-dependent rows.
+ */
+struct SimdBenchRegistrar {
+    SimdBenchRegistrar()
+    {
+        detail::ensureKernelsRegistered();
+        SimdTier t = hostSimdTier();
+        if (t == SimdTier::Scalar)
+            return;
+        std::string sfx = std::string("@") + simdTierName(t);
+        if (hasKernelVariant(OpKind::MatMul, "blocked" + sfx))
+            benchmark::RegisterBenchmark(
+                ("BM_MatMul/blocked" + sfx).c_str(), BM_MatMul,
+                "blocked" + sfx)
+                ->Arg(64)
+                ->Arg(128);
+        if (hasKernelVariant(OpKind::Conv2d, "im2col" + sfx))
+            benchmark::RegisterBenchmark(
+                ("BM_ConvVariant/im2col" + sfx).c_str(),
+                [sfx](benchmark::State &state) {
+                    BM_ConvVariant(state, "im2col" + sfx);
+                })
+                ->Arg(16)
+                ->Arg(32);
+        if (hasKernelVariant(OpKind::QuantMatMul, "int8" + sfx))
+            benchmark::RegisterBenchmark(
+                ("BM_QuantMatMul/int8" + sfx).c_str(), BM_QuantMatMul,
+                "int8" + sfx)
+                ->Arg(64)
+                ->Arg(128);
+        if (hasKernelVariant(OpKind::QuantDwConv2d, "int8" + sfx))
+            benchmark::RegisterBenchmark(
+                ("BM_QuantDwConv/int8" + sfx).c_str(), BM_QuantDwConv,
+                "int8" + sfx)
+                ->Arg(32)
+                ->Arg(96);
+    }
+};
+SimdBenchRegistrar g_simdBenchRegistrar;
 
 } // namespace
 } // namespace pe
@@ -323,6 +442,16 @@ main(int argc, char **argv)
     benchmark::Initialize(&cargc, cargs.data());
     if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data()))
         return 1;
+    // Stamp the snapshot with what actually produced it, so
+    // scripts/bench_check.py can reject debug-build numbers and tell
+    // a missing SIMD row apart from an incapable host.
+#ifdef NDEBUG
+    benchmark::AddCustomContext("pe_build_type", "release");
+#else
+    benchmark::AddCustomContext("pe_build_type", "debug");
+#endif
+    benchmark::AddCustomContext("pe_simd_tier",
+                                pe::simdTierName(pe::hostSimdTier()));
     benchmark::RunSpecifiedBenchmarks();
     return 0;
 }

@@ -10,6 +10,10 @@ Two file shapes are understood, auto-detected:
   (families named *Threads* at thread counts > 1) are reported but
   never gate — CI runners expose too few cores for those numbers to
   mean anything (the ROADMAP's multicore-host run is where they count).
+  A fresh snapshot stamped pe_build_type=debug fails outright, and a
+  baseline row missing from the fresh run fails unless it is a
+  SIMD-tier row ("@avx2"/"@neon" in the name) and the fresh snapshot's
+  pe_simd_tier context says the host lacks that tier.
 
 * table4 memory JSON (BENCH_table4.json): GATED on peak memory. Byte
   counts are deterministic, so any drift is a real planner change.
@@ -61,16 +65,46 @@ def rows_of(doc):
     }
 
 
+def row_tier(name):
+    """SIMD tier a row depends on ("BM_MatMul/blocked@avx2/128" ->
+    "avx2"); None for tier-independent rows."""
+    for tier in ("avx2", "neon"):
+        if "@" + tier in name:
+            return tier
+    return None
+
+
 def check_gbench(base, fresh, tolerance):
     b, f = rows_of(base), rows_of(fresh)
-    missing = sorted(set(b) - set(f))
-    added = sorted(set(f) - set(b))
-    for name in missing:
-        print(f"  [info] baseline-only row (not gated): {name}")
-    for name in added:
-        print(f"  [info] new row (no baseline yet): {name}")
-
     failures = 0
+
+    # A debug-build snapshot must never pass the gate (nor be quietly
+    # accepted as a future baseline). Old baselines predate the
+    # pe_build_type context; only an explicit "debug" stamp fails.
+    ctx = fresh.get("context", {})
+    if ctx.get("pe_build_type", "release") != "release":
+        print("  [FAIL] fresh snapshot was built in debug mode "
+              "(context pe_build_type) — rebuild Release via "
+              "scripts/bench_json.sh")
+        failures += 1
+
+    # A baseline row vanishing is a gate bypass, not trivia: the
+    # throughput it gated is no longer watched. The one legitimate
+    # cause is a SIMD-tier row measured on a host whose registry
+    # doesn't have that tier (context pe_simd_tier says so).
+    host_tier = ctx.get("pe_simd_tier")
+    for name in sorted(set(b) - set(f)):
+        tier = row_tier(name)
+        if tier is not None and tier != host_tier:
+            print(f"  [info] {tier} row skipped: host tier is "
+                  f"'{host_tier}' (not gated): {name}")
+        else:
+            print(f"  [FAIL] baseline row missing from fresh run: "
+                  f"{name} — restore it or refresh the committed "
+                  f"baseline with scripts/bench_json.sh")
+            failures += 1
+    for name in sorted(set(f) - set(b)):
+        print(f"  [info] new row (no baseline yet): {name}")
     for name in sorted(set(b) & set(f)):
         old, new = throughput(b[name]), throughput(f[name])
         ratio = new / old if old > 0 else float("inf")
@@ -84,8 +118,9 @@ def check_gbench(base, fresh, tolerance):
         print(f"  {name}: {old:.3g} -> {new:.3g} ops/s "
               f"({ratio:.2f}x)  {status}")
     if failures:
-        print(f"{failures} single-thread row(s) regressed more than "
-              f"{tolerance:.0%} — investigate or refresh the committed "
+        print(f"{failures} gate failure(s): regression beyond "
+              f"{tolerance:.0%}, vanished baseline row, or non-Release "
+              f"snapshot — investigate or refresh the committed "
               f"baseline with scripts/bench_json.sh")
     return failures == 0
 

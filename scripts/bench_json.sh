@@ -14,6 +14,27 @@ if [ ! -d "$BUILD" ]; then
     exit 1
 fi
 
+# Refuse to snapshot anything but a plain Release build: a debug or
+# sanitizer baseline poisons the perf gate (every later Release run
+# "passes" trivially, and real regressions hide behind the slack).
+CACHE="$BUILD/CMakeCache.txt"
+if [ ! -f "$CACHE" ]; then
+    echo "no CMakeCache.txt in '$BUILD'; not a configured build dir" >&2
+    exit 1
+fi
+BT="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$CACHE")"
+if [ "$BT" != "Release" ]; then
+    echo "refusing to benchmark: CMAKE_BUILD_TYPE is '${BT:-<unset>}', need Release" >&2
+    echo "reconfigure with: cmake -B $BUILD -S . -DCMAKE_BUILD_TYPE=Release" >&2
+    exit 1
+fi
+for SAN in PE_SANITIZE PE_TSAN; do
+    if sed -n "s/^$SAN:[^=]*=//p" "$CACHE" | grep -qi '^on$'; then
+        echo "refusing to benchmark: $SAN=ON in '$BUILD' (sanitizer builds are not perf baselines)" >&2
+        exit 1
+    fi
+done
+
 "$BUILD"/bench_table4_memory --json BENCH_table4.json > /dev/null
 echo "wrote BENCH_table4.json"
 

@@ -21,6 +21,9 @@ finalizeExecReport(CompileReport &report, const Executor &ex)
     report.constBytesByDtype = mp.constBytesByDtype;
     report.shardedSteps = ex.shardedSteps();
     report.serializedByWorkspace = ex.serializedByWorkspace();
+    report.simdTier = simdTierName(ex.simdTier());
+    report.simdSteps = ex.simdSteps();
+    report.stepTiers = ex.stepTiers();
 }
 
 TrainingProgram::TrainingProgram(Graph g, int loss_id,
@@ -317,6 +320,7 @@ compileTraining(const Graph &forward, int loss_id,
     ExecOptions eopt;
     eopt.variants = std::move(c.variants);
     eopt.numThreads = options.numThreads;
+    eopt.forceScalarTier = options.forceScalarTier;
 
     // Under gradient accumulation, build the small apply program that
     // consumes the ".gacc" buffers every N-th step.
@@ -409,6 +413,7 @@ compileInference(const Graph &forward,
     ExecOptions eopt;
     eopt.variants = std::move(c.variants);
     eopt.numThreads = options.numThreads;
+    eopt.forceScalarTier = options.forceScalarTier;
     return InferenceProgram(std::move(c.graph), std::move(store),
                             std::move(eopt), std::move(c.report),
                             std::move(c.order));

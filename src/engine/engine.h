@@ -50,6 +50,14 @@ struct CompileOptions {
      */
     int numThreads = 1;
     /**
+     * Bind scalar-tier kernels even when the host has AVX2/NEON —
+     * the determinism escape hatch. int8 SIMD kernels are bit-exact
+     * to scalar and always eligible otherwise; fp32 SIMD kernels use
+     * FMA, whose different rounding is covered by a 1e-5 relative
+     * tolerance contract (see kernel.h).
+     */
+    bool forceScalarTier = false;
+    /**
      * Storage precision of the compiled forward graph. Int8 rewrites
      * calibrated forward ops (see pe::calibrate) to int8 storage with
      * int32 accumulation, keeping the sparse-BP backward graph in
@@ -100,6 +108,13 @@ struct CompileReport {
      */
     int kernelFallbacks = 0;
     std::vector<std::string> fallbackKernels; ///< "op/variant" labels
+    /** SIMD tier the executor bound against ("scalar"/"avx2"/"neon"),
+     *  after forceScalarTier and any artifact-load downgrade. */
+    std::string simdTier = "scalar";
+    /** Steps bound to a SIMD-tier kernel variant. */
+    int simdSteps = 0;
+    /** Chosen tier per kernel step, in execution order. */
+    std::vector<std::string> stepTiers;
     /** Storage precision this program was compiled at. */
     Precision precision = Precision::F32;
     /** What the QuantizePass did (zeros when precision == F32). */
@@ -152,6 +167,37 @@ struct CompileReport {
             }
             if (!found)
                 counts.emplace_back(label, 1);
+        }
+        std::string out;
+        for (size_t i = 0; i < counts.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += counts[i].first + " x" +
+                   std::to_string(counts[i].second);
+        }
+        return out;
+    }
+
+    /**
+     * Per-tier aggregation of stepTiers — "tier x count" in
+     * first-appearance order (e.g. "avx2 x12, scalar x3") — the
+     * one-line answer to "did the SIMD tier actually bind?".
+     */
+    std::string
+    tierBreakdown() const
+    {
+        std::vector<std::pair<std::string, int>> counts;
+        for (const std::string &t : stepTiers) {
+            bool found = false;
+            for (auto &[l, c] : counts) {
+                if (l == t) {
+                    ++c;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                counts.emplace_back(t, 1);
         }
         std::string out;
         for (size_t i = 0; i < counts.size(); ++i) {

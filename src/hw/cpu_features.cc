@@ -1,0 +1,48 @@
+#include "hw/cpu_features.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace pe {
+
+namespace {
+
+CpuFeatures
+probe()
+{
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx))
+        return f;
+    bool fma = (ecx & (1u << 12)) != 0;
+    bool osxsave = (ecx & (1u << 27)) != 0;
+    if (!fma || !osxsave)
+        return f;
+    // The OS must save/restore the YMM registers (XCR0 bits 1|2) or
+    // executing a VEX-256 instruction faults even though cpuid
+    // advertises AVX2.
+    unsigned xcr0_lo, xcr0_hi;
+    __asm__("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+    if ((xcr0_lo & 0x6u) != 0x6u)
+        return f;
+    if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx))
+        return f;
+    f.avx2 = (ebx & (1u << 5)) != 0;
+#elif defined(__ARM_NEON)
+    f.neon = true;
+#endif
+    return f;
+}
+
+} // namespace
+
+const CpuFeatures &
+cpuFeatures()
+{
+    static const CpuFeatures f = probe();
+    return f;
+}
+
+} // namespace pe

@@ -19,6 +19,7 @@
 #include <cstring>
 
 #include "kernels/kernel.h"
+#include "kernels/kernel_util.h"
 
 namespace pe {
 namespace {
@@ -90,25 +91,8 @@ conv2dIm2col(const KernelCtx &c)
     float *col = c.workspace;
     for (int64_t n = c.begin; n < partitionEnd(c, d.n); ++n) {
         const float *xn = x + n * d.ci * d.h * d.w;
-        // Unfold.
-        int64_t r = 0;
-        for (int64_t ci = 0; ci < d.ci; ++ci) {
-            for (int64_t kh = 0; kh < d.kh; ++kh) {
-                for (int64_t kw = 0; kw < d.kw; ++kw, ++r) {
-                    float *dst = col + r * cols;
-                    for (int64_t ho = 0; ho < d.ho; ++ho) {
-                        int64_t ih = ho * d.stride - d.pad + kh;
-                        for (int64_t wo = 0; wo < d.wo; ++wo) {
-                            int64_t iw = wo * d.stride - d.pad + kw;
-                            bool ok = ih >= 0 && ih < d.h && iw >= 0 &&
-                                      iw < d.w;
-                            dst[ho * d.wo + wo] =
-                                ok ? xn[(ci * d.h + ih) * d.w + iw] : 0.0f;
-                        }
-                    }
-                }
-            }
-        }
+        kutil::im2colUnfold(xn, col, d.ci, d.h, d.w, d.kh, d.kw, d.ho,
+                            d.wo, d.stride, d.pad, 0.0f);
         // GEMM: out[co, cols] = w[co, k] x col[k, cols].
         float *out = c.out + n * d.co * cols;
         for (int64_t co = 0; co < d.co; ++co) {
@@ -330,16 +314,9 @@ dwConv2dBwdWeight(const KernelCtx &c)
     }
 }
 
-/** One image's column matrix: ci*kh*kw rows by ho*wo columns. */
-WorkspaceSpec
-im2colWorkspace(const Graph &g, const Node &n)
-{
-    const Shape &w = g.node(n.inputs[1]).shape;
-    int64_t ho = n.shape[2], wo = n.shape[3];
-    WorkspaceSpec spec;
-    spec.bytesPerShard = w[1] * w[2] * w[3] * ho * wo * 4;
-    return spec;
-}
+/** One image's column matrix (kernel_util.h — shared with the SIMD
+ *  tier so both declare identical bytes). */
+constexpr auto im2colWorkspace = kutil::im2colConvWorkspace;
 
 } // namespace
 

@@ -219,6 +219,61 @@ namespace detail {
 void ensureKernelsRegistered();
 } // namespace detail
 
+// ---- SIMD kernel tiers -----------------------------------------------
+
+/**
+ * The vector instruction tier a kernel variant targets. Scalar is the
+ * universal tier: every op's scalar kernels are registered on every
+ * host, so a tier downgrade always lands on a runnable kernel.
+ */
+enum class SimdTier { Scalar, Avx2, Neon };
+
+constexpr const char *
+simdTierName(SimdTier t)
+{
+    return t == SimdTier::Avx2 ? "avx2"
+           : t == SimdTier::Neon ? "neon"
+                                 : "scalar";
+}
+
+/**
+ * The best tier this host can execute (cpu_features probe; Scalar
+ * when the library was built with PE_SIMD=OFF). Tier variants are
+ * only REGISTERED when this says they can run, so hasKernelVariant on
+ * a tier name doubles as a host-capability check.
+ */
+SimdTier hostSimdTier();
+
+/**
+ * Tier encoded in a variant name. Tier variants are named
+ * "<base>@<tier>" ("blocked@avx2", "int8@neon"); a bare tier name
+ * ("avx2") is the tier variant of the default kernel. Everything else
+ * — including unknown variants — is Scalar.
+ */
+SimdTier variantTier(const std::string &variant);
+
+/** Strip any tier suffix: "blocked@avx2" -> "blocked", "avx2" -> "". */
+std::string scalarVariantOf(const std::string &variant);
+
+/**
+ * Bind-time tier selection: map @p variant to the kernel the program
+ * should bind at @p tier. The stored name is first reduced to its
+ * scalar base (so a plan saved on an AVX2 host resolves on a NEON
+ * host), then upgraded to "<base>@<tier>" when that exact variant is
+ * registered. Unknown variants pass through untouched so the
+ * registry's fallback accounting still sees them.
+ */
+std::string resolveTierVariant(OpKind op, const std::string &variant,
+                               SimdTier tier);
+
+/**
+ * Test hook: force hostSimdTier() to report @p tier (pass Scalar to
+ * simulate a SIMD-less host; -1 clears the override). Only downgrades
+ * are meaningful — the override cannot conjure kernels that were
+ * never registered.
+ */
+void setSimdTierForTesting(int tier);
+
 // ---- Common partition domains (used by the kernel TUs) ---------------
 
 namespace part {

@@ -18,23 +18,14 @@
 #include <cstring>
 
 #include "kernels/kernel.h"
+#include "kernels/kernel_util.h"
 
 namespace pe {
 namespace {
 
-constexpr int64_t kBlock = 48;
+constexpr int64_t kBlock = kutil::kGemmBlock;
 
-struct GemmView {
-    const float *data;
-    int64_t rows, cols; ///< logical (post-transpose) extents
-    bool trans;         ///< storage is [cols, rows]
-
-    float
-    at(int64_t r, int64_t c) const
-    {
-        return trans ? data[c * rows + r] : data[r * cols + c];
-    }
-};
+using kutil::GemmView;
 
 /** Rows [r0, r1) of a x b into out. @p ws unused (no workspace). */
 void
@@ -91,13 +82,7 @@ gemmBlocked(const GemmView &a, const GemmView &b, float *out, int64_t r0,
     }
 }
 
-GemmView
-viewOf(const float *data, const Shape &s, bool trans)
-{
-    if (trans)
-        return {data, s[1], s[0], true};
-    return {data, s[0], s[1], false};
-}
+constexpr auto viewOf = kutil::gemmViewOf;
 
 template <void (*Gemm)(const GemmView &, const GemmView &, float *,
                        int64_t, int64_t, float *)>
@@ -139,14 +124,9 @@ matmulRows(const KernelCtx &c)
     return (*c.outShape)[0];
 }
 
-/** One packed B panel per shard. */
-WorkspaceSpec
-blockedWorkspace(const Graph &, const Node &)
-{
-    WorkspaceSpec spec;
-    spec.bytesPerShard = kBlock * kBlock * 4;
-    return spec;
-}
+/** One packed B panel per shard (kernel_util.h — shared with the
+ *  SIMD tier so both declare identical bytes). */
+constexpr auto blockedWorkspace = kutil::blockedGemmWorkspace;
 
 } // namespace
 

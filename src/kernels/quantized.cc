@@ -13,10 +13,15 @@
  *    channel.
  *  - "" (default): a dequant->fp32->requant reference kernel that
  *    stages fp32 copies of its operands in its workspace and calls
- *    the existing fp32 kernel. Ops with no "int8" registration (e.g.
- *    QuantDwConv2d) silently run this tier — which the registry's
- *    fallback flag, and therefore CompileReport::kernelFallbacks,
- *    surfaces.
+ *    the existing fp32 kernel. Any op with no "int8" registration
+ *    silently runs this tier — which the registry's fallback flag,
+ *    and therefore CompileReport::kernelFallbacks, surfaces.
+ *
+ * Every quant compute op — including depthwise conv, historically the
+ * largest fallback — now has a native "int8" kernel; the SIMD tier
+ * (simd_avx2.cc / simd_neon.cc) adds "int8@avx2"/"int8@neon"
+ * variants that are bit-exact to these (integer accumulation has no
+ * reassociation hazard; requantization rounds identically).
  *
  * Thread-count invariance: every shard computes its output elements
  * with per-element exact integer accumulation and one final rounding,
@@ -29,61 +34,16 @@
 
 #include "ir/infer.h"
 #include "kernels/kernel.h"
+#include "kernels/kernel_util.h"
 #include "quant/quant.h"
 
 namespace pe {
 namespace {
 
-float
-attrF(const KernelCtx &c, const char *key, double dflt = 0.0)
-{
-    return static_cast<float>(c.node->attrs.getFloat(key, dflt));
-}
-
-int32_t
-attrI(const KernelCtx &c, const char *key, int64_t dflt = 0)
-{
-    return static_cast<int32_t>(c.node->attrs.getInt(key, dflt));
-}
-
-float
-actOf(int64_t act, float v)
-{
-    switch (act) {
-      case kActRelu:
-        return v > 0 ? v : 0.0f;
-      case kActGelu: {
-        constexpr float kC = 0.7978845608028654f;
-        return 0.5f * v *
-               (1.0f + std::tanh(kC * (v + 0.044715f * v * v * v)));
-      }
-      case kActSilu:
-        return v / (1.0f + std::exp(-v));
-      default:
-        return v;
-    }
-}
-
-/** Flattened-index stride/extent of the per-channel axis. */
-struct AxisView {
-    int64_t inner = 1, channels = 1;
-
-    int64_t
-    channelOf(int64_t flat) const
-    {
-        return (flat / inner) % channels;
-    }
-};
-
-AxisView
-axisView(const Shape &s, int64_t axis)
-{
-    AxisView v;
-    v.channels = s[axis];
-    for (size_t i = axis + 1; i < s.size(); ++i)
-        v.inner *= s[i];
-    return v;
-}
+using kutil::AxisView;
+using kutil::attrF;
+using kutil::attrI;
+using kutil::axisView;
 
 // ---- storage casts ----------------------------------------------------
 
@@ -192,44 +152,10 @@ qreluK(const KernelCtx &c)
 
 // ---- int8 GEMM --------------------------------------------------------
 
-/** Requantization context shared by GEMM and conv. */
-struct Requant {
-    float xScale, wScale, yScale;
-    int32_t xZp, yZp;
-    const float *wScales = nullptr; ///< per-channel, else null
-    const float *bias = nullptr;    ///< fp32, else null
-    int64_t act = kActNone;
-
-    int8_t
-    emit(int32_t acc, int64_t channel) const
-    {
-        float sw = wScales ? wScales[channel] : wScale;
-        float r = static_cast<float>(acc) * xScale * sw;
-        if (bias)
-            r += bias[channel];
-        r = actOf(act, r);
-        return quantizeValue(r, yScale, yZp);
-    }
-};
-
-Requant
-requantOf(const KernelCtx &c)
-{
-    Requant r;
-    r.xScale = attrF(c, "xScale", 1.0);
-    r.wScale = attrF(c, "wScale", 1.0);
-    r.yScale = attrF(c, "yScale", 1.0);
-    r.xZp = attrI(c, "xZp", 0);
-    r.yZp = attrI(c, "yZp", 0);
-    r.act = c.node->attrs.getInt("act", kActNone);
-    bool has_bias = c.node->attrs.getInt("hasBias", 0) != 0;
-    bool per_channel = c.node->attrs.getInt("perChannel", 0) != 0;
-    if (has_bias)
-        r.bias = c.in[2];
-    if (per_channel && c.in.size() > static_cast<size_t>(2 + has_bias))
-        r.wScales = c.in[2 + (has_bias ? 1 : 0)];
-    return r;
-}
+/** Requantization context shared by GEMM and conv (kernel_util.h —
+ *  the SIMD tier must round identically). */
+using kutil::Requant;
+using kutil::requantOf;
 
 /**
  * out[M,N] i8 = requant( sum_k (a[m,k]-xZp) * w[.,.] ). The weight
@@ -273,14 +199,8 @@ qmatmulK(const KernelCtx &c)
     }
 }
 
-WorkspaceSpec
-qmatmulWorkspace(const Graph &g, const Node &n)
-{
-    const Shape &b = g.node(n.inputs[1]).shape;
-    WorkspaceSpec spec;
-    spec.bytesPerShard = numel(b); // packed i8 panel
-    return spec;
-}
+/** Packed i8 panel (kernel_util.h — shared with the SIMD tier). */
+constexpr auto qmatmulWorkspace = kutil::qgemmWorkspace;
 
 // ---- int8 conv (im2col) ----------------------------------------------
 
@@ -309,24 +229,8 @@ qconvK(const KernelCtx &c)
         const int8_t *xn = x + ni * ci * h * w;
         // Unfold; padding cells hold the zero-point so (col - zp) is
         // exactly zero there, matching fp32 zero padding.
-        int64_t r = 0;
-        for (int64_t cc = 0; cc < ci; ++cc) {
-            for (int64_t a = 0; a < kh; ++a) {
-                for (int64_t b = 0; b < kw; ++b, ++r) {
-                    int8_t *dst = col + r * cols;
-                    for (int64_t i = 0; i < ho; ++i) {
-                        int64_t ih = i * stride - pad + a;
-                        for (int64_t j = 0; j < wo; ++j) {
-                            int64_t iw = j * stride - pad + b;
-                            bool ok = ih >= 0 && ih < h && iw >= 0 &&
-                                      iw < w;
-                            dst[i * wo + j] =
-                                ok ? xn[(cc * h + ih) * w + iw] : zp8;
-                        }
-                    }
-                }
-            }
-        }
+        kutil::im2colUnfold(xn, col, ci, h, w, kh, kw, ho, wo, stride,
+                            pad, zp8);
         // GEMM: out[co, cols] = (col - zp) . w[co, k], int32 accum.
         int8_t *on = out + ni * co * cols;
         for (int64_t o = 0; o < co; ++o) {
@@ -345,18 +249,61 @@ qconvK(const KernelCtx &c)
     }
 }
 
-WorkspaceSpec
-qconvWorkspace(const Graph &g, const Node &n)
+/** Per-image i8 column buffer (kernel_util.h — shared with the SIMD
+ *  tier). */
+constexpr auto qconvWorkspace = kutil::qconvColWorkspace;
+
+// ---- int8 depthwise conv ---------------------------------------------
+
+/**
+ * Native int8 depthwise conv: direct (no workspace), int32
+ * accumulation over the (kh, kw) window with out-of-bounds taps
+ * skipped — (x - zp) * w summed in ascending tap order, one rounding
+ * at requantization. Until this kernel existed, QuantDwConv2d was the
+ * largest dequant->fp32->requant fallback on every MCUNet /
+ * MobileNetV2 int8 compile.
+ */
+void
+qdwConv2dK(const KernelCtx &c)
 {
-    const Shape &x = g.node(n.inputs[0]).shape;
-    const Shape &w = g.node(n.inputs[1]).shape;
-    int64_t ho = convOutDim(x[2], w[2], n.attrs.getInt("stride", 1),
-                            n.attrs.getInt("pad", 0));
-    int64_t wo = convOutDim(x[3], w[3], n.attrs.getInt("stride", 1),
-                            n.attrs.getInt("pad", 0));
-    WorkspaceSpec spec;
-    spec.bytesPerShard = x[1] * w[2] * w[3] * ho * wo; // i8 col buffer
-    return spec;
+    const Shape &xs = *c.inShapes[0];
+    const Shape &ws = *c.inShapes[1];
+    int64_t stride = c.node->attrs.getInt("stride", 1);
+    int64_t pad = c.node->attrs.getInt("pad", 0);
+    int64_t ch = xs[1], h = xs[2], w = xs[3];
+    int64_t kh = ws[2], kw = ws[3];
+    int64_t ho = (*c.outShape)[2], wo = (*c.outShape)[3];
+    const int8_t *x = reinterpret_cast<const int8_t *>(c.in[0]);
+    const int8_t *wt = reinterpret_cast<const int8_t *>(c.in[1]);
+    int8_t *out = reinterpret_cast<int8_t *>(c.out);
+    Requant rq = requantOf(c);
+
+    int64_t hi = partitionEnd(c, xs[0] * ch);
+    for (int64_t idx = c.begin; idx < hi; ++idx) {
+        int64_t ni = idx / ch, ci = idx % ch;
+        const int8_t *xp = x + (ni * ch + ci) * h * w;
+        const int8_t *wp = wt + ci * kh * kw;
+        int8_t *op = out + (ni * ch + ci) * ho * wo;
+        for (int64_t i = 0; i < ho; ++i) {
+            for (int64_t j = 0; j < wo; ++j) {
+                int32_t acc = 0;
+                for (int64_t a = 0; a < kh; ++a) {
+                    int64_t ih = i * stride - pad + a;
+                    if (ih < 0 || ih >= h)
+                        continue;
+                    for (int64_t b = 0; b < kw; ++b) {
+                        int64_t iw = j * stride - pad + b;
+                        if (iw < 0 || iw >= w)
+                            continue;
+                        acc += (static_cast<int32_t>(xp[ih * w + iw]) -
+                                rq.xZp) *
+                               static_cast<int32_t>(wp[a * kw + b]);
+                    }
+                }
+                op[i * wo + j] = rq.emit(acc, ci);
+            }
+        }
+    }
 }
 
 // ---- reference tier: dequant -> fp32 kernel -> requant ---------------
@@ -448,6 +395,7 @@ registerQuantizedKernels()
     PartitionSpec elems{part::outElems, 1024};
     PartitionSpec rows{qmatmulRows, 8};
     PartitionSpec images{part::outDim0, 1};
+    PartitionSpec imageChannels{part::outDim01, 1};
 
     registerKernel(OpKind::Quantize, "", quantizeK, elems);
     registerKernel(OpKind::Dequantize, "", dequantizeK, elems);
@@ -470,11 +418,14 @@ registerQuantizedKernels()
     registerKernel(OpKind::QuantConv2d, "int8", qconvK, images,
                    qconvWorkspace);
 
-    // Deliberately no "int8" variant: depthwise runs the reference
-    // tier and is the live demonstration of the fallback counter.
     registerKernel(OpKind::QuantDwConv2d, "",
                    refQuantK<OpKind::DwConv2d, OpKind::DwConvBiasAct, 0>,
                    {}, refQuantWorkspace);
+    // The native int8 depthwise tier: the former "largest fallback on
+    // every MCUNet int8 compile" (ROADMAP) is now a real kernel, so
+    // int8 compiles report zero QuantDwConv2d fallbacks.
+    registerKernel(OpKind::QuantDwConv2d, "int8", qdwConv2dK,
+                   imageChannels);
 }
 
 } // namespace detail

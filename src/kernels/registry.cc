@@ -3,6 +3,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "hw/cpu_features.h"
+
 namespace pe {
 
 namespace {
@@ -79,6 +81,8 @@ void registerShapeOpKernels();
 void registerOptimApplyKernels();
 void registerFusedKernels();
 void registerQuantizedKernels();
+void registerSimdAvx2Kernels();
+void registerSimdNeonKernels();
 
 void
 ensureKernelsRegistered()
@@ -98,12 +102,92 @@ ensureKernelsRegistered()
         registerOptimApplyKernels();
         registerFusedKernels();
         registerQuantizedKernels();
+#ifndef PE_NO_SIMD
+        // Tier variants register only when the RUNNING host can
+        // execute them, so hasKernelVariant("...@avx2") is also a
+        // capability check and a direct lookup can never bind an
+        // illegal instruction.
+        if (cpuFeatures().avx2)
+            registerSimdAvx2Kernels();
+        if (cpuFeatures().neon)
+            registerSimdNeonKernels();
+#endif
         return true;
     }();
     (void)done;
 }
 
 } // namespace detail
+
+namespace {
+int g_tierOverride = -1; ///< setSimdTierForTesting; -1 = no override
+} // namespace
+
+void
+setSimdTierForTesting(int tier)
+{
+    g_tierOverride = tier;
+}
+
+SimdTier
+hostSimdTier()
+{
+    if (g_tierOverride >= 0)
+        return static_cast<SimdTier>(g_tierOverride);
+#ifdef PE_NO_SIMD
+    return SimdTier::Scalar;
+#else
+    if (cpuFeatures().avx2)
+        return SimdTier::Avx2;
+    if (cpuFeatures().neon)
+        return SimdTier::Neon;
+    return SimdTier::Scalar;
+#endif
+}
+
+SimdTier
+variantTier(const std::string &variant)
+{
+    std::string base = scalarVariantOf(variant);
+    std::string suffix = base.empty()
+                             ? variant
+                             : (variant.size() > base.size() + 1
+                                    ? variant.substr(base.size() + 1)
+                                    : "");
+    if (suffix == "avx2")
+        return SimdTier::Avx2;
+    if (suffix == "neon")
+        return SimdTier::Neon;
+    return SimdTier::Scalar;
+}
+
+std::string
+scalarVariantOf(const std::string &variant)
+{
+    if (variant == "avx2" || variant == "neon")
+        return "";
+    size_t at = variant.rfind('@');
+    if (at != std::string::npos) {
+        std::string suffix = variant.substr(at + 1);
+        if (suffix == "avx2" || suffix == "neon")
+            return variant.substr(0, at);
+    }
+    return variant;
+}
+
+std::string
+resolveTierVariant(OpKind op, const std::string &variant, SimdTier tier)
+{
+    std::string base = scalarVariantOf(variant);
+    if (tier != SimdTier::Scalar) {
+        std::string candidate =
+            base.empty() ? std::string(simdTierName(tier))
+                         : base + "@" + simdTierName(tier);
+        if (hasKernelVariant(op, candidate))
+            return candidate;
+    }
+    return base;
+}
 
 KernelInfo
 lookupKernelInfo(OpKind op, const std::string &variant)

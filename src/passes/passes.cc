@@ -392,17 +392,32 @@ switchBackends(Graph &g, const BackendOptions &opts, PassStats *stats)
     std::vector<std::string> variants(g.numNodes());
     for (int id = 0; id < g.numNodes(); ++id) {
         Node &n = g.node(id);
-        if ((n.op == OpKind::Conv2d || n.op == OpKind::ConvBiasAct) &&
-            opts.enableWinograd) {
-            const Node &w = g.node(n.inputs[1]);
-            bool frozen = w.op == OpKind::Param && !w.trainable;
-            bool shape_ok = w.shape[2] == 3 && w.shape[3] == 3 &&
-                            n.attrs.getInt("stride", 1) == 1;
-            if (frozen && shape_ok) {
-                variants[id] = "winograd";
-                n.attrs.set("staticWeight", static_cast<int64_t>(1));
+        if (n.op == OpKind::Conv2d || n.op == OpKind::ConvBiasAct) {
+            if (opts.enableWinograd) {
+                const Node &w = g.node(n.inputs[1]);
+                bool frozen = w.op == OpKind::Param && !w.trainable;
+                bool shape_ok = w.shape[2] == 3 && w.shape[3] == 3 &&
+                                n.attrs.getInt("stride", 1) == 1;
+                if (frozen && shape_ok) {
+                    variants[id] = "winograd";
+                    n.attrs.set("staticWeight",
+                                static_cast<int64_t>(1));
+                    if (stats)
+                        ++stats->winogradBound;
+                }
+            }
+            if (variants[id].empty() && n.op == OpKind::Conv2d &&
+                opts.enableBlocked &&
+                numel(n.shape) / n.shape[0] >=
+                    opts.blockedMinDim * opts.blockedMinDim) {
+                // Winograd-ineligible convs with a big enough
+                // per-image output lower to im2col — the variant the
+                // SIMD tier upgrades ("im2col@avx2"/"@neon"); the
+                // direct kernel's partition domain is incompatible,
+                // so a direct-bound conv can never reach the tier.
+                variants[id] = "im2col";
                 if (stats)
-                    ++stats->winogradBound;
+                    ++stats->im2colBound;
             }
         } else if ((n.op == OpKind::MatMul ||
                     n.op == OpKind::BatchMatMul) &&
@@ -414,11 +429,11 @@ switchBackends(Graph &g, const BackendOptions &opts, PassStats *stats)
                     ++stats->blockedBound;
             }
         } else if (isQuantComputeOp(n.op)) {
-            // Quant compute ops want the real int8 kernels. Ops whose
-            // int8 kernel is not registered (e.g. QuantDwConv2d) fall
-            // back to the dequant->fp32->requant reference kernel at
-            // bind time — and the existing fallback counters surface
-            // exactly that.
+            // Quant compute ops want the real int8 kernels (every
+            // quant compute op has one, depthwise included). Should a
+            // future op ship without its int8 kernel, bind falls back
+            // to the dequant->fp32->requant reference kernel and the
+            // fallback counters surface exactly that.
             variants[id] = "int8";
             if (stats)
                 ++stats->int8Bound;

@@ -38,7 +38,8 @@ struct PassStats {
     int nodesFolded = 0;
     int winogradBound = 0;
     int blockedBound = 0;
-    int int8Bound = 0; ///< quant compute ops bound to "int8" variants
+    int int8Bound = 0;   ///< quant compute ops bound to "int8" variants
+    int im2colBound = 0; ///< convs bound to the "im2col" GEMM lowering
 };
 
 /** Nodes reachable from the graph outputs (plus in-place effects). */

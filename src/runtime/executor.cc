@@ -22,6 +22,14 @@ Executor::Executor(const Graph &g, std::vector<int> order,
     variants_.resize(g_.numNodes());
     store_.materialize(g_);
 
+    // Bind-time tier selection happens BEFORE launch/memory planning
+    // so the plan describes exactly the kernels that will run (tier
+    // variants declare the scalar base's partition and workspace, so
+    // the plan is also valid for the base — that is what lets a saved
+    // plan downgrade on a SIMD-less host).
+    tier_ = options.forceScalarTier ? SimdTier::Scalar : hostSimdTier();
+    retargetTiers(/*checkPlan=*/false);
+
     // Plan launch shapes from static shapes, then hand the resulting
     // workspace intervals to the memory planner: one arena holds
     // values AND kernel scratch, so the reported footprint is honest.
@@ -89,6 +97,14 @@ Executor::Executor(const Graph &g, ProgramArtifact art,
     constBufs_ = std::move(art.constPool);
     validateArtifact();
     store_.materialize(g_);
+    // Deploy-time tier resolution: a plan compiled with "@avx2"
+    // variants loads on any host — variants this registry lacks are
+    // downgraded to their scalar base, and scalar variants may be
+    // upgraded to this host's tier, but only when the swap provably
+    // reproduces the deserialized plan's workspace and launch
+    // geometry (tierSwapFitsPlan).
+    tier_ = hostSimdTier();
+    retargetTiers(/*checkPlan=*/true);
     countStepsAndFallbacks();
     // No planLaunches/planMemory and no const repacking happened
     // above: binding a deserialized plan is pointer resolution only.
@@ -123,7 +139,90 @@ Executor::countStepsAndFallbacks()
         if (lookupKernelInfo(n.op, variants_[id]).fellBack)
             fallbacks_.push_back(std::string(opName(n.op)) + "/" +
                                  variants_[id]);
+        SimdTier vt = variantTier(variants_[id]);
+        stepTiers_.push_back(simdTierName(vt));
+        if (vt != SimdTier::Scalar)
+            ++simdSteps_;
     }
+}
+
+void
+Executor::retargetTiers(bool checkPlan)
+{
+    int si = 0;
+    for (int id : order_) {
+        const Node &n = g_.node(id);
+        if (isSourceOp(n.op))
+            continue;
+        int step = si++;
+        const std::string cur = variants_[id];
+        std::string want = resolveTierVariant(n.op, cur, tier_);
+        if (want == cur)
+            continue;
+        if (checkPlan) {
+            // A host-tier upgrade of a variant this registry DOES
+            // have is optional — keep the planned kernel unless the
+            // swap provably binds against the deserialized plan. A
+            // variant the registry LACKS must move regardless (its
+            // lookup would otherwise fall back to "", which has the
+            // wrong workspace/partition shape); prefer the tier
+            // candidate if it fits, else the scalar base the plan's
+            // geometry was derived from.
+            bool mandatory = !hasKernelVariant(n.op, cur);
+            if (!tierSwapFitsPlan(id, step, want)) {
+                if (!mandatory)
+                    continue;
+                want = scalarVariantOf(cur);
+            }
+        }
+        variants_[id] = want;
+    }
+}
+
+bool
+Executor::tierSwapFitsPlan(int id, int si,
+                           const std::string &variant) const
+{
+    const Node &n = g_.node(id);
+    KernelInfo info = lookupKernelInfo(n.op, variant);
+    if (info.fellBack)
+        return false;
+
+    const WorkspacePlacement *wsp = nullptr;
+    for (const WorkspacePlacement &w : plan_.workspaces) {
+        if (w.node == id)
+            wsp = &w;
+    }
+    WorkspaceSpec spec =
+        info.workspace ? info.workspace(g_, n) : WorkspaceSpec{};
+    if (spec.bytesPerShard > 0 &&
+        (!wsp || wsp->bytesPerShard < spec.bytesPerShard))
+        return false;
+    if (spec.sharedBytes > 0 &&
+        (!wsp || wsp->sharedBytes < spec.sharedBytes))
+        return false;
+
+    // Launch geometry: replay bindInto's shard computation for this
+    // candidate (extents are compared by VALUE — tier kernels
+    // register their own extent functions, so pointer identity says
+    // nothing) and require the artifact's compile-time shard count.
+    KernelCtx probe;
+    probe.node = &n;
+    probe.outShape = &n.shape;
+    for (int in : n.inputs)
+        probe.inShapes.push_back(&g_.node(in).shape);
+    int shards = 1;
+    if (pool_ && info.part.splittable()) {
+        std::vector<int64_t> bounds = splitRange(
+            info.part.extent(probe), info.part.minGrain, numThreads_);
+        if (bounds.size() > 2)
+            shards = static_cast<int>(bounds.size()) - 1;
+    }
+    if (shards != shardsPerStep_[si])
+        return false;
+    if (wsp && shards > wsp->shards)
+        return false;
+    return true;
 }
 
 void
@@ -352,17 +451,28 @@ Executor::bindInto(ExecContext &ctx) const
         const WorkspacePlacement *wsp = wsOf[s.node];
 
         // Resolve the node's workspace placement to arena pointers.
+        // The planned placement may be LARGER than the bound kernel
+        // needs (a SIMD-planned step downgraded to its scalar base on
+        // this host, or vice versa after an artifact-load upgrade) —
+        // binding into a roomier placement is fine; needing bytes the
+        // plan never reserved is not.
         WorkspaceSpec spec = info.workspace ? info.workspace(g_, n)
                                             : WorkspaceSpec{};
-        if (spec.any() != (wsp != nullptr))
+        if (spec.any() && !wsp)
             throw std::runtime_error(
                 "Executor: workspace plan out of sync for " +
                 std::string(opName(n.op)));
+        if (wsp && (spec.bytesPerShard > wsp->bytesPerShard ||
+                    spec.sharedBytes > wsp->sharedBytes))
+            throw std::runtime_error(
+                "Executor: kernel needs more workspace than planned "
+                "for " +
+                std::string(opName(n.op)));
         if (wsp) {
-            if (wsp->bytesPerShard > 0)
+            if (spec.bytesPerShard > 0)
                 s.ctx.workspace =
                     ctx.arena_.at<float>(wsp->shardOffset(0));
-            if (wsp->sharedBytes > 0) {
+            if (spec.sharedBytes > 0) {
                 s.ctx.shared = ctx.arena_.at<float>(wsp->sharedOffset);
                 s.init = spec.init;
             }
@@ -392,7 +502,7 @@ Executor::bindInto(ExecContext &ctx) const
                     shard.pool = nullptr;
                     shard.begin = bounds[i];
                     shard.end = bounds[i + 1];
-                    if (wsp && wsp->bytesPerShard > 0)
+                    if (wsp && spec.bytesPerShard > 0)
                         shard.workspace =
                             ctx.arena_.at<float>(wsp->shardOffset(i));
                     s.shards.push_back(std::move(shard));

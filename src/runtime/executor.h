@@ -62,6 +62,13 @@ struct ExecOptions {
      * single-threaded executor; <= 0 = all hardware threads.
      */
     int numThreads = 1;
+    /**
+     * Determinism escape hatch: bind scalar-tier kernels even when
+     * the host has AVX2/NEON. int8 SIMD kernels are bit-exact to
+     * scalar, so this only changes fp32 results (FMA rounding, see
+     * the tolerance contract in kernel.h).
+     */
+    bool forceScalarTier = false;
 };
 
 /**
@@ -239,11 +246,44 @@ class Executor
         return fallbacks_;
     }
 
+    /** The SIMD tier this program bound against (after any
+     *  forceScalarTier override / artifact downgrade). */
+    SimdTier simdTier() const { return tier_; }
+    /** Steps bound to a SIMD-tier kernel variant. */
+    int simdSteps() const { return simdSteps_; }
+    /** Per-step tier name ("scalar"/"avx2"/"neon"), in step order. */
+    const std::vector<std::string> &stepTiers() const
+    {
+        return stepTiers_;
+    }
+
   private:
     float *resolve(ExecContext &ctx, int id) const;
 
     /** Shared ctor tail: count kernel steps + registry fallbacks. */
     void countStepsAndFallbacks();
+
+    /**
+     * Re-point every step's variant at the kernel tier this host can
+     * actually execute. Planning path: upgrades scalar variants to
+     * "@avx2"/"@neon" equivalents (tier variants register with the
+     * scalar base's partition domain and workspace bytes, so launch
+     * and memory planning see identical geometry). Artifact path:
+     * additionally DOWNGRADES variants the local registry lacks —
+     * a plan saved on an AVX2 box binds its scalar bases on a
+     * SIMD-less host instead of dying in PlanUnknownKernel-style
+     * failure — and accepts a swap only after proving it against the
+     * deserialized plan (workspace fits the placement, launch
+     * geometry reproduces shardsPerStep). @p checkPlan selects that
+     * proof (artifact ctor); the planning ctor resolves before any
+     * planning, so there is no plan to check against yet.
+     */
+    void retargetTiers(bool checkPlan);
+
+    /** True when binding @p variant would reproduce the deserialized
+     *  plan for step @p si of node @p id (see retargetTiers). */
+    bool tierSwapFitsPlan(int id, int si,
+                          const std::string &variant) const;
 
     /** Artifact-ctor validation: sizes/ids consistent with g_. */
     void validateArtifact() const;
@@ -268,6 +308,9 @@ class Executor
                                     ///< read-only, shared by contexts
     std::vector<std::string> variants_;
     std::vector<std::string> fallbacks_;
+    SimdTier tier_ = SimdTier::Scalar;
+    int simdSteps_ = 0;
+    std::vector<std::string> stepTiers_; ///< tier name per step
     int numThreads_ = 1;
     int numSteps_ = 0;
     int shardedSteps_ = 0;

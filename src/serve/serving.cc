@@ -175,6 +175,7 @@ ServingEngine::ServingEngine(const ModelFactory &model,
             ExecOptions eopt;
             eopt.variants = b->cg.variants;
             eopt.numThreads = 1;
+            eopt.forceScalarTier = options_.compile.forceScalarTier;
             b->exec = std::make_unique<Executor>(
                 b->cg.graph, b->cg.order, *store_, std::move(eopt));
         }

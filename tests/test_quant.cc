@@ -552,12 +552,14 @@ TEST(QuantizePass, RewritesForwardKeepsBackwardF32)
     }
     // The i8 activation footprint is real and planned.
     EXPECT_GT(c.report.arenaBytesByDtype[static_cast<int>(DType::I8)], 0);
-    // Depthwise has no int8 kernel: the fallback is counted.
-    EXPECT_GT(c.report.kernelFallbacks, 0);
-    bool saw_dw = false;
+    // Every quant compute op — including depthwise — now has a native
+    // int8 kernel, so an MCUNet-style int8 compile must report zero
+    // dequant->fp32->requant fallbacks.
     for (const std::string &s : c.report.fallbackKernels)
-        saw_dw = saw_dw || s.find("QuantDwConv2d") != std::string::npos;
-    EXPECT_TRUE(saw_dw);
+        EXPECT_EQ(s.find("QuantDwConv2d"), std::string::npos)
+            << "native int8 depthwise regressed to fallback: " << s;
+    EXPECT_EQ(c.report.kernelFallbacks, 0);
+    EXPECT_TRUE(c.report.fallbackBreakdown().empty());
 }
 
 TEST(QuantizePass, FoldsDequantQuantChains)

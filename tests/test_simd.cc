@@ -1,0 +1,691 @@
+/**
+ * @file
+ * SIMD kernel tier tests.
+ *
+ *  1. Tier API: variant naming, capability resolution, the unknown-
+ *     variant passthrough the fallback counters depend on.
+ *  2. Parity properties, swept over random shapes (non-multiple-of-
+ *     vector-width tails, 1-element edges): int8 SIMD kernels are
+ *     BIT-EXACT to the scalar "int8" tier; fp32 SIMD kernels match
+ *     scalar within 1e-5 relative (FMA rounding contract).
+ *  3. Compile integration: an MCUNet-style int8 compile reports zero
+ *     QuantDwConv2d fallbacks and binds SIMD steps on a SIMD host;
+ *     forceScalarTier pins everything to scalar.
+ *  4. Deployment: a plan saved with SIMD variants loads on a host
+ *     whose tier is forced to scalar (setSimdTierForTesting), binds
+ *     the scalar bases, and reproduces the scalar compile bit for
+ *     bit.
+ *
+ * All tier-dependent cases skip on hosts with no SIMD tier (the
+ * PE_SIMD=OFF CI leg runs only the API and scalar-path cases, which
+ * is itself the downgrade coverage).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "engine/engine.h"
+#include "frontend/builder.h"
+#include "frontend/models.h"
+#include "hw/cpu_features.h"
+#include "kernels/kernel.h"
+#include "plan/plan.h"
+#include "quant/quant.h"
+#include "testutil.h"
+
+namespace pe {
+namespace {
+
+using test::Feeds;
+
+/** "" on a scalar-only host, else this host's variant suffix. */
+std::string
+hostSuffix()
+{
+    detail::ensureKernelsRegistered();
+    SimdTier t = hostSimdTier();
+    if (t == SimdTier::Scalar)
+        return "";
+    return std::string("@") + simdTierName(t);
+}
+
+#define SKIP_WITHOUT_SIMD()                                             \
+    do {                                                                \
+        if (hostSuffix().empty())                                       \
+            GTEST_SKIP() << "no SIMD tier on this host";                \
+    } while (0)
+
+/** Evaluate a single node with an explicit kernel variant. */
+Tensor
+runKernel(const Graph &g, int node, const std::vector<Tensor> &inputs,
+          const std::string &variant)
+{
+    const Node &n = g.node(node);
+    Tensor out(n.shape);
+    KernelCtx ctx;
+    ctx.node = &n;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        ctx.in.push_back(inputs[i].data());
+        ctx.inShapes.push_back(&g.node(n.inputs[i]).shape);
+    }
+    ctx.out = out.data();
+    ctx.outShape = &n.shape;
+    DirectWorkspace ws;
+    ws.attach(ctx, g, n, variant);
+    lookupKernel(n.op, variant)(ctx);
+    return out;
+}
+
+/** Byte buffer usable as a KernelCtx float* while holding i8 codes. */
+struct I8Buf {
+    std::vector<float> storage;
+    explicit I8Buf(int64_t n)
+        : storage(static_cast<size_t>((n + 3) / 4 + 1), 0.0f)
+    {
+    }
+    int8_t *data() { return reinterpret_cast<int8_t *>(storage.data()); }
+    const float *asF32() const { return storage.data(); }
+    float *asF32Mut() { return storage.data(); }
+};
+
+void
+quantizeInto(const Tensor &t, float scale, int32_t zp, I8Buf &out)
+{
+    for (int64_t i = 0; i < t.size(); ++i)
+        out.data()[i] = quantizeValue(t[i], scale, zp);
+}
+
+std::vector<float>
+quantizeWeight(const Tensor &w, int64_t axis, I8Buf &out)
+{
+    const Shape &s = w.shape();
+    int64_t inner = 1;
+    for (size_t i = axis + 1; i < s.size(); ++i)
+        inner *= s[i];
+    std::vector<float> maxabs(static_cast<size_t>(s[axis]), 0.0f);
+    for (int64_t i = 0; i < w.size(); ++i) {
+        int64_t c = (i / inner) % s[axis];
+        maxabs[c] = std::max(maxabs[c], std::fabs(w[i]));
+    }
+    std::vector<float> scales(maxabs.size());
+    for (size_t c = 0; c < scales.size(); ++c)
+        scales[c] = chooseWeightScale(maxabs[c]);
+    for (int64_t i = 0; i < w.size(); ++i) {
+        int64_t c = (i / inner) % s[axis];
+        out.data()[i] = quantizeValue(w[i], scales[c], 0);
+    }
+    return scales;
+}
+
+int
+maxCodeDiff(const I8Buf &a, const I8Buf &b, int64_t n)
+{
+    int worst = 0;
+    const int8_t *pa = reinterpret_cast<const int8_t *>(a.asF32());
+    const int8_t *pb = reinterpret_cast<const int8_t *>(b.asF32());
+    for (int64_t i = 0; i < n; ++i)
+        worst = std::max(worst, std::abs(static_cast<int>(pa[i]) -
+                                         static_cast<int>(pb[i])));
+    return worst;
+}
+
+float
+maxRelDiff(const Tensor &a, const Tensor &b)
+{
+    float worst = 0.0f;
+    for (int64_t i = 0; i < a.size(); ++i) {
+        float denom =
+            std::max({std::fabs(a[i]), std::fabs(b[i]), 1.0f});
+        worst = std::max(worst, std::fabs(a[i] - b[i]) / denom);
+    }
+    return worst;
+}
+
+/** Scoped hostSimdTier() override; always restores on scope exit. */
+struct TierOverride {
+    explicit TierOverride(SimdTier t)
+    {
+        setSimdTierForTesting(static_cast<int>(t));
+    }
+    ~TierOverride() { setSimdTierForTesting(-1); }
+};
+
+// ---- 1. tier API -----------------------------------------------------
+
+TEST(TierApi, VariantNamingAndClassification)
+{
+    detail::ensureKernelsRegistered();
+    EXPECT_STREQ(simdTierName(SimdTier::Scalar), "scalar");
+    EXPECT_STREQ(simdTierName(SimdTier::Avx2), "avx2");
+    EXPECT_STREQ(simdTierName(SimdTier::Neon), "neon");
+
+    EXPECT_EQ(variantTier(""), SimdTier::Scalar);
+    EXPECT_EQ(variantTier("blocked"), SimdTier::Scalar);
+    EXPECT_EQ(variantTier("avx2"), SimdTier::Avx2);
+    EXPECT_EQ(variantTier("blocked@avx2"), SimdTier::Avx2);
+    EXPECT_EQ(variantTier("int8@neon"), SimdTier::Neon);
+    // Unknown variants are NOT tiers: they classify scalar and pass
+    // through resolution unchanged, so the fallback counters still
+    // see them (test_parallel asserts on exactly that).
+    EXPECT_EQ(variantTier("no-such-backend"), SimdTier::Scalar);
+
+    EXPECT_EQ(scalarVariantOf("blocked@avx2"), "blocked");
+    EXPECT_EQ(scalarVariantOf("int8@neon"), "int8");
+    EXPECT_EQ(scalarVariantOf("avx2"), "");
+    EXPECT_EQ(scalarVariantOf("blocked"), "blocked");
+    EXPECT_EQ(scalarVariantOf(""), "");
+}
+
+TEST(TierApi, ResolutionUpgradesOnlyRegisteredVariants)
+{
+    detail::ensureKernelsRegistered();
+    // Scalar tier always lands on the scalar base, whatever was asked.
+    EXPECT_EQ(resolveTierVariant(OpKind::MatMul, "blocked@avx2",
+                                 SimdTier::Scalar),
+              "blocked");
+    EXPECT_EQ(
+        resolveTierVariant(OpKind::MatMul, "blocked", SimdTier::Scalar),
+        "blocked");
+    // Unknown variants resolve to themselves under the scalar tier's
+    // base rule only when they look like tier names; a plain unknown
+    // string survives untouched.
+    EXPECT_EQ(resolveTierVariant(OpKind::MatMul, "no-such-backend",
+                                 SimdTier::Scalar),
+              "no-such-backend");
+
+    SimdTier host = hostSimdTier();
+    if (host == SimdTier::Scalar)
+        return;
+    std::string want = "blocked" + hostSuffix();
+    ASSERT_TRUE(hasKernelVariant(OpKind::MatMul, want));
+    EXPECT_EQ(resolveTierVariant(OpKind::MatMul, "blocked", host), want);
+    // Ops with no tier kernel stay on their scalar variant — there is
+    // no "winograd@avx2", and the bare default has no tier either.
+    EXPECT_EQ(resolveTierVariant(OpKind::Conv2d, "winograd", host),
+              "winograd");
+    EXPECT_EQ(resolveTierVariant(OpKind::Relu, "", host), "");
+}
+
+TEST(TierApi, CapabilityGatedRegistration)
+{
+    detail::ensureKernelsRegistered();
+    // A tier variant is registered ONLY when this host can execute
+    // it, so hasKernelVariant doubles as the capability probe: at
+    // most one of the avx2/neon families may exist, and it must match
+    // the probed features.
+    const CpuFeatures &f = cpuFeatures();
+    bool has_avx2 = hasKernelVariant(OpKind::MatMul, "blocked@avx2");
+    bool has_neon = hasKernelVariant(OpKind::MatMul, "blocked@neon");
+    EXPECT_FALSE(has_avx2 && has_neon);
+    // hostSimdTier() folds in the PE_SIMD=OFF build switch (PE_NO_SIMD
+    // is a library-private define, invisible to this TU), so it is the
+    // oracle: registration must track it exactly...
+    SimdTier host = hostSimdTier();
+    EXPECT_EQ(has_avx2, host == SimdTier::Avx2);
+    EXPECT_EQ(has_neon, host == SimdTier::Neon);
+    // ...and when a tier IS live, it must match the raw probe.
+    if (host != SimdTier::Scalar) {
+        EXPECT_EQ(has_avx2, f.avx2);
+        EXPECT_EQ(has_neon, f.neon);
+    }
+    if (has_avx2 || has_neon) {
+        std::string sfx = hostSuffix();
+        for (OpKind op : {OpKind::QuantMatMul, OpKind::QuantConv2d,
+                          OpKind::QuantDwConv2d})
+            EXPECT_TRUE(hasKernelVariant(op, "int8" + sfx));
+        EXPECT_TRUE(hasKernelVariant(OpKind::Conv2d, "im2col" + sfx));
+        EXPECT_TRUE(
+            hasKernelVariant(OpKind::BatchMatMul, "blocked" + sfx));
+    }
+}
+
+// ---- 2. parity properties --------------------------------------------
+
+TEST(SimdParity, Fp32GemmWithin1e5Relative)
+{
+    SKIP_WITHOUT_SIMD();
+    std::string sfx = hostSuffix();
+    Rng rng(101);
+    // Shapes chosen to hit register-tile and vector-width tails: the
+    // 8-row x 8-col microkernel, 1-element edges, and sizes straddling
+    // the 48-wide panel.
+    struct S {
+        int64_t m, k, n;
+    };
+    std::vector<S> shapes = {{1, 1, 1},   {8, 8, 8},    {7, 13, 9},
+                             {16, 48, 48}, {17, 49, 50}, {3, 100, 1},
+                             {1, 5, 31},  {23, 7, 65}};
+    for (auto [m, k, n] : shapes) {
+        SCOPED_TRACE("gemm " + std::to_string(m) + "x" +
+                     std::to_string(k) + "x" + std::to_string(n));
+        for (bool ta : {false, true}) {
+            for (bool tb : {false, true}) {
+                Graph g;
+                int ia = g.input(ta ? Shape{k, m} : Shape{m, k}, "a");
+                int ib = g.input(tb ? Shape{n, k} : Shape{k, n}, "b");
+                Attrs at;
+                at.set("transA", static_cast<int64_t>(ta));
+                at.set("transB", static_cast<int64_t>(tb));
+                int mm = g.add(OpKind::MatMul, {ia, ib}, std::move(at));
+                Tensor a = Tensor::randn(g.node(ia).shape, rng);
+                Tensor b = Tensor::randn(g.node(ib).shape, rng);
+                Tensor scalar = runKernel(g, mm, {a, b}, "blocked");
+                Tensor simd = runKernel(g, mm, {a, b}, "blocked" + sfx);
+                EXPECT_LT(maxRelDiff(scalar, simd), 1e-5f);
+            }
+        }
+    }
+}
+
+TEST(SimdParity, Fp32Im2colConvWithin1e5Relative)
+{
+    SKIP_WITHOUT_SIMD();
+    std::string sfx = hostSuffix();
+    Rng rng(102);
+    struct S {
+        int64_t ci, co, hw, k, stride, pad;
+    };
+    std::vector<S> shapes = {{1, 1, 1, 1, 1, 0}, {3, 8, 9, 3, 1, 1},
+                             {4, 5, 7, 3, 2, 1}, {2, 16, 13, 5, 1, 2},
+                             {8, 3, 8, 1, 1, 0}};
+    for (auto [ci, co, hw, k, stride, pad] : shapes) {
+        SCOPED_TRACE("conv ci" + std::to_string(ci) + " co" +
+                     std::to_string(co) + " hw" + std::to_string(hw));
+        Graph g;
+        int x = g.input({2, ci, hw, hw}, "x");
+        int w = g.param({co, ci, k, k}, "w", false);
+        Attrs a;
+        a.set("stride", stride);
+        a.set("pad", pad);
+        int conv = g.add(OpKind::Conv2d, {x, w}, std::move(a));
+        Tensor tx = Tensor::randn({2, ci, hw, hw}, rng);
+        Tensor tw = Tensor::randn({co, ci, k, k}, rng, 0.3f);
+        Tensor scalar = runKernel(g, conv, {tx, tw}, "im2col");
+        Tensor simd = runKernel(g, conv, {tx, tw}, "im2col" + sfx);
+        EXPECT_LT(maxRelDiff(scalar, simd), 1e-5f);
+    }
+}
+
+/** Build + run one QuantMatMul with the given geometry twice (scalar
+ *  int8 vs SIMD int8) and require bit-exact codes. */
+void
+checkQGemmBitExact(int64_t m, int64_t k, int64_t n, bool with_bias,
+                   int64_t act, Rng &rng)
+{
+    std::string sfx = hostSuffix();
+    Tensor a = Tensor::uniform({m, k}, rng, -1.0f, 1.0f);
+    Tensor w = Tensor::uniform({k, n}, rng, -0.8f, 0.8f);
+    Tensor bias = Tensor::uniform({n}, rng, -0.5f, 0.5f);
+    QuantParams ap = chooseQuantParams(-1.0f, 1.0f);
+    QuantParams yp = chooseQuantParams(-6.0f, 6.0f);
+    I8Buf qa(m * k), qw(k * n);
+    quantizeInto(a, ap.scale, ap.zeroPoint, qa);
+    std::vector<float> wscales = quantizeWeight(w, 1, qw);
+
+    Graph g;
+    int ia = g.input({m, k}, "a");
+    int iw = g.input({k, n}, "w");
+    int ib = g.input({n}, "b");
+    int is = g.input({n}, "s");
+    Attrs at;
+    at.set("xScale", static_cast<double>(ap.scale));
+    at.set("xZp", static_cast<int64_t>(ap.zeroPoint));
+    at.set("yScale", static_cast<double>(yp.scale));
+    at.set("yZp", static_cast<int64_t>(yp.zeroPoint));
+    at.set("perChannel", static_cast<int64_t>(1));
+    at.set("hasBias", static_cast<int64_t>(with_bias ? 1 : 0));
+    at.set("act", act);
+    std::vector<int> inputs = {ia, iw};
+    if (with_bias)
+        inputs.push_back(ib);
+    inputs.push_back(is);
+    int node = g.add(OpKind::QuantMatMul, inputs, std::move(at));
+
+    const Node &nd = g.node(node);
+    auto run = [&](const std::string &variant, I8Buf &dst) {
+        KernelCtx c;
+        c.node = &nd;
+        c.in = {qa.asF32(), qw.asF32()};
+        c.inShapes = {&g.node(nd.inputs[0]).shape,
+                      &g.node(nd.inputs[1]).shape};
+        if (with_bias) {
+            c.in.push_back(bias.data());
+            c.inShapes.push_back(&g.node(nd.inputs[2]).shape);
+        }
+        c.in.push_back(wscales.data());
+        c.inShapes.push_back(
+            &g.node(nd.inputs[nd.inputs.size() - 1]).shape);
+        c.out = dst.asF32Mut();
+        c.outShape = &nd.shape;
+        DirectWorkspace ws;
+        ws.attach(c, g, nd, variant);
+        lookupKernel(OpKind::QuantMatMul, variant)(c);
+    };
+    I8Buf scalar(m * n), simd(m * n);
+    run("int8", scalar);
+    run("int8" + sfx, simd);
+    EXPECT_EQ(maxCodeDiff(scalar, simd, m * n), 0)
+        << m << "x" << k << "x" << n << " bias=" << with_bias
+        << " act=" << act;
+}
+
+TEST(SimdParity, Int8GemmBitExact)
+{
+    SKIP_WITHOUT_SIMD();
+    Rng rng(103);
+    struct S {
+        int64_t m, k, n;
+    };
+    // Tails everywhere: k not a multiple of 16/8 (dot-product tail),
+    // n not a multiple of 8/4 (requant tail), single elements.
+    std::vector<S> shapes = {{1, 1, 1},  {4, 16, 8},  {5, 17, 9},
+                             {12, 24, 10}, {3, 7, 1},  {1, 33, 13},
+                             {9, 64, 40}};
+    for (auto [m, k, n] : shapes) {
+        for (bool with_bias : {false, true}) {
+            for (int64_t act : {kActNone, kActRelu, kActGelu})
+                checkQGemmBitExact(m, k, n, with_bias, act, rng);
+        }
+    }
+}
+
+TEST(SimdParity, Int8ConvAndDepthwiseBitExact)
+{
+    SKIP_WITHOUT_SIMD();
+    std::string sfx = hostSuffix();
+    Rng rng(104);
+    struct S {
+        int64_t ch, hw, k, stride, pad;
+    };
+    std::vector<S> shapes = {{1, 1, 1, 1, 0}, {3, 8, 3, 1, 1},
+                             {4, 9, 3, 2, 1}, {8, 12, 5, 1, 2},
+                             {5, 7, 3, 1, 0}, {2, 16, 3, 1, 1}};
+    for (auto [ch, hw, k, stride, pad] : shapes) {
+        SCOPED_TRACE("q ch" + std::to_string(ch) + " hw" +
+                     std::to_string(hw) + " k" + std::to_string(k) +
+                     " s" + std::to_string(stride) + " p" +
+                     std::to_string(pad));
+        for (OpKind op :
+             {OpKind::QuantConv2d, OpKind::QuantDwConv2d}) {
+            bool dw = op == OpKind::QuantDwConv2d;
+            int64_t N = 2, Co = dw ? ch : ch + 1;
+            Tensor x =
+                Tensor::uniform({N, ch, hw, hw}, rng, -1.0f, 1.0f);
+            Shape wshape = dw ? Shape{ch, 1, k, k}
+                              : Shape{Co, ch, k, k};
+            Tensor w = Tensor::uniform(wshape, rng, -0.6f, 0.6f);
+            Tensor bias =
+                Tensor::uniform({Co, 1, 1}, rng, -0.3f, 0.3f);
+            QuantParams xp = chooseQuantParams(-1.0f, 1.0f);
+            QuantParams yp = chooseQuantParams(-4.0f, 4.0f);
+            I8Buf qx(x.size()), qw(w.size());
+            quantizeInto(x, xp.scale, xp.zeroPoint, qx);
+            std::vector<float> wscales = quantizeWeight(w, 0, qw);
+
+            Graph g;
+            int ix = g.input({N, ch, hw, hw}, "x");
+            int iw = g.input(wshape, "w");
+            int ib = g.input({Co, 1, 1}, "b");
+            int is = g.input({Co}, "s");
+            Attrs at;
+            at.set("stride", stride);
+            at.set("pad", pad);
+            at.set("act", static_cast<int64_t>(kActRelu));
+            at.set("hasBias", static_cast<int64_t>(1));
+            at.set("perChannel", static_cast<int64_t>(1));
+            at.set("xScale", static_cast<double>(xp.scale));
+            at.set("xZp", static_cast<int64_t>(xp.zeroPoint));
+            at.set("yScale", static_cast<double>(yp.scale));
+            at.set("yZp", static_cast<int64_t>(yp.zeroPoint));
+            int node = g.add(op, {ix, iw, ib, is}, std::move(at));
+            const Node &nd = g.node(node);
+            int64_t out_n = numel(nd.shape);
+
+            auto run = [&](const std::string &variant, I8Buf &dst) {
+                KernelCtx c;
+                c.node = &nd;
+                c.in = {qx.asF32(), qw.asF32(), bias.data(),
+                        wscales.data()};
+                c.inShapes = {&g.node(ix).shape, &g.node(iw).shape,
+                              &g.node(ib).shape, &g.node(is).shape};
+                c.out = dst.asF32Mut();
+                c.outShape = &nd.shape;
+                DirectWorkspace ws;
+                ws.attach(c, g, nd, variant);
+                lookupKernel(op, variant)(c);
+            };
+            I8Buf scalar(out_n), simd(out_n);
+            run("int8", scalar);
+            run("int8" + sfx, simd);
+            EXPECT_EQ(maxCodeDiff(scalar, simd, out_n), 0)
+                << (dw ? "depthwise" : "conv");
+        }
+    }
+}
+
+TEST(SimdParity, Int8DepthwiseMatchesReferenceWithinOneCode)
+{
+    // The native int8 depthwise kernel vs the dequant->fp32->requant
+    // reference it replaced: same math, different rounding path.
+    Rng rng(105);
+    int64_t N = 2, Ch = 6, HW = 10, K = 3;
+    Tensor x = Tensor::uniform({N, Ch, HW, HW}, rng, -1.0f, 1.0f);
+    Tensor w = Tensor::uniform({Ch, 1, K, K}, rng, -0.6f, 0.6f);
+    Tensor bias = Tensor::uniform({Ch, 1, 1}, rng, -0.3f, 0.3f);
+    QuantParams xp = chooseQuantParams(-1.0f, 1.0f);
+    QuantParams yp = chooseQuantParams(-3.0f, 3.0f);
+    I8Buf qx(x.size()), qw(w.size());
+    quantizeInto(x, xp.scale, xp.zeroPoint, qx);
+    std::vector<float> wscales = quantizeWeight(w, 0, qw);
+
+    Graph g;
+    int ix = g.input({N, Ch, HW, HW}, "x");
+    int iw = g.input({Ch, 1, K, K}, "w");
+    int ib = g.input({Ch, 1, 1}, "b");
+    int is = g.input({Ch}, "s");
+    Attrs at;
+    at.set("stride", static_cast<int64_t>(1));
+    at.set("pad", static_cast<int64_t>(1));
+    at.set("act", static_cast<int64_t>(kActRelu));
+    at.set("hasBias", static_cast<int64_t>(1));
+    at.set("perChannel", static_cast<int64_t>(1));
+    at.set("xScale", static_cast<double>(xp.scale));
+    at.set("xZp", static_cast<int64_t>(xp.zeroPoint));
+    at.set("yScale", static_cast<double>(yp.scale));
+    at.set("yZp", static_cast<int64_t>(yp.zeroPoint));
+    int node =
+        g.add(OpKind::QuantDwConv2d, {ix, iw, ib, is}, std::move(at));
+    const Node &nd = g.node(node);
+    int64_t out_n = numel(nd.shape);
+
+    auto run = [&](const std::string &variant, I8Buf &dst) {
+        KernelCtx c;
+        c.node = &nd;
+        c.in = {qx.asF32(), qw.asF32(), bias.data(), wscales.data()};
+        c.inShapes = {&g.node(ix).shape, &g.node(iw).shape,
+                      &g.node(ib).shape, &g.node(is).shape};
+        c.out = dst.asF32Mut();
+        c.outShape = &nd.shape;
+        DirectWorkspace ws;
+        ws.attach(c, g, nd, variant);
+        lookupKernel(OpKind::QuantDwConv2d, variant)(c);
+    };
+    I8Buf native(out_n), reference(out_n);
+    run("int8", native);
+    run("", reference);
+    EXPECT_LE(maxCodeDiff(native, reference, out_n), 1);
+}
+
+// ---- 3. compile integration ------------------------------------------
+
+struct CompiledMcuNet {
+    std::shared_ptr<ParamStore> store = std::make_shared<ParamStore>();
+    ModelSpec m;
+    Shape inShape{2, 3, 12, 12};
+
+    CompiledMcuNet()
+    {
+        VisionConfig cfg;
+        cfg.batch = 2;
+        cfg.resolution = 12;
+        cfg.width = 0.5;
+        cfg.blocks = 2;
+        Rng rng(31);
+        m = buildMcuNet(cfg, rng, store.get());
+        std::vector<Feeds> calib;
+        Rng crng(32);
+        for (int i = 0; i < 2; ++i)
+            calib.push_back({{"x", Tensor::randn(inShape, crng)}});
+        calibrate(m.graph, *store, calib);
+    }
+};
+
+TEST(TierCompile, McuNetInt8BindsSimdStepsAndReportsTiers)
+{
+    CompiledMcuNet f;
+    CompileOptions opt;
+    opt.precision = Precision::Int8;
+    InferenceProgram prog =
+        compileInference(f.m.graph, {f.m.logits}, opt, f.store);
+    const CompileReport &r = prog.report();
+    // The tentpole acceptance: zero quantized-depthwise fallbacks.
+    EXPECT_EQ(r.kernelFallbacks, 0);
+    EXPECT_TRUE(r.fallbackBreakdown().empty());
+    EXPECT_EQ(static_cast<int>(r.stepTiers.size()), r.kernelSteps);
+    EXPECT_EQ(r.simdTier, simdTierName(hostSimdTier()));
+    if (hostSimdTier() != SimdTier::Scalar) {
+        // On a SIMD host the int8 conv/depthwise/matmul steps all
+        // bind the tier.
+        EXPECT_GT(r.simdSteps, 0);
+        EXPECT_NE(r.tierBreakdown().find(r.simdTier),
+                  std::string::npos);
+    } else {
+        EXPECT_EQ(r.simdSteps, 0);
+    }
+}
+
+TEST(TierCompile, ForceScalarTierPinsEverything)
+{
+    CompiledMcuNet f;
+    CompileOptions opt;
+    opt.precision = Precision::Int8;
+    opt.forceScalarTier = true;
+    InferenceProgram prog =
+        compileInference(f.m.graph, {f.m.logits}, opt, f.store);
+    EXPECT_EQ(prog.report().simdTier, "scalar");
+    EXPECT_EQ(prog.report().simdSteps, 0);
+    for (const std::string &t : prog.report().stepTiers)
+        EXPECT_EQ(t, "scalar");
+}
+
+TEST(TierCompile, Int8ForwardAgreesAcrossTiers)
+{
+    // int8 compute is bit-exact across tiers; the only cross-tier
+    // rounding differences come from the fp32 steps around it
+    // (quantize/dequantize boundaries are scalar in both programs),
+    // so logits agree tightly.
+    CompiledMcuNet f;
+    CompileOptions opt;
+    opt.precision = Precision::Int8;
+    InferenceProgram simd =
+        compileInference(f.m.graph, {f.m.logits}, opt, f.store);
+    CompileOptions sopt = opt;
+    sopt.forceScalarTier = true;
+    InferenceProgram scalar =
+        compileInference(f.m.graph, {f.m.logits}, sopt, f.store);
+    Tensor x;
+    {
+        Rng rng(33);
+        x = Tensor::randn(f.inShape, rng);
+    }
+    Tensor a = simd.run({{"x", x}})[0];
+    Tensor b = scalar.run({{"x", x}})[0];
+    EXPECT_LT(maxRelDiff(a, b), 1e-4f);
+}
+
+// ---- 4. deployment ---------------------------------------------------
+
+TEST(TierDeploy, PlanWithSimdVariantsDowngradesOnScalarHost)
+{
+    SKIP_WITHOUT_SIMD();
+    CompiledMcuNet f;
+    CompileOptions opt;
+    opt.precision = Precision::Int8;
+    InferenceProgram prog =
+        compileInference(f.m.graph, {f.m.logits}, opt, f.store);
+    ASSERT_GT(prog.report().simdSteps, 0);
+    std::string blob =
+        serializePlan(prog.graph(), prog.executor().exportArtifact(),
+                      prog.report(), *f.store);
+
+    Tensor x;
+    {
+        Rng rng(34);
+        x = Tensor::randn(f.inShape, rng);
+    }
+
+    // Load the SIMD-variant plan as a scalar-only host would see it.
+    Tensor downgraded;
+    {
+        TierOverride scalar_host(SimdTier::Scalar);
+        auto loaded = loadPlanFromBytes(blob);
+        EXPECT_EQ(loaded->report().simdTier, "scalar");
+        EXPECT_EQ(loaded->report().simdSteps, 0);
+        for (const std::string &t : loaded->report().stepTiers)
+            EXPECT_EQ(t, "scalar");
+        downgraded = loaded->run({{"x", x}})[0];
+    }
+
+    // The downgraded program must be bit-identical to compiling the
+    // same model with the scalar tier forced: the artifact's plan was
+    // built against the scalar-identical partition/workspace specs,
+    // so only the kernel bodies differ — and those are now the same
+    // scalar bodies.
+    CompileOptions sopt = opt;
+    sopt.forceScalarTier = true;
+    InferenceProgram scalar =
+        compileInference(f.m.graph, {f.m.logits}, sopt, f.store);
+    Tensor want = scalar.run({{"x", x}})[0];
+    ASSERT_EQ(downgraded.shape(), want.shape());
+    EXPECT_EQ(std::memcmp(downgraded.data(), want.data(),
+                          sizeof(float) *
+                              static_cast<size_t>(want.size())),
+              0);
+
+    // And loading on THIS host re-binds the SIMD tier: upgrade at
+    // load is allowed because the swap provably fits the plan.
+    auto native = loadPlanFromBytes(blob);
+    EXPECT_EQ(native->report().simdTier,
+              simdTierName(hostSimdTier()));
+    EXPECT_GT(native->report().simdSteps, 0);
+    Tensor same = native->run({{"x", x}})[0];
+    EXPECT_LT(maxRelDiff(same, downgraded), 1e-4f);
+}
+
+TEST(TierDeploy, ScalarPlanUpgradesOnSimdHost)
+{
+    SKIP_WITHOUT_SIMD();
+    CompiledMcuNet f;
+    CompileOptions opt;
+    opt.precision = Precision::Int8;
+    opt.forceScalarTier = true;
+    InferenceProgram prog =
+        compileInference(f.m.graph, {f.m.logits}, opt, f.store);
+    ASSERT_EQ(prog.report().simdSteps, 0);
+    std::string blob =
+        serializePlan(prog.graph(), prog.executor().exportArtifact(),
+                      prog.report(), *f.store);
+    auto loaded = loadPlanFromBytes(blob);
+    // The scalar plan's workspace/launch geometry is identical to the
+    // tier's (registration contract), so load-time upgrade kicks in.
+    EXPECT_EQ(loaded->report().simdTier, simdTierName(hostSimdTier()));
+    EXPECT_GT(loaded->report().simdSteps, 0);
+}
+
+} // namespace
+} // namespace pe
