@@ -23,7 +23,19 @@
  * are saved once with savePlans() and a second engine boots from
  * ServeOptions::planDir with zero compile work (src/plan/).
  *
+ * A continuous-batching section measures the coalescing win on the
+ * traffic shape the ROADMAP names as the big lever: a burst of
+ * batch-1 requests against a {1,4,8} bucket set. With
+ * ServeOptions::coalesceWindowUs > 0 the burst shares bucket runs
+ * (64 requests in ~8 runs instead of 64) with bit-identical outputs,
+ * and a mixed-row trace shows group-aware routing beating
+ * per-request pad waste.
+ *
  *   ./build/serve_bench [requests-per-family]   (default: 64)
+ *   ./build/serve_bench --json BENCH_serve.json
+ *       runs ONLY the (fast, deterministic) coalescing scenarios and
+ *       writes the machine-readable rows scripts/bench_json.sh
+ *       snapshots and scripts/bench_check.py gates.
  */
 
 #include <chrono>
@@ -34,6 +46,7 @@
 
 #include <filesystem>
 
+#include "../bench/bench_common.h"
 #include "engine/engine.h"
 #include "frontend/builder.h"
 #include "frontend/models.h"
@@ -99,11 +112,187 @@ struct Traffic {
     Tensor x;
 };
 
+// ---- continuous batching scenarios -----------------------------------
+
+/** One coalescing measurement: the same trace through a per-request
+ *  engine (coalesceWindowUs = 0) and a coalescing engine, outputs
+ *  bit-compared per request. */
+struct CoalesceRow {
+    std::string scenario;
+    int64_t requests = 0;
+    int64_t runsSolo = 0, runsCoalesced = 0;
+    double runReduction = 0; ///< runsSolo / runsCoalesced
+    double coalesceRate = 0; ///< share of requests in shared runs
+    double amortSoloUs = 0, amortCoalescedUs = 0;
+    int64_t padSolo = 0, padCoalesced = 0;
+    bool parity = true;
+};
+
+int64_t
+totalPad(const ServeStats &s)
+{
+    int64_t pad = 0;
+    for (const auto &b : s.buckets)
+        pad += b.paddedRows;
+    return pad;
+}
+
+/** Submit the whole trace as a burst, wait in order, return outputs. */
+std::vector<Tensor>
+pumpBurst(ServingEngine &e, const std::vector<Tensor> &xs)
+{
+    std::vector<ServingEngine::RequestId> ids;
+    ids.reserve(xs.size());
+    for (const Tensor &x : xs)
+        ids.push_back(e.submit({{"x", x}}));
+    std::vector<Tensor> outs;
+    outs.reserve(ids.size());
+    for (auto id : ids)
+        outs.push_back(e.wait(id)[0]);
+    return outs;
+}
+
+CoalesceRow
+runCoalesceScenario(const std::string &scenario,
+                    const std::shared_ptr<ParamStore> &store,
+                    const std::vector<int64_t> &buckets,
+                    const std::vector<Tensor> &xs, int64_t windowUs)
+{
+    auto factory = [&](int64_t b) { return mlpModel(b, store.get()); };
+    ServeOptions solo;
+    solo.buckets = buckets;
+    solo.workers = 1; // one worker: the run-count drop is pure policy
+    solo.queueCapacity = xs.size();
+    ServingEngine soloE(factory, store, solo);
+    ServeOptions co = solo;
+    co.coalesceWindowUs = windowUs;
+    ServingEngine coE(factory, store, co);
+
+    std::vector<Tensor> ref = pumpBurst(soloE, xs);
+    std::vector<Tensor> got = pumpBurst(coE, xs);
+
+    CoalesceRow row;
+    row.scenario = scenario;
+    row.requests = static_cast<int64_t>(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+        row.parity = row.parity && ref[i].shape() == got[i].shape() &&
+                     std::memcmp(ref[i].data(), got[i].data(),
+                                 sizeof(float) * ref[i].size()) == 0;
+    }
+    ServeStats ss = soloE.stats(), cs = coE.stats();
+    row.runsSolo = ss.runs;
+    row.runsCoalesced = cs.runs;
+    row.runReduction = cs.runs > 0 ? static_cast<double>(ss.runs) /
+                                         static_cast<double>(cs.runs)
+                                   : 0;
+    row.coalesceRate = cs.coalesceRate;
+    row.amortSoloUs = ss.amortizedRunUs;
+    row.amortCoalescedUs = cs.amortizedRunUs;
+    row.padSolo = totalPad(ss);
+    row.padCoalesced = totalPad(cs);
+    return row;
+}
+
+/** Both scenarios: the ROADMAP's burst-of-singles, plus a mixed-row
+ *  trace proving group-aware routing covers multi-row requests. */
+std::vector<CoalesceRow>
+runCoalesceScenarios(const std::shared_ptr<ParamStore> &store)
+{
+    const int64_t windowUs = 5000;
+    Rng rng(97);
+
+    std::vector<Tensor> singles;
+    for (int i = 0; i < 64; ++i)
+        singles.push_back(Tensor::randn({1, 16}, rng));
+
+    std::vector<Tensor> mixed;
+    for (int i = 0; i < 48; ++i)
+        mixed.push_back(Tensor::randn(
+            {1 + static_cast<int64_t>(i % 4), 16}, rng));
+
+    return {
+        runCoalesceScenario("burst_singles", store, {1, 4, 8},
+                            singles, windowUs),
+        runCoalesceScenario("mixed_rows", store, {1, 4, 8}, mixed,
+                            windowUs),
+    };
+}
+
+void
+printCoalesceRows(const std::vector<CoalesceRow> &rows)
+{
+    std::printf("\n=== continuous batching (coalesced bucket runs) "
+                "===\n");
+    for (const CoalesceRow &r : rows) {
+        std::printf(
+            "%-14s: %lld req | runs %lld -> %lld (%.1fx fewer) | "
+            "rate %.2f | amort %.1f -> %.1f us/req | pad %lld -> "
+            "%lld rows | parity %s\n",
+            r.scenario.c_str(), static_cast<long long>(r.requests),
+            static_cast<long long>(r.runsSolo),
+            static_cast<long long>(r.runsCoalesced), r.runReduction,
+            r.coalesceRate, r.amortSoloUs, r.amortCoalescedUs,
+            static_cast<long long>(r.padSolo),
+            static_cast<long long>(r.padCoalesced),
+            r.parity ? "EXACT" : "BROKEN");
+    }
+}
+
+/** BENCH_serve.json rows (same flat-array shape as BENCH_table4): the
+ *  run-reduction, coalescing-rate and amortized-latency columns
+ *  scripts/bench_check.py gates. */
+bool
+saveCoalesceJson(const std::vector<CoalesceRow> &rows,
+                 const std::string &path)
+{
+    pe::bench::JsonRows json;
+    for (const CoalesceRow &r : rows) {
+        json.begin("serve_coalesce");
+        json.field("scenario", r.scenario);
+#ifdef NDEBUG
+        json.field("build_type", "release");
+#else
+        json.field("build_type", "debug");
+#endif
+        json.field("requests", r.requests);
+        json.field("runs_solo", r.runsSolo);
+        json.field("runs_coalesced", r.runsCoalesced);
+        json.field("run_reduction", r.runReduction);
+        json.field("coalesce_rate", r.coalesceRate);
+        json.field("amortized_run_us_solo", r.amortSoloUs);
+        json.field("amortized_run_us_coalesced", r.amortCoalescedUs);
+        json.field("padded_rows_solo", r.padSolo);
+        json.field("padded_rows_coalesced", r.padCoalesced);
+        json.field("parity", static_cast<int64_t>(r.parity ? 1 : 0));
+    }
+    return json.save(path);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // --json <path>: run only the deterministic coalescing scenarios
+    // and emit the rows bench_json.sh snapshots / bench_check.py gates.
+    const std::string jsonPath = pe::bench::jsonPathFromArgs(argc, argv);
+    if (!jsonPath.empty()) {
+        auto store = std::make_shared<ParamStore>();
+        mlpModel(1, store.get());
+        std::vector<CoalesceRow> rows = runCoalesceScenarios(store);
+        printCoalesceRows(rows);
+        if (!saveCoalesceJson(rows, jsonPath)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", jsonPath.c_str());
+        for (const CoalesceRow &r : rows)
+            if (!r.parity)
+                return 1;
+        return 0;
+    }
+
     const int perFamily = argc > 1 ? std::atoi(argv[1]) : 64;
     const std::vector<int64_t> mlpBuckets = {1, 4};
     const std::vector<int64_t> cnnBuckets = {1, 2};
@@ -295,6 +484,13 @@ main(int argc, char **argv)
     std::printf("mixed fp32+int8 interleaved: %.2fs for %d requests\n",
                 qSec, 2 * perFamily);
 
+    // ---- continuous batching: queued requests share bucket runs ----
+    std::vector<CoalesceRow> coRows = runCoalesceScenarios(mlpStore);
+    printCoalesceRows(coRows);
+    bool coParity = true;
+    for (const CoalesceRow &r : coRows)
+        coParity = coParity && r.parity;
+
     // ---- compile once, deploy anywhere: plan-directory cold start --
     // savePlans() freezes every (precision, bucket) plan to disk; a
     // fresh engine boots from the directory with ZERO compile work
@@ -341,5 +537,5 @@ main(int argc, char **argv)
                 static_cast<long long>(planBytes / 1024),
                 saveSec * 1e3, loadSec * 1e3,
                 parity ? "EXACT" : "BROKEN");
-    return parity ? 0 : 1;
+    return parity && coParity ? 0 : 1;
 }

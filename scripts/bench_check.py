@@ -2,7 +2,7 @@
 """Benchmark regression gate: compare a fresh bench JSON snapshot
 against the committed baseline.
 
-Two file shapes are understood, auto-detected:
+Three file shapes are understood, auto-detected:
 
 * google-benchmark JSON (BENCH_kernels.json): the GATE. Single-thread
   rows must hold >= (1 - tolerance) of the baseline's throughput
@@ -24,6 +24,19 @@ Two file shapes are understood, auto-detected:
   committed BENCH_table4.json in the same PR (the refresh IS the
   explicit sign-off). Improvements and other field drift (arena
   layout, workspace split, plan-file sizes) stay informational.
+
+* serve coalescing JSON (BENCH_serve.json, rows with kind
+  "serve_coalesce"): GATED. Hard machine-independent floors on every
+  fresh row — build_type must be release, parity must be 1 (coalesced
+  outputs bit-identical to per-request serving), and the
+  burst_singles scenario must keep run_reduction >= 2.0 (the
+  continuous-batching acceptance bar: a burst of singles in at most
+  half the bucket runs). Against the committed baseline, coalesce
+  rate and run reduction must hold >= (1 - tolerance) of baseline,
+  and the amortized-latency win — coalesced/solo us-per-request,
+  self-normalized so host speed cancels like a throughput ratio —
+  must not shrink beyond the same tolerance. Vanished baseline rows
+  fail, same as the other gates.
 
 Usage: bench_check.py BASELINE FRESH [--tolerance 0.25]
                                      [--table4-tolerance 0.05]
@@ -200,6 +213,91 @@ def check_table4(base, fresh, tolerance):
     return failures == 0
 
 
+# The continuous-batching acceptance bar: a burst of batch-1 requests
+# must execute in at most half the bucket runs of per-request serving.
+# Run counts are policy, not timing, so this floor is host-independent.
+MIN_BURST_RUN_REDUCTION = 2.0
+
+
+def serve_key(row):
+    return str(row.get("scenario", ""))
+
+
+def check_serve(base, fresh, tolerance):
+    b = {serve_key(r): r for r in base}
+    f = {serve_key(r): r for r in fresh}
+    failures = 0
+
+    # Machine-independent floors on the fresh snapshot itself.
+    for name in sorted(f):
+        row = f[name]
+        if row.get("build_type", "release") != "release":
+            print(f"  [FAIL] {name}: snapshot built in debug mode — "
+                  f"rebuild Release via scripts/bench_json.sh")
+            failures += 1
+        if int(row.get("parity", 0)) != 1:
+            print(f"  [FAIL] {name}: coalesced outputs are NOT "
+                  f"bit-identical to per-request serving (parity="
+                  f"{row.get('parity')})")
+            failures += 1
+        if (name == "burst_singles"
+                and float(row.get("run_reduction", 0))
+                < MIN_BURST_RUN_REDUCTION):
+            print(f"  [FAIL] {name}: run_reduction "
+                  f"{row.get('run_reduction')} below the "
+                  f"{MIN_BURST_RUN_REDUCTION}x continuous-batching "
+                  f"acceptance bar")
+            failures += 1
+
+    for name in sorted(set(b) - set(f)):
+        print(f"  [FAIL] baseline scenario missing from fresh run: "
+              f"{name} — restore it or refresh the committed baseline "
+              f"with scripts/bench_json.sh")
+        failures += 1
+    for name in sorted(set(f) - set(b)):
+        print(f"  [info] new scenario (no baseline yet): {name}")
+
+    for name in sorted(set(b) & set(f)):
+        old, new = b[name], f[name]
+        # Bigger-is-better policy metrics, tolerance-gated vs baseline.
+        for field in ("run_reduction", "coalesce_rate"):
+            ov, nv = float(old.get(field, 0)), float(new.get(field, 0))
+            ratio = nv / ov if ov > 0 else float("inf")
+            status = "ok"
+            if ratio < 1.0 - tolerance:
+                status = "FAIL"
+                failures += 1
+            print(f"  {name} {field}: {ov:.3g} -> {nv:.3g} "
+                  f"({ratio:.2f}x)  {status}")
+        # Amortized latency: gate the coalesced/solo ratio (lower is
+        # better) so host speed cancels out of the comparison.
+        os_, oc = (float(old.get("amortized_run_us_solo", 0)),
+                   float(old.get("amortized_run_us_coalesced", 0)))
+        ns_, nc = (float(new.get("amortized_run_us_solo", 0)),
+                   float(new.get("amortized_run_us_coalesced", 0)))
+        if os_ > 0 and ns_ > 0:
+            orat, nrat = oc / os_, nc / ns_
+            status = "ok"
+            if orat > 0 and nrat > orat * (1.0 + tolerance):
+                status = "FAIL"
+                failures += 1
+            print(f"  {name} amortized us/req (coalesced/solo): "
+                  f"{orat:.2f} -> {nrat:.2f}  {status}")
+    if failures:
+        print(f"{failures} serve gate failure(s): parity break, "
+              f"run-reduction below {MIN_BURST_RUN_REDUCTION}x, "
+              f"regression beyond {tolerance:.0%}, vanished scenario, "
+              f"or non-Release snapshot — investigate or refresh the "
+              f"committed BENCH_serve.json with scripts/bench_json.sh")
+    return failures == 0
+
+
+def is_serve_doc(doc):
+    """Flat serve-coalescing rows vs the table4 flat list."""
+    return (isinstance(doc, list) and len(doc) > 0
+            and str(doc[0].get("kind", "")).startswith("serve"))
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -217,7 +315,13 @@ def main():
     with open(args.fresh) as fp:
         fresh = json.load(fp)
 
-    if isinstance(base, list):
+    if is_serve_doc(base) or is_serve_doc(fresh):
+        print(f"serve coalescing gate: {args.baseline} vs "
+              f"{args.fresh} (parity + {MIN_BURST_RUN_REDUCTION}x "
+              f"run-reduction floors, tolerance {args.tolerance:.0%} "
+              f"vs baseline)")
+        ok = check_serve(base, fresh, args.tolerance)
+    elif isinstance(base, list):
         print(f"table4 gate: {args.baseline} vs {args.fresh} "
               f"(tolerance {args.table4_tolerance:.0%} on peak "
               f"memory)")

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Machine-readable benchmark snapshot: runs the memory bench and the
-# kernel microbench with --json and drops BENCH_table4.json /
-# BENCH_kernels.json at the repo root — the perf-trajectory files a
-# re-anchor (or CI trend job) diffs against previous PRs.
+# Machine-readable benchmark snapshot: runs the memory bench, the
+# kernel microbench, and the serving coalescing scenarios with --json
+# and drops BENCH_table4.json / BENCH_kernels.json / BENCH_serve.json
+# at the repo root — the perf-trajectory files a re-anchor (or CI
+# trend job) diffs against previous PRs.
 #
 # Usage: scripts/bench_json.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -37,6 +38,12 @@ done
 
 "$BUILD"/bench_table4_memory --json BENCH_table4.json > /dev/null
 echo "wrote BENCH_table4.json"
+
+# Continuous-batching rows: run reduction / coalesce rate are policy
+# counts (deterministic), amortized latency is gated as a
+# coalesced/solo ratio so host speed cancels.
+"$BUILD"/serve_bench --json BENCH_serve.json > /dev/null
+echo "wrote BENCH_serve.json"
 
 if [ -x "$BUILD"/bench_kernels ]; then
     # Short min_time: this snapshots relative kernel throughput

@@ -599,6 +599,52 @@ Executor::bindInputRows(ExecContext &ctx, int id, const Tensor &t) const
 }
 
 void
+Executor::bindInputRowsAt(ExecContext &ctx, int id, const Tensor &t,
+                          int64_t rowOffset) const
+{
+    const Node &n = g_.node(id);
+    if (n.shape.empty() || t.shape().empty() ||
+        t.shape().size() != n.shape.size())
+        throw std::runtime_error(
+            "bindInputRowsAt: rank mismatch for " + n.name);
+    for (size_t d = 1; d < n.shape.size(); ++d) {
+        if (t.shape()[d] != n.shape[d])
+            throw std::runtime_error(
+                "bindInputRowsAt: shape mismatch for " + n.name +
+                ": got " + shapeToString(t.shape()) + " want " +
+                shapeToString(n.shape) + " (rows may differ)");
+    }
+    int64_t rows = t.shape()[0];
+    if (rowOffset < 0 || rowOffset + rows > n.shape[0])
+        throw std::runtime_error(
+            "bindInputRowsAt: rows [" + std::to_string(rowOffset) +
+            ", " + std::to_string(rowOffset + rows) +
+            ") exceed the " + std::to_string(n.shape[0]) +
+            " rows of " + n.name);
+    int64_t rowElems = numel(n.shape) / n.shape[0];
+    std::memcpy(ctx.inputBufs_[id].data() + rowOffset * rowElems,
+                t.data(), sizeof(float) * rows * rowElems);
+}
+
+void
+Executor::zeroInputRowsFrom(ExecContext &ctx, int id,
+                            int64_t fromRow) const
+{
+    const Node &n = g_.node(id);
+    if (n.shape.empty())
+        throw std::runtime_error(
+            "zeroInputRowsFrom: scalar input " + n.name);
+    if (fromRow < 0 || fromRow > n.shape[0])
+        throw std::runtime_error(
+            "zeroInputRowsFrom: row " + std::to_string(fromRow) +
+            " out of the " + std::to_string(n.shape[0]) +
+            " rows of " + n.name);
+    int64_t rowElems = numel(n.shape) / n.shape[0];
+    std::memset(ctx.inputBufs_[id].data() + fromRow * rowElems, 0,
+                sizeof(float) * (n.shape[0] - fromRow) * rowElems);
+}
+
+void
 Executor::run()
 {
     run(defaultCtx());

@@ -204,6 +204,23 @@ class Executor
      */
     void bindInputRows(ExecContext &ctx, int id, const Tensor &t) const;
 
+    /**
+     * Bind @p t's rows into Input @p id starting at row @p rowOffset
+     * of the staging buffer, touching no other rows — the coalescing
+     * serving path packs several requests' rows contiguously with
+     * this, then zeroes the shared tail once via zeroInputRowsFrom().
+     * @p t must match the input's shape in every dim but the first
+     * and [rowOffset, rowOffset + rows) must fit the input's rows.
+     */
+    void bindInputRowsAt(ExecContext &ctx, int id, const Tensor &t,
+                         int64_t rowOffset) const;
+
+    /** Zero rows [@p fromRow, input rows) of Input @p id's staging —
+     *  the pad tail of a coalesced group, zero-filled so the packed
+     *  run is byte-identical to an explicitly padded one. */
+    void zeroInputRowsFrom(ExecContext &ctx, int id,
+                           int64_t fromRow) const;
+
     /** Execute one step on @p ctx. Touches only @p ctx's mutable
      *  state; distinct contexts may run concurrently. */
     void run(ExecContext &ctx) const;

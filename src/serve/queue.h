@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -74,6 +75,29 @@ class BoundedQueue
     {
         std::unique_lock<std::mutex> lock(mu_);
         notEmpty_.wait(lock, [this] { return closed_ || !q_.empty(); });
+        if (q_.empty())
+            return false;
+        out = std::move(q_.front());
+        q_.pop_front();
+        lock.unlock();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue, blocking until @p deadline at the latest. False on
+     * timeout or on closed-and-drained — either way the caller has
+     * nothing to process. The coalescing drain's wait primitive: a
+     * worker holding a partial group parks here until more traffic
+     * arrives or the group's deadline window expires.
+     */
+    bool
+    popUntil(T &out, std::chrono::steady_clock::time_point deadline)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notEmpty_.wait_until(lock, deadline, [this] {
+            return closed_ || !q_.empty();
+        });
         if (q_.empty())
             return false;
         out = std::move(q_.front());

@@ -29,6 +29,23 @@ sliceRows(Tensor full, int64_t batch, int64_t rows)
     return out;
 }
 
+/** Coalesced-group slice: rows [@p off, @p off + @p rows) of a shared
+ *  bucket output, one member's result. Only reached for coalescable
+ *  models (every output leads with the batch dim — asserted at engine
+ *  construction), so no whole-tensor fallback exists here. */
+Tensor
+sliceRowsAt(const Tensor &full, int64_t batch, int64_t off,
+            int64_t rows)
+{
+    Shape s = full.shape();
+    s[0] = rows;
+    Tensor out(s);
+    int64_t rowElems = full.size() / batch;
+    std::memcpy(out.data(), full.data() + off * rowElems,
+                sizeof(float) * out.size());
+    return out;
+}
+
 /** Fit a calibration tensor to a bucket's batch: zero-pad the rows up
  *  (exactly what bindInputRows does to real traffic, so calibration
  *  sees representative pad statistics) or truncate them down. */
@@ -55,26 +72,33 @@ fitRows(const Tensor &t, int64_t batch)
 std::string
 ServeStats::summary() const
 {
-    char buf[256];
+    char buf[512];
     std::snprintf(buf, sizeof(buf),
                   "%lld done / %lld submitted (%lld rejected, "
                   "%lld failed) | "
                   "p50 %.0fus p99 %.0fus | %.1f req/s | "
+                  "%lld runs (%lld shared, rate %.2f) | "
+                  "amort %.1fus/req | "
                   "queue %lld (max %lld) | %lld sessions",
                   static_cast<long long>(completed),
                   static_cast<long long>(submitted),
                   static_cast<long long>(rejected),
                   static_cast<long long>(failed), p50LatencyUs,
                   p99LatencyUs, throughputRps,
+                  static_cast<long long>(runs),
+                  static_cast<long long>(coalescedRuns), coalesceRate,
+                  amortizedRunUs,
                   static_cast<long long>(queueDepth),
                   static_cast<long long>(maxQueueDepth),
                   static_cast<long long>(sessionsCreated));
     std::string out = buf;
     out += " | buckets:";
     for (const BucketStats &b : buckets) {
-        std::snprintf(buf, sizeof(buf), " b%lld:%lld(+%lld pad)",
+        std::snprintf(buf, sizeof(buf),
+                      " b%lld:%lld/%lldr(+%lld pad)",
                       static_cast<long long>(b.batch),
                       static_cast<long long>(b.hits),
+                      static_cast<long long>(b.runs),
                       static_cast<long long>(b.paddedRows));
         out += buf;
     }
@@ -102,6 +126,7 @@ ServingEngine::ServingEngine(const ModelFactory &model,
                   batches.end());
     if (batches.empty())
         batches.push_back(1);
+    coalescer_ = Coalescer(batches, options_.coalesceWindowUs);
 
     // One compiled plan per (precision, shape bucket). Every bucket
     // binds the same frozen ParamStore; the factory must name
@@ -190,6 +215,19 @@ ServingEngine::ServingEngine(const ModelFactory &model,
             "serving from a plan directory — the zero-recompile "
             "contract is broken");
 
+    // A shared run is sliceable per request only when every output
+    // leads with the batch dim; a scalar/reduction output would mix
+    // the group's rows. Checked once here so the worker hot path
+    // carries a single bool.
+    coalescable_ = true;
+    for (const auto &b : buckets_) {
+        for (int oid : b->cg.graph.outputs()) {
+            const Shape &os = b->cg.graph.node(oid).shape;
+            if (os.empty() || os[0] != b->batch)
+                coalescable_ = false;
+        }
+    }
+
     sessions_.resize(workers_);
     for (auto &row : sessions_)
         row.resize(buckets_.size());
@@ -240,11 +278,9 @@ ServingEngine::savePlans(const std::string &dir) const
 int
 ServingEngine::bucketIndexFor(int64_t rows) const
 {
-    for (size_t i = 0; i < buckets_.size(); ++i) {
-        if (buckets_[i]->batch >= rows)
-            return static_cast<int>(i);
-    }
-    return -1;
+    // buckets_ was built from the same normalized batch list the
+    // coalescer holds, so policy indices ARE bucket indices.
+    return coalescer_.routeSingle(rows);
 }
 
 int64_t
@@ -387,71 +423,170 @@ ServingEngine::trySubmit(std::unordered_map<std::string, Tensor> feeds)
 void
 ServingEngine::workerLoop(int worker)
 {
-    std::shared_ptr<RequestState> st;
-    while (queue_.pop(st)) {
-        Bucket &bk = *buckets_[st->bucket];
+    // A drained request that did not fit the group in progress: it
+    // becomes the NEXT group's leader, so FIFO order is preserved and
+    // nothing is ever pushed back onto the queue. Always consumed
+    // before the next pop, so shutdown cannot strand it.
+    std::shared_ptr<RequestState> carry;
+    std::shared_ptr<RequestState> leader;
+    while (true) {
+        if (carry)
+            leader = std::move(carry);
+        else if (!queue_.pop(leader))
+            break;
 
-        // Any worker-path throw (first-bind validation, allocation
-        // failure) is captured into the request and rethrown by
-        // wait() — an uncaught exception here would std::terminate
-        // the process and strand every waiter.
-        try {
-            // Session acquisition is lock-free by ownership: worker w
-            // is the only thread that ever touches sessions_[w].
-            // After one request per (worker, bucket) pair the pool is
-            // warm and the hot path performs no allocation besides
-            // result tensors.
-            std::unique_ptr<ExecContext> &sess =
-                sessions_[worker][st->bucket];
-            if (!sess) {
-                sess = bk.exec->makeContext();
-                sessionsCreated_.fetch_add(1,
-                                           std::memory_order_relaxed);
+        std::vector<std::shared_ptr<RequestState>> group;
+        int64_t total = leader->rows;
+        int bucketIdx = leader->bucket;
+        group.push_back(std::move(leader));
+
+        if (coalescable_ && coalescer_.enabled()) {
+            // Continuous batching: drain compatible queued requests
+            // into this group until the largest bucket is exactly
+            // full, the deadline window expires, or an arrival does
+            // not fit. A lone request goes out alone after at most
+            // windowUs.
+            auto deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::microseconds(coalescer_.windowUs());
+            std::shared_ptr<RequestState> next;
+            while (!coalescer_.full(total) &&
+                   queue_.popUntil(next, deadline)) {
+                if (coalescer_.admits(total, next->rows)) {
+                    total += next->rows;
+                    group.push_back(std::move(next));
+                } else {
+                    carry = std::move(next);
+                    break;
+                }
             }
-
-            for (const auto &[id, t] : st->feeds)
-                bk.exec->bindInputRows(*sess, id, t);
-            bk.exec->run(*sess);
-
-            const std::vector<int> &outs = bk.cg.graph.outputs();
-            st->outputs.reserve(outs.size());
-            for (int oid : outs)
-                st->outputs.push_back(sliceRows(
-                    bk.exec->fetch(*sess, oid), bk.batch, st->rows));
-        } catch (const std::exception &e) {
-            st->outputs.clear();
-            st->error = e.what();
+            // The group routes to the smallest bucket fitting the
+            // PACKED total — group pad waste, not per-request pad
+            // waste (a 3-row + 1-row pair shares one bucket-4 run).
+            if (group.size() > 1)
+                bucketIdx = coalescer_.routeGroup(total);
         }
-
-        if (!st->error.empty()) {
-            // Failures stay out of completed/hits/latency: a failing
-            // fleet must read as failing, not as healthy throughput.
-            failed_.fetch_add(1, std::memory_order_relaxed);
-        } else {
-            bk.hits.fetch_add(1, std::memory_order_relaxed);
-            bk.paddedRows.fetch_add(bk.batch - st->rows,
-                                    std::memory_order_relaxed);
-            double us = std::chrono::duration<double, std::micro>(
-                            std::chrono::steady_clock::now() -
-                            st->submitTime)
-                            .count();
-            {
-                std::lock_guard<std::mutex> lock(statsMu_);
-                latenciesUs_.push_back(us);
-                // Bounded sample window so a long-lived engine's
-                // stats stay O(1) in memory.
-                if (latenciesUs_.size() > 65536)
-                    latenciesUs_.pop_front();
-            }
-            completed_.fetch_add(1, std::memory_order_relaxed);
-        }
-        {
-            std::lock_guard<std::mutex> lock(doneMu_);
-            st->done.store(true, std::memory_order_release);
-        }
-        doneCv_.notify_all();
-        st.reset();
+        runGroup(worker, bucketIdx, group, total);
     }
+}
+
+void
+ServingEngine::runGroup(
+    int worker, int bucketIdx,
+    std::vector<std::shared_ptr<RequestState>> &group,
+    int64_t totalRows)
+{
+    Bucket &bk = *buckets_[bucketIdx];
+    int64_t runNs = 0;
+    std::string error;
+
+    // Any worker-path throw (first-bind validation, allocation
+    // failure) is captured into every member and rethrown by their
+    // wait()s — an uncaught exception here would std::terminate the
+    // process and strand every waiter.
+    try {
+        // Session acquisition is lock-free by ownership: worker w is
+        // the only thread that ever touches sessions_[w]. After one
+        // request per (worker, bucket) pair the pool is warm and the
+        // hot path performs no allocation besides result tensors.
+        std::unique_ptr<ExecContext> &sess =
+            sessions_[worker][bucketIdx];
+        if (!sess) {
+            sess = bk.exec->makeContext();
+            sessionsCreated_.fetch_add(1, std::memory_order_relaxed);
+        }
+
+        if (group.size() == 1) {
+            // The exact pre-coalescing bind: pad-to-bucket zero-fill.
+            for (const auto &[id, t] : group[0]->feeds)
+                bk.exec->bindInputRows(*sess, id, t);
+        } else {
+            // Pack each member's rows contiguously into the shared
+            // staging buffers, then zero the pad tail once — the
+            // packed buffer is byte-identical to the concatenation
+            // of the members' independently padded binds.
+            int64_t off = 0;
+            for (const auto &st : group) {
+                for (const auto &[id, t] : st->feeds)
+                    bk.exec->bindInputRowsAt(*sess, id, t, off);
+                off += st->rows;
+            }
+            for (int id : bk.cg.graph.inputIds())
+                bk.exec->zeroInputRowsFrom(*sess, id, totalRows);
+        }
+
+        auto t0 = std::chrono::steady_clock::now();
+        bk.exec->run(*sess);
+        runNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+
+        const std::vector<int> &outs = bk.cg.graph.outputs();
+        if (group.size() == 1) {
+            RequestState &st = *group[0];
+            st.outputs.reserve(outs.size());
+            for (int oid : outs)
+                st.outputs.push_back(sliceRows(
+                    bk.exec->fetch(*sess, oid), bk.batch, st.rows));
+        } else {
+            // One fetch per output; each member slices its own rows
+            // back out of the shared result.
+            for (int oid : outs) {
+                Tensor full = bk.exec->fetch(*sess, oid);
+                int64_t off = 0;
+                for (const auto &st : group) {
+                    st->outputs.push_back(sliceRowsAt(
+                        full, bk.batch, off, st->rows));
+                    off += st->rows;
+                }
+            }
+        }
+    } catch (const std::exception &e) {
+        error = e.what();
+    }
+
+    if (!error.empty()) {
+        // Failures stay out of completed/hits/latency: a failing
+        // fleet must read as failing, not as healthy throughput. A
+        // mid-group throw fails every member — none of them ran.
+        for (const auto &st : group) {
+            st->outputs.clear();
+            st->error = error;
+        }
+        failed_.fetch_add(static_cast<int64_t>(group.size()),
+                          std::memory_order_relaxed);
+    } else {
+        bk.hits.fetch_add(static_cast<int64_t>(group.size()),
+                          std::memory_order_relaxed);
+        bk.runs.fetch_add(1, std::memory_order_relaxed);
+        bk.paddedRows.fetch_add(bk.batch - totalRows,
+                                std::memory_order_relaxed);
+        runNanos_.fetch_add(runNs, std::memory_order_relaxed);
+        if (group.size() > 1) {
+            coalescedRuns_.fetch_add(1, std::memory_order_relaxed);
+            coalescedRequests_.fetch_add(
+                static_cast<int64_t>(group.size()),
+                std::memory_order_relaxed);
+        }
+        auto now = std::chrono::steady_clock::now();
+        {
+            std::lock_guard<std::mutex> lock(statsMu_);
+            for (const auto &st : group)
+                latenciesUs_.add(
+                    std::chrono::duration<double, std::micro>(
+                        now - st->submitTime)
+                        .count());
+        }
+        completed_.fetch_add(static_cast<int64_t>(group.size()),
+                             std::memory_order_relaxed);
+    }
+    {
+        std::lock_guard<std::mutex> lock(doneMu_);
+        for (const auto &st : group)
+            st->done.store(true, std::memory_order_release);
+    }
+    doneCv_.notify_all();
+    group.clear();
 }
 
 bool
@@ -507,22 +642,35 @@ ServingEngine::stats() const
     s.queueDepth = static_cast<int64_t>(queue_.size());
     s.maxQueueDepth = maxQueueDepth_.load(std::memory_order_relaxed);
     s.sessionsCreated = sessionsCreated_.load(std::memory_order_relaxed);
+    s.coalescedRuns = coalescedRuns_.load(std::memory_order_relaxed);
+    s.coalescedRequests =
+        coalescedRequests_.load(std::memory_order_relaxed);
     for (const auto &b : buckets_) {
         BucketStats bs;
         bs.batch = b->batch;
         bs.hits = b->hits.load(std::memory_order_relaxed);
+        bs.runs = b->runs.load(std::memory_order_relaxed);
         bs.paddedRows = b->paddedRows.load(std::memory_order_relaxed);
+        s.runs += bs.runs;
         s.buckets.push_back(bs);
     }
+    if (s.completed > 0) {
+        s.coalesceRate = static_cast<double>(s.coalescedRequests) /
+                         static_cast<double>(s.completed);
+        s.amortizedRunUs =
+            runNanos_.load(std::memory_order_relaxed) / 1e3 /
+            static_cast<double>(s.completed);
+    }
     // Copy the sample window under the lock, sort after releasing it:
-    // workers take statsMu_ on every completion, and sorting 64k
-    // doubles under it would let a stats poll loop stall the very
+    // workers take statsMu_ on every completion, and sorting the
+    // reservoir under it would let a stats poll loop stall the very
     // path the engine keeps lock-free otherwise.
     std::vector<double> lat;
     {
         std::lock_guard<std::mutex> lock(statsMu_);
-        lat.assign(latenciesUs_.begin(), latenciesUs_.end());
+        lat = latenciesUs_.snapshot();
     }
+    s.latencySamples = static_cast<int64_t>(lat.size());
     if (!lat.empty()) {
         std::sort(lat.begin(), lat.end());
         auto pct = [&](double p) {

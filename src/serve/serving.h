@@ -24,6 +24,25 @@
  * request returns byte-identical values to an explicitly zero-padded
  * serial run.
  *
+ * Continuous batching (ServeOptions::coalesceWindowUs > 0): a worker
+ * that dequeues a request first drains additional compatible queued
+ * requests — any mix of row counts whose packed total still fits the
+ * largest bucket — within the deadline window, packs their rows
+ * contiguously into ONE session's staging buffers (the same
+ * zero-pad/slice machinery as above, with the pad tail zeroed once
+ * after the group), runs the group's bucket plan ONCE, and slices
+ * each requester's rows back out. k compatible requests therefore
+ * cost one bucket run instead of k, and the group routes to the
+ * smallest bucket fitting the packed TOTAL, so group pad waste beats
+ * per-request pad waste too (see src/serve/coalescer.h for the
+ * policy). Outputs are byte-identical to the independently padded
+ * serial runs coalescing replaces — the same row-independence the
+ * pad-to-bucket path already relies on. Models with outputs whose
+ * leading dim is not the batch (scalars, reductions) cannot be
+ * sliced per request and always go out alone. coalesceWindowUs = 0
+ * (the default) disables grouping and reproduces the per-request
+ * path exactly.
+ *
  * Concurrency model: `workers` serving workers are parked on a
  * dedicated ThreadPool via one persistent dispatch (the pool's
  * completion barrier doubles as shutdown join). Each worker owns at
@@ -43,7 +62,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -54,6 +72,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "serve/coalescer.h"
 #include "serve/queue.h"
 
 namespace pe {
@@ -79,6 +98,21 @@ struct ServeOptions {
     std::vector<int64_t> buckets = {1};
     /** Concurrent serving workers (= max in-flight sessions). */
     int workers = 2;
+    /**
+     * Continuous-batching deadline window, in microseconds. A worker
+     * that dequeues a request waits up to this long for additional
+     * compatible queued requests and coalesces them into ONE shared
+     * bucket run (rows packed contiguously, outputs sliced back per
+     * request, byte-identical to the serial padded runs it
+     * replaces). 0 (default) disables coalescing — every request
+     * runs alone, exactly the pre-coalescing serving path. Tuning:
+     * the window is the latency a lone request pays waiting for
+     * company, so set it to the burst inter-arrival time you want to
+     * absorb (a few hundred us to a few ms for RPC traffic); under
+     * saturation the queue is never empty and the window is rarely
+     * waited out.
+     */
+    int64_t coalesceWindowUs = 0;
     /** Bounded admission-queue capacity: submit() blocks and
      *  trySubmit() bounces when this many requests are queued. */
     size_t queueCapacity = 64;
@@ -114,7 +148,9 @@ struct ServeOptions {
 /** Per-bucket serving counters. */
 struct BucketStats {
     int64_t batch = 0;      ///< the bucket's compiled batch size
-    int64_t hits = 0;       ///< requests routed to this bucket
+    int64_t hits = 0;       ///< requests served by this bucket's plan
+    int64_t runs = 0;       ///< plan executions (== hits minus
+                            ///< coalescing: k grouped requests run once)
     int64_t paddedRows = 0; ///< total pad rows executed (waste)
 };
 
@@ -133,6 +169,24 @@ struct ServeStats {
      *  and stable once traffic has warmed every (worker, bucket)
      *  pair — the arena-pool-reuse invariant tests assert on. */
     int64_t sessionsCreated = 0;
+    /** Bucket-plan executions across all buckets. Without coalescing
+     *  runs == completed; with it, runs is the number the coalescer
+     *  drives DOWN (the burst-of-singles acceptance metric). */
+    int64_t runs = 0;
+    /** Runs that served >= 2 coalesced requests. */
+    int64_t coalescedRuns = 0;
+    /** Requests served through a shared (>= 2 request) run. */
+    int64_t coalescedRequests = 0;
+    /** coalescedRequests / completed — the coalescing rate. */
+    double coalesceRate = 0;
+    /** Plan execution time divided by requests served: the amortized
+     *  per-request cost coalescing buys down (excludes queueing, so
+     *  it is comparable across traffic shapes). */
+    double amortizedRunUs = 0;
+    /** Latency samples currently held by the fixed-capacity
+     *  reservoir percentiles are computed from (bounded by
+     *  kLatencyReservoirCap regardless of traffic volume). */
+    int64_t latencySamples = 0;
     double p50LatencyUs = 0; ///< submit-to-complete, median
     double p99LatencyUs = 0;
     double throughputRps = 0; ///< completed / elapsed
@@ -140,6 +194,47 @@ struct ServeStats {
     std::vector<BucketStats> buckets;
 
     std::string summary() const;
+};
+
+/**
+ * Fixed-capacity ring of latency samples: a long-lived engine's
+ * percentile window stays O(capacity) no matter how many requests it
+ * serves (the old unbounded deque grew without limit under sustained
+ * traffic). Once full, each new sample overwrites the oldest, so
+ * p50/p99 always reflect the most recent `capacity` completions — a
+ * sliding window, which is what a serving dashboard wants anyway.
+ * Externally synchronized (the engine holds statsMu_).
+ */
+class LatencyRing
+{
+  public:
+    explicit LatencyRing(size_t capacity)
+        : cap_(capacity == 0 ? 1 : capacity)
+    {
+        samples_.reserve(cap_);
+    }
+
+    void
+    add(double v)
+    {
+        if (samples_.size() < cap_) {
+            samples_.push_back(v);
+        } else {
+            samples_[next_] = v;
+        }
+        next_ = (next_ + 1) % cap_;
+    }
+
+    size_t size() const { return samples_.size(); }
+    size_t capacity() const { return cap_; }
+
+    /** The held samples, unordered (callers sort for percentiles). */
+    std::vector<double> snapshot() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+    size_t next_ = 0;
+    const size_t cap_;
 };
 
 /**
@@ -154,6 +249,9 @@ class ServingEngine
     using RequestId = uint64_t;
     /** Returned by trySubmit when the admission queue is full. */
     static constexpr RequestId kRejected = 0;
+    /** Latency-percentile reservoir capacity: stats memory is bounded
+     *  by this regardless of how many requests the engine serves. */
+    static constexpr size_t kLatencyReservoirCap = 4096;
 
     ServingEngine(const ModelFactory &model,
                   std::shared_ptr<ParamStore> store,
@@ -240,6 +338,7 @@ class ServingEngine
         CompiledGraph cg;
         std::unique_ptr<Executor> exec;
         std::atomic<int64_t> hits{0};
+        std::atomic<int64_t> runs{0};
         std::atomic<int64_t> paddedRows{0};
     };
 
@@ -247,14 +346,29 @@ class ServingEngine
         std::unordered_map<std::string, Tensor> &feeds);
     void finishSubmit(const std::shared_ptr<RequestState> &st);
     void workerLoop(int worker);
+    /** Pack @p group's rows into one session of bucket @p bucketIdx,
+     *  run the plan once, slice each member's rows back out and
+     *  signal completion. Single-member groups take the exact
+     *  pre-coalescing bind path. */
+    void runGroup(
+        int worker, int bucketIdx,
+        std::vector<std::shared_ptr<RequestState>> &group,
+        int64_t totalRows);
     /** Index of the smallest bucket fitting @p rows; -1 if none. The
-     *  ONE routing rule — bucketFor() and makeRequest() share it. */
+     *  ONE routing rule — bucketFor(), makeRequest() and the
+     *  coalescer share it. */
     int bucketIndexFor(int64_t rows) const;
 
     std::shared_ptr<ParamStore> store_;
     ServeOptions options_;
     int workers_ = 1;
     std::vector<std::unique_ptr<Bucket>> buckets_;
+    /** Grouping policy (bucket batches + deadline window). */
+    Coalescer coalescer_;
+    /** Every bucket's outputs lead with its batch dim, so a shared
+     *  run can be sliced back per request. Computed once at
+     *  construction; false pins every request to a solo run. */
+    bool coalescable_ = false;
 
     BoundedQueue<std::shared_ptr<RequestState>> queue_;
     std::unique_ptr<ThreadPool> pool_;
@@ -277,8 +391,13 @@ class ServingEngine
     std::atomic<int64_t> failed_{0};
     std::atomic<int64_t> maxQueueDepth_{0};
     std::atomic<int64_t> sessionsCreated_{0};
+    std::atomic<int64_t> coalescedRuns_{0};
+    std::atomic<int64_t> coalescedRequests_{0};
+    /** Summed plan execution time (ns) across all bucket runs — the
+     *  numerator of ServeStats::amortizedRunUs. */
+    std::atomic<int64_t> runNanos_{0};
     mutable std::mutex statsMu_; ///< latency samples
-    std::deque<double> latenciesUs_;
+    LatencyRing latenciesUs_{kLatencyReservoirCap};
     std::chrono::steady_clock::time_point start_;
 };
 

@@ -16,6 +16,12 @@
  *  4. The acceptance bar: concurrent submission produces bit-identical
  *     outputs to serial runBatch, per request, including a
  *     4-thread x 32-request mixed-shape stress run.
+ *  5. Continuous batching: Coalescer policy units, coalesced-run
+ *     bit-parity vs independently padded serial runs (fp32 + int8),
+ *     group-aware pad-waste reduction for mixed row counts,
+ *     deadline-window expiry, coalesceWindowUs=0 reproducing the
+ *     per-request path, a 4-worker x 64-request coalescing stress,
+ *     and the bounded latency reservoir.
  */
 
 #include <gtest/gtest.h>
@@ -27,6 +33,7 @@
 
 #include "engine/engine.h"
 #include "frontend/builder.h"
+#include "serve/coalescer.h"
 #include "serve/queue.h"
 #include "serve/serving.h"
 
@@ -545,6 +552,430 @@ TEST(Serving, StressFourThreadsThirtyTwoRequestsEachBitExact)
         hits += b.hits;
     EXPECT_EQ(hits, kThreads * kPer);
     EXPECT_FALSE(s.summary().empty());
+}
+
+// ---- Coalescer policy (no threads, no plans) -------------------------
+
+TEST(Coalescer, NormalizesBucketsAndRoutesSmallestFit)
+{
+    Coalescer c({8, 1, 4, 4, 0, -2}, 100);
+    ASSERT_EQ(c.batches(), (std::vector<int64_t>{1, 4, 8}));
+    EXPECT_TRUE(c.enabled());
+    EXPECT_EQ(c.maxBatch(), 8);
+
+    EXPECT_EQ(c.routeSingle(1), 0);
+    EXPECT_EQ(c.routeSingle(2), 1);
+    EXPECT_EQ(c.routeSingle(4), 1);
+    EXPECT_EQ(c.routeSingle(5), 2);
+    EXPECT_EQ(c.routeSingle(8), 2);
+    EXPECT_EQ(c.routeSingle(9), -1);
+    EXPECT_EQ(c.routeSingle(0), -1);
+
+    // Group routing follows the same smallest-fit rule on the total.
+    EXPECT_EQ(c.routeGroup(4), 1);
+    EXPECT_EQ(c.routeGroup(6), 2);
+}
+
+TEST(Coalescer, AdmitsWhileTheGroupFitsTheLargestBucket)
+{
+    Coalescer c({1, 4, 8}, 100);
+    EXPECT_TRUE(c.admits(1, 1));
+    EXPECT_TRUE(c.admits(3, 5)) << "3+5 exactly fills bucket 8";
+    EXPECT_FALSE(c.admits(7, 2)) << "7+2 exceeds every bucket";
+    EXPECT_FALSE(c.admits(3, 0)) << "zero-row requests never join";
+    EXPECT_FALSE(c.full(7));
+    EXPECT_TRUE(c.full(8));
+
+    // Group pad waste: smallest bucket fitting the packed total.
+    EXPECT_EQ(c.padRows(4), 0);
+    EXPECT_EQ(c.padRows(5), 3);
+    EXPECT_EQ(c.padRows(9), -1);
+}
+
+TEST(Coalescer, WindowZeroOrNegativeDisables)
+{
+    EXPECT_FALSE(Coalescer({1, 4}, 0).enabled());
+    EXPECT_FALSE(Coalescer({1, 4}, -5).enabled());
+    EXPECT_EQ(Coalescer({1, 4}, -5).windowUs(), 0);
+    EXPECT_TRUE(Coalescer({1, 4}, 1).enabled());
+}
+
+TEST(BoundedQueue, PopUntilTimesOutAndDelivers)
+{
+    BoundedQueue<int> q(4);
+    auto t0 = std::chrono::steady_clock::now();
+    int v = 0;
+    EXPECT_FALSE(q.popUntil(
+        v, t0 + std::chrono::milliseconds(20)));
+    EXPECT_GE(std::chrono::steady_clock::now() - t0,
+              std::chrono::milliseconds(20));
+
+    ASSERT_TRUE(q.tryPush(42));
+    EXPECT_TRUE(q.popUntil(v, std::chrono::steady_clock::now() +
+                                  std::chrono::milliseconds(20)));
+    EXPECT_EQ(v, 42);
+
+    q.close();
+    EXPECT_FALSE(q.popUntil(v, std::chrono::steady_clock::now() +
+                                   std::chrono::hours(1)))
+        << "closed + drained must not wait out the deadline";
+}
+
+// ---- Continuous batching (coalesced runs) ----------------------------
+
+/** A window long enough that requests submitted microseconds apart
+ *  always land in one group, short enough that a hung test fails
+ *  fast. */
+constexpr int64_t kTestWindowUs = 400000; // 400 ms
+
+TEST(Coalescing, BurstOfSinglesSharesRunsBitExactFp32)
+{
+    auto store = std::make_shared<ParamStore>();
+    auto factory = [&](int64_t b) { return mlpModel(b, store.get()); };
+
+    ServeOptions ref;
+    ref.buckets = {1, 4, 8};
+    ref.workers = 1; // coalesceWindowUs = 0: the per-request path
+    ServingEngine solo(factory, store, ref);
+
+    ServeOptions co = ref;
+    co.coalesceWindowUs = kTestWindowUs;
+    ServingEngine engine(factory, store, co);
+
+    Rng r(41);
+    std::vector<Tensor> xs;
+    for (int i = 0; i < 8; ++i)
+        xs.push_back(randomRows(1, r));
+
+    // Reference outputs through the per-request engine (itself
+    // bit-identical to serial padded runs — proven above).
+    std::vector<Tensor> want;
+    for (const Tensor &x : xs)
+        want.push_back(solo.wait(solo.submit({{"x", x}}))[0]);
+
+    std::vector<ServingEngine::RequestId> ids;
+    for (const Tensor &x : xs)
+        ids.push_back(engine.submit({{"x", x}}));
+    for (size_t i = 0; i < ids.size(); ++i)
+        expectBitEqual(engine.wait(ids[i])[0], want[i],
+                       "coalesced single " + std::to_string(i));
+
+    ServeStats s = engine.stats();
+    EXPECT_EQ(s.completed, 8);
+    EXPECT_LT(s.runs, s.completed)
+        << "a burst of singles must share bucket runs";
+    EXPECT_GE(s.coalescedRuns, 1);
+    EXPECT_GT(s.coalescedRequests, s.coalescedRuns);
+    EXPECT_GT(s.coalesceRate, 0.0);
+    ServeStats solo_s = solo.stats();
+    EXPECT_EQ(solo_s.runs, solo_s.completed)
+        << "window 0 must run every request alone";
+    EXPECT_EQ(solo_s.coalescedRuns, 0);
+}
+
+TEST(Coalescing, Int8GroupMatchesIndependentPaddedRuns)
+{
+    auto store = std::make_shared<ParamStore>();
+    auto factory = [&](int64_t b) { return mlpModel(b, store.get()); };
+
+    ServeOptions ref;
+    ref.buckets = {4};
+    ref.workers = 1;
+    ref.compile.precision = Precision::Int8;
+    {
+        Rng crng(53);
+        for (int i = 0; i < 2; ++i)
+            ref.calibration.push_back({{"x", randomRows(4, crng)}});
+    }
+    ServingEngine solo(factory, store, ref);
+
+    ServeOptions co = ref;
+    co.coalesceWindowUs = kTestWindowUs;
+    ServingEngine engine(factory, store, co);
+    EXPECT_EQ(engine.bucketReport(4).precision, Precision::Int8);
+
+    Rng r(59);
+    std::vector<Tensor> xs;
+    for (int i = 0; i < 4; ++i)
+        xs.push_back(randomRows(1 + i % 2, r));
+
+    std::vector<Tensor> want;
+    for (const Tensor &x : xs)
+        want.push_back(solo.wait(solo.submit({{"x", x}}))[0]);
+
+    std::vector<ServingEngine::RequestId> ids;
+    for (const Tensor &x : xs)
+        ids.push_back(engine.submit({{"x", x}}));
+    for (size_t i = 0; i < ids.size(); ++i)
+        expectBitEqual(engine.wait(ids[i])[0], want[i],
+                       "int8 coalesced " + std::to_string(i));
+
+    ServeStats s = engine.stats();
+    EXPECT_EQ(s.completed, 4);
+    EXPECT_LT(s.runs, s.completed)
+        << "int8 groups must share bucket runs too";
+}
+
+TEST(Coalescing, MixedRowGroupSharesOneBucketRunAndDropsPadWaste)
+{
+    // Satellite: a 3-row request next to a 1-row request must share
+    // one bucket-4 run (0 pad rows) instead of a padded bucket-4 run
+    // plus a bucket-1 run (1 pad row) — group-aware bucket selection
+    // covers multi-row requests, not just singles.
+    auto store = std::make_shared<ParamStore>();
+    auto factory = [&](int64_t b) { return mlpModel(b, store.get()); };
+
+    ServeOptions ref;
+    ref.buckets = {1, 4};
+    ref.workers = 1;
+    ServingEngine solo(factory, store, ref);
+
+    ServeOptions co = ref;
+    co.coalesceWindowUs = kTestWindowUs;
+    ServingEngine engine(factory, store, co);
+
+    Rng r(61);
+    Tensor x3 = randomRows(3, r);
+    Tensor x1 = randomRows(1, r);
+
+    Tensor want3 = solo.wait(solo.submit({{"x", x3}}))[0];
+    Tensor want1 = solo.wait(solo.submit({{"x", x1}}))[0];
+    ServeStats solo_s = solo.stats();
+    EXPECT_EQ(solo_s.runs, 2);
+    int64_t soloPad = 0;
+    for (const auto &b : solo_s.buckets)
+        soloPad += b.paddedRows;
+    EXPECT_EQ(soloPad, 1) << "per-request routing pads 3 -> 4";
+
+    auto id3 = engine.submit({{"x", x3}});
+    auto id1 = engine.submit({{"x", x1}});
+    expectBitEqual(engine.wait(id3)[0], want3, "3-row member");
+    expectBitEqual(engine.wait(id1)[0], want1, "1-row member");
+
+    ServeStats s = engine.stats();
+    EXPECT_EQ(s.completed, 2);
+    EXPECT_EQ(s.runs, 1) << "3+1 rows must share one bucket-4 run";
+    EXPECT_EQ(s.coalescedRuns, 1);
+    EXPECT_EQ(s.coalescedRequests, 2);
+    int64_t pad = 0;
+    for (const auto &b : s.buckets)
+        pad += b.paddedRows;
+    EXPECT_EQ(pad, 0) << "the packed group exactly fills bucket 4";
+    EXPECT_LT(pad, soloPad)
+        << "group-aware routing must beat per-request pad waste";
+    ASSERT_EQ(s.buckets.size(), 2u);
+    EXPECT_EQ(s.buckets[1].batch, 4);
+    EXPECT_EQ(s.buckets[1].hits, 2)
+        << "both members served by the bucket-4 plan";
+    EXPECT_EQ(s.buckets[1].runs, 1);
+}
+
+TEST(Coalescing, DeadlineExpirySendsALoneRequestOutAlone)
+{
+    auto store = std::make_shared<ParamStore>();
+    ServeOptions so;
+    so.buckets = {1, 4};
+    so.workers = 1;
+    so.coalesceWindowUs = 5000; // 5 ms: expires fast, still real
+    ServingEngine engine(
+        [&](int64_t b) { return mlpModel(b, store.get()); }, store, so);
+
+    Rng r(67);
+    Tensor x = randomRows(1, r);
+    auto t0 = std::chrono::steady_clock::now();
+    Tensor out = engine.wait(engine.submit({{"x", x}}))[0];
+    EXPECT_EQ(out.shape()[0], 1);
+    EXPECT_LT(std::chrono::steady_clock::now() - t0,
+              std::chrono::seconds(5))
+        << "a lone request must not wait past the window";
+
+    ServeStats s = engine.stats();
+    EXPECT_EQ(s.completed, 1);
+    EXPECT_EQ(s.runs, 1);
+    EXPECT_EQ(s.coalescedRuns, 0);
+    EXPECT_EQ(s.coalescedRequests, 0);
+    ASSERT_EQ(s.buckets.size(), 2u);
+    EXPECT_EQ(s.buckets[0].batch, 1);
+    EXPECT_EQ(s.buckets[0].hits, 1)
+        << "an expired window must fall back to per-request routing";
+    EXPECT_EQ(s.buckets[0].paddedRows, 0);
+}
+
+TEST(Coalescing, WindowZeroReproducesPerRequestServingExactly)
+{
+    auto store = std::make_shared<ParamStore>();
+    ServeOptions so;
+    so.buckets = {2, 5};
+    so.workers = 2;
+    so.coalesceWindowUs = 0;
+    ServingEngine engine(
+        [&](int64_t b) { return mlpModel(b, store.get()); }, store, so);
+
+    CompileOptions opt;
+    ServedModel m2 = mlpModel(2, store.get());
+    ServedModel m5 = mlpModel(5, store.get());
+    auto prog2 = compileInference(m2.graph, m2.outputs, opt, store);
+    auto prog5 = compileInference(m5.graph, m5.outputs, opt, store);
+
+    Rng r(71);
+    int64_t wantPad = 0;
+    for (int i = 0; i < 12; ++i) {
+        int64_t rows = 1 + i % 5;
+        int64_t bucket = rows <= 2 ? 2 : 5;
+        wantPad += bucket - rows;
+        Tensor x = randomRows(rows, r);
+        InferenceProgram &prog = bucket == 2 ? prog2 : prog5;
+        Tensor full = prog.run({{"x", padRows(x, bucket)}})[0];
+        Shape ss = full.shape();
+        ss[0] = rows;
+        Tensor expect(ss);
+        std::memcpy(expect.data(), full.data(),
+                    sizeof(float) * expect.size());
+        expectBitEqual(engine.wait(engine.submit({{"x", x}}))[0],
+                       expect, "window-0 request " + std::to_string(i));
+    }
+
+    ServeStats s = engine.stats();
+    EXPECT_EQ(s.completed, 12);
+    EXPECT_EQ(s.runs, 12) << "window 0: one run per request, always";
+    EXPECT_EQ(s.coalescedRuns, 0);
+    EXPECT_EQ(s.coalescedRequests, 0);
+    EXPECT_EQ(s.coalesceRate, 0.0);
+    int64_t pad = 0, hits = 0;
+    for (const auto &b : s.buckets) {
+        pad += b.paddedRows;
+        hits += b.hits;
+        EXPECT_EQ(b.hits, b.runs) << "per-request: hits == runs";
+    }
+    EXPECT_EQ(pad, wantPad) << "exact per-request pad accounting";
+    EXPECT_EQ(hits, 12);
+}
+
+TEST(Coalescing, StressFourWorkersSixtyFourMixedRequestsBitExact)
+{
+    // The acceptance stress: 4 workers x 64 mixed-shape requests with
+    // coalescing ON, bit-exact per request vs the per-request engine
+    // (TSan vets this same test in CI's -L serve pass).
+    auto store = std::make_shared<ParamStore>();
+    auto factory = [&](int64_t b) { return mlpModel(b, store.get()); };
+
+    ServeOptions ref;
+    ref.buckets = {2, 5};
+    ref.workers = 4;
+    ref.queueCapacity = 64;
+    ServingEngine solo(factory, store, ref);
+
+    ServeOptions co = ref;
+    co.coalesceWindowUs = 2000; // short: stress scheduling, not time
+    ServingEngine engine(factory, store, co);
+
+    constexpr int kThreads = 4, kPer = 16;
+    struct Sent {
+        Tensor x;
+        ServingEngine::RequestId id;
+    };
+    std::vector<std::vector<Sent>> sent(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            Rng r(2000 + t);
+            for (int i = 0; i < kPer; ++i) {
+                int64_t rows =
+                    1 + static_cast<int64_t>(r.randint(5)); // 1..5
+                Tensor x = randomRows(rows, r);
+                auto id = engine.submit({{"x", x.clone()}});
+                sent[t].push_back({std::move(x), id});
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    for (int t = 0; t < kThreads; ++t) {
+        for (size_t i = 0; i < sent[t].size(); ++i) {
+            const Sent &req = sent[t][i];
+            Tensor want =
+                solo.wait(solo.submit({{"x", req.x}}))[0];
+            expectBitEqual(engine.wait(req.id)[0], want,
+                           "stress thread " + std::to_string(t) +
+                               " request " + std::to_string(i));
+        }
+    }
+
+    ServeStats s = engine.stats();
+    EXPECT_EQ(s.completed, kThreads * kPer);
+    EXPECT_EQ(s.failed, 0);
+    EXPECT_LE(s.runs, s.completed)
+        << "coalescing must never run MORE than per-request";
+    int64_t hits = 0;
+    for (const auto &b : s.buckets)
+        hits += b.hits;
+    EXPECT_EQ(hits, kThreads * kPer)
+        << "every request is served by exactly one bucket plan";
+    EXPECT_EQ(s.coalescedRequests >= 2 * s.coalescedRuns,
+              s.coalescedRuns >= 0);
+    EXPECT_FALSE(s.summary().empty());
+}
+
+// ---- Bounded latency reservoir ---------------------------------------
+
+TEST(LatencyRing, HoldsAtMostCapacityMostRecentSamples)
+{
+    LatencyRing ring(4);
+    EXPECT_EQ(ring.capacity(), 4u);
+    for (int i = 0; i < 10; ++i)
+        ring.add(static_cast<double>(i));
+    EXPECT_EQ(ring.size(), 4u) << "ring must not grow past capacity";
+    std::vector<double> got = ring.snapshot();
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, (std::vector<double>{6, 7, 8, 9}))
+        << "overwrites must evict the OLDEST samples";
+}
+
+TEST(Serving, LatencyReservoirStaysBoundedUnderSustainedTraffic)
+{
+    // Satellite: the per-request latency window must be O(1) in
+    // memory no matter how many requests the engine serves (the old
+    // deque grew per request under sustained traffic).
+    auto store = std::make_shared<ParamStore>();
+    ServeOptions so;
+    so.buckets = {4};
+    so.workers = 2;
+    so.queueCapacity = 256;
+    so.coalesceWindowUs = 200; // keep the 10k burst fast
+    ServingEngine engine(
+        [&](int64_t batch) {
+            Graph g;
+            Rng rng(1);
+            NetBuilder b(g, rng, store.get());
+            int x = b.input({batch, 4}, "x");
+            int out = b.linear(x, 2, "w");
+            return ServedModel{std::move(g), {out}};
+        },
+        store, so);
+
+    constexpr int kTotal = 10000, kChunk = 250;
+    Rng r(73);
+    Tensor x = Tensor::randn({1, 4}, r);
+    for (int done = 0; done < kTotal; done += kChunk) {
+        std::vector<ServingEngine::RequestId> ids;
+        ids.reserve(kChunk);
+        for (int i = 0; i < kChunk; ++i)
+            ids.push_back(engine.submit({{"x", x}}));
+        for (auto id : ids)
+            engine.wait(id);
+    }
+
+    ServeStats s = engine.stats();
+    EXPECT_EQ(s.completed, kTotal);
+    EXPECT_LE(s.latencySamples,
+              static_cast<int64_t>(
+                  ServingEngine::kLatencyReservoirCap))
+        << "latency memory must stay bounded after 10k requests";
+    EXPECT_GT(s.latencySamples, 0);
+    EXPECT_GT(s.p50LatencyUs, 0.0);
+    EXPECT_GE(s.p99LatencyUs, s.p50LatencyUs)
+        << "percentiles must stay stable over the sliding window";
 }
 
 } // namespace
