@@ -20,9 +20,12 @@
 #include <vector>
 
 #include "core/tensor.h"
+#include "frontend/builder.h"
 #include "hw/threadpool.h"
 #include "ir/graph.h"
 #include "kernels/kernel.h"
+#include "passes/passes.h"
+#include "runtime/executor.h"
 
 namespace pe {
 namespace {
@@ -367,6 +370,42 @@ BENCHMARK_CAPTURE(BM_QuantDwConv, ref, std::string(""))
 BENCHMARK_CAPTURE(BM_QuantDwConv, int8, std::string("int8"))
     ->Arg(32)
     ->Arg(96);
+
+/**
+ * Tracing overhead on the executor hot loop (src/obs/): a small MLP
+ * forward program run through Executor::run(). arm = 0 is the
+ * DISARMED path — the contract is that it costs one pointer test, so
+ * this row must sit within noise of the pre-tracing baseline (it is
+ * the row bench_check.py gates). arm = 1 runs with the span ring
+ * armed (one clock pair + ring store per step) — informational, to
+ * keep the armed cost honest too.
+ */
+void
+BM_TraceOverhead(benchmark::State &state)
+{
+    const bool armed = state.range(0) != 0;
+    Graph g;
+    Rng rng(7);
+    ParamStore store;
+    NetBuilder nb(g, rng, &store);
+    int x = nb.input({8, 16}, "x");
+    int h = nb.relu(nb.linear(x, 64, "fc1"));
+    h = nb.relu(nb.linear(h, 64, "fc2"));
+    int logits = nb.linear(h, 4, "head");
+    g.markOutput(logits);
+    Executor ex(g, naturalOrder(g), store);
+    Tensor in = Tensor::randn({8, 16}, rng);
+    ex.bindInput("x", in);
+    if (armed)
+        ex.armTrace(1 << 16);
+    for (auto _ : state) {
+        ex.run();
+        benchmark::DoNotOptimize(ex);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1);
 
 /**
  * SIMD-tier rows, registered at static init only when the host

@@ -24,6 +24,14 @@
  *       file and (b) the fresh outputs to be BIT-identical to the
  *       loaded plan's — machine/process portability, proven.
  *
+ *   plan_tool profile FILE [--iters N] [--seed N] [--chrome OUT.json]
+ *       Load the plan, arm execution tracing, run N iterations on a
+ *       seeded input, and print the per-step / per-op attribution
+ *       tables (src/obs/). Also reports trace COVERAGE — summed span
+ *       time over measured wall time — so lost time is visible, and
+ *       optionally writes the spans as Chrome Trace Event JSON for
+ *       chrome://tracing / Perfetto.
+ *
  * Exit status: 0 on success / verification pass, 1 otherwise.
  */
 
@@ -36,6 +44,8 @@
 #include "engine/engine.h"
 #include "frontend/builder.h"
 #include "frontend/models.h"
+#include "obs/chrome.h"
+#include "obs/profile.h"
 #include "plan/plan.h"
 #include "quant/quant.h"
 
@@ -294,6 +304,60 @@ cmdRun(const std::string &path, uint64_t seed, bool verify)
     return bytes_ok && outs_ok ? 0 : 1;
 }
 
+int
+cmdProfile(const std::string &path, int iters, uint64_t seed,
+           const std::string &chromeOut)
+{
+    std::string bytes = readPlanFile(path);
+    auto loaded = loadPlanFromBytes(bytes);
+    Executor &ex = loaded->executor();
+    auto feeds = seededFeeds(loaded->graph(), seed);
+    for (auto &[name, t] : feeds)
+        ex.bindInput(name, t);
+
+    // One untraced warm-up run: first-run init hooks (Winograd
+    // transform caches etc.) execute outside the profiled window, so
+    // the tables show steady-state kernel time only.
+    ex.run();
+
+    // Size the ring for every span the loop can record (steps plus
+    // shard spans at the plan's thread count) — a profile with
+    // dropped spans would silently under-attribute.
+    size_t cap = static_cast<size_t>(iters) *
+                 static_cast<size_t>(ex.numSteps()) *
+                 static_cast<size_t>(1 + ex.numThreads());
+    ex.armTrace(cap);
+
+    int64_t w0 = traceNowNs();
+    for (int i = 0; i < iters; ++i)
+        ex.run();
+    int64_t wallNs = traceNowNs() - w0;
+
+    ProfileReport pr = profileTrace(ex, *ex.trace());
+    std::printf("%s\n", pr.table().c_str());
+    if (pr.kernelFallbacks > 0)
+        std::printf("kernel fallbacks: %d -> %s\n", pr.kernelFallbacks,
+                    pr.fallbackBreakdown.c_str());
+    double coverage =
+        wallNs > 0 ? static_cast<double>(pr.totalNs) /
+                         static_cast<double>(wallNs)
+                   : 0;
+    std::printf("coverage: spans explain %.1f%% of %.3f ms measured "
+                "wall (%d iters)\n",
+                100.0 * coverage, wallNs / 1e6, iters);
+    if (!chromeOut.empty()) {
+        if (!exportChromeTrace(chromeOut, ex, *ex.trace())) {
+            std::fprintf(stderr, "plan_tool: cannot write %s\n",
+                        chromeOut.c_str());
+            return 1;
+        }
+        std::printf("chrome trace: %s (load in chrome://tracing or "
+                    "ui.perfetto.dev)\n",
+                    chromeOut.c_str());
+    }
+    return 0;
+}
+
 [[noreturn]] void
 usage()
 {
@@ -303,7 +367,9 @@ usage()
         "  plan_tool compile --model mlp|mcunet --precision "
         "fp32|fp16|int8 [--batch N] [--res N] [--threads N] -o FILE\n"
         "  plan_tool inspect FILE\n"
-        "  plan_tool run FILE [--seed N] [--verify]\n");
+        "  plan_tool run FILE [--seed N] [--verify]\n"
+        "  plan_tool profile FILE [--iters N] [--seed N] "
+        "[--chrome OUT.json]\n");
     std::exit(1);
 }
 
@@ -368,6 +434,26 @@ main(int argc, char **argv)
             if (path.empty())
                 usage();
             return cmdRun(path, seed, verify);
+        }
+        if (cmd == "profile") {
+            std::string path, chromeOut;
+            int iters = 50;
+            uint64_t seed = 123;
+            for (size_t i = 0; i < args.size(); ++i) {
+                if (args[i] == "--iters")
+                    iters = std::stoi(value(i));
+                else if (args[i] == "--seed")
+                    seed = std::stoull(value(i));
+                else if (args[i] == "--chrome")
+                    chromeOut = value(i);
+                else if (path.empty())
+                    path = args[i];
+                else
+                    usage();
+            }
+            if (path.empty() || iters < 1)
+                usage();
+            return cmdProfile(path, iters, seed, chromeOut);
         }
         usage();
     } catch (const std::exception &e) {

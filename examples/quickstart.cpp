@@ -12,6 +12,7 @@
 #include "engine/engine.h"
 #include "data/synthetic.h"
 #include "frontend/builder.h"
+#include "obs/profile.h"
 
 using namespace pe;
 
@@ -52,16 +53,13 @@ main()
                 static_cast<long long>(prog.report().arenaBytes / 1024),
                 static_cast<long long>(
                     prog.report().arenaBytesNoReorder / 1024));
-    // A nonzero count means the backend pass selected a kernel
-    // variant the library cannot honor (e.g. a quantized op with no
-    // int8 kernel silently running the dequant->fp32->requant
-    // reference tier) — on a real device that is a deploy blocker.
-    // The breakdown names each missing op/variant with its count, so
-    // the gap is attributable, not just countable.
-    if (prog.report().kernelFallbacks > 0)
-        std::printf("kernel fallbacks: %d -> %s\n",
-                    prog.report().kernelFallbacks,
-                    prog.report().fallbackBreakdown().c_str());
+    // Arm execution tracing (src/obs/) on the training program: every
+    // trainStep records one span per kernel step, and the profile
+    // summary printed after the loop attributes the time — including
+    // any kernel fallbacks, which on a real device are deploy
+    // blockers (a quantized op with no int8 kernel silently runs the
+    // dequant->fp32->requant reference tier).
+    prog.executor().armTrace();
 
     // 3. Train on a toy task: class = argmax of 4 feature groups.
     Rng data_rng(7);
@@ -84,9 +82,15 @@ main()
         if (step % 40 == 0)
             std::printf("step %3d  loss %.4f\n", step, l);
     }
+    std::printf("--- training profile ---\n%s",
+                profileTrace(prog.executor(), *prog.executor().trace())
+                    .summary()
+                    .c_str());
 
-    // 4. Deploy: an inference program over the same ParamStore.
+    // 4. Deploy: an inference program over the same ParamStore, with
+    //    tracing armed so the eval run prints where its time went.
     auto infer = compileInference(g, {logits}, opt, store);
+    infer.executor().armTrace();
     Batch batch = make_batch();
     Tensor out = infer.run({{"x", batch.x}})[0];
     int correct = 0;
@@ -99,5 +103,10 @@ main()
         correct += argmax == static_cast<int>(batch.y[i]);
     }
     std::printf("eval accuracy: %d/32\n", correct);
+    std::printf("--- inference profile ---\n%s",
+                profileTrace(infer.executor(),
+                             *infer.executor().trace())
+                    .summary()
+                    .c_str());
     return 0;
 }

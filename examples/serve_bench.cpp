@@ -36,6 +36,12 @@
  *       runs ONLY the (fast, deterministic) coalescing scenarios and
  *       writes the machine-readable rows scripts/bench_json.sh
  *       snapshots and scripts/bench_check.py gates.
+ *   ./build/serve_bench --trace OUT.json
+ *       runs a 4-worker coalesced burst with request-lifecycle and
+ *       executor tracing armed (ServeOptions::trace) and exports a
+ *       Chrome/Perfetto trace in which coalesced request lanes
+ *       converge into shared run spans. Exits 0 only if at least one
+ *       run served >= 2 requests (the converging-lanes acceptance).
  */
 
 #include <chrono>
@@ -273,6 +279,46 @@ saveCoalesceJson(const std::vector<CoalesceRow> &rows,
 int
 main(int argc, char **argv)
 {
+    // --trace <path>: traced 4-worker coalesced burst -> Chrome trace.
+    std::string tracePath;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0)
+            tracePath = argv[i + 1];
+    }
+    if (!tracePath.empty()) {
+        auto store = std::make_shared<ParamStore>();
+        mlpModel(1, store.get());
+        ServeOptions so;
+        so.buckets = {1, 4, 8};
+        so.workers = 4;
+        so.coalesceWindowUs = 5000;
+        so.queueCapacity = 64;
+        so.trace = true;
+        ServingEngine e(
+            [&](int64_t b) { return mlpModel(b, store.get()); },
+            store, so);
+        Rng rng(97);
+        std::vector<Tensor> xs;
+        for (int i = 0; i < 64; ++i)
+            xs.push_back(Tensor::randn({1, 16}, rng));
+        pumpBurst(e, xs);
+        ServeStats s = e.stats();
+        std::printf("%s", s.summary().c_str());
+        if (!e.exportChromeTrace(tracePath)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         tracePath.c_str());
+            return 1;
+        }
+        std::printf("chrome trace: %s (load in chrome://tracing or "
+                    "ui.perfetto.dev)\n",
+                    tracePath.c_str());
+        std::printf("shared run spans: %lld runs served >= 2 request "
+                    "lanes -> %s\n",
+                    static_cast<long long>(s.coalescedRuns),
+                    s.coalescedRuns >= 1 ? "OK" : "NONE");
+        return s.coalescedRuns >= 1 ? 0 : 1;
+    }
+
     // --json <path>: run only the deterministic coalescing scenarios
     // and emit the rows bench_json.sh snapshots / bench_check.py gates.
     const std::string jsonPath = pe::bench::jsonPathFromArgs(argc, argv);
@@ -389,8 +435,8 @@ main(int argc, char **argv)
         std::printf("engine %d worker%s: %5.1f req/s  (%.2fs)\n",
                     workers, workers == 1 ? " " : "s",
                     engineRps[wi], sec);
-        std::printf("  mlp    | %s\n", ms.summary().c_str());
-        std::printf("  mcunet | %s\n", cs.summary().c_str());
+        std::printf("--- mlp ---\n%s", ms.summary().c_str());
+        std::printf("--- mcunet ---\n%s", cs.summary().c_str());
     }
 
     std::printf("\naggregate throughput: serial %.1f -> 4 workers "

@@ -15,6 +15,7 @@
 #include "data/synthetic.h"
 #include "engine/engine.h"
 #include "frontend/models.h"
+#include "obs/profile.h"
 #include "quant/quant.h"
 
 using namespace pe;
@@ -138,14 +139,20 @@ main(int argc, char **argv)
                         static_cast<double>(rf.actWeightBytes()),
                     rq.quant.quantizedOps,
                     rq.quant.prequantizedWeights);
-        // Surface kernel-library gaps: quantized ops with no int8
-        // kernel silently run the dequant->fp32->requant reference
-        // tier — visible here BY NAME (the per-op breakdown makes the
-        // QuantDwConv2d gap attributable instead of an opaque count).
-        if (rq.kernelFallbacks > 0)
-            std::printf("[int8 deploy] kernel fallbacks: %d -> %s\n",
-                        rq.kernelFallbacks,
-                        rq.fallbackBreakdown().c_str());
+        // Profile a traced int8 run (src/obs/): the summary names the
+        // top ops by time AND any kernel fallbacks — quantized ops
+        // with no int8 kernel silently run the dequant->fp32->requant
+        // reference tier, and the per-op breakdown makes that gap
+        // attributable instead of an opaque count.
+        int8.executor().armTrace();
+        Rng sr(21);
+        for (int i = 0; i < 5; ++i)
+            int8.run({{"x", task.sample(cfg.batch, sr).x}});
+        std::printf("--- int8 deploy profile ---\n%s",
+                    profileTrace(int8.executor(),
+                                 *int8.executor().trace())
+                        .summary()
+                        .c_str());
     }
     return 0;
 }

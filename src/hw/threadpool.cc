@@ -22,12 +22,26 @@ splitRange(int64_t n, int64_t grain, int max_shards)
     return bounds;
 }
 
+namespace {
+/** This thread's pool-worker index; 0 on non-pool threads. */
+thread_local int t_poolWorker = 0;
+} // namespace
+
+int
+ThreadPool::currentWorker()
+{
+    return t_poolWorker;
+}
+
 ThreadPool::ThreadPool(int num_threads)
 {
     int workers = std::max(1, num_threads) - 1;
     workers_.reserve(workers);
     for (int i = 0; i < workers; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] {
+            t_poolWorker = i + 1;
+            workerLoop();
+        });
 }
 
 ThreadPool::~ThreadPool()

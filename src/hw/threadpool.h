@@ -56,6 +56,16 @@ class ThreadPool
     int numThreads() const { return static_cast<int>(workers_.size()) + 1; }
 
     /**
+     * Worker index of the CALLING thread: 0 for any thread that is
+     * not a pool worker (including every dispatching thread), 1..N-1
+     * for the pool's spawned workers. A thread-local stamped at
+     * worker birth — reading it is one TLS load, which is what lets
+     * per-shard trace spans attribute work to a worker without
+     * threading an id through the kernel ABI.
+     */
+    static int currentWorker();
+
+    /**
      * Run fn(i) for every i in [0, tasks), distributing indices over
      * the workers and the calling thread. Returns after ALL indices
      * have completed (barrier). Concurrent dispatches from different

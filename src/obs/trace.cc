@@ -1,0 +1,48 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <ctime>
+
+namespace pe {
+
+int64_t
+traceNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+int64_t
+traceThreadCpuNs()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return -1;
+    return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+#else
+    return -1;
+#endif
+}
+
+std::vector<TraceSpan>
+TraceBuffer::snapshot() const
+{
+    int64_t n = next_.load(std::memory_order_relaxed);
+    size_t cap = slots_.size();
+    std::vector<TraceSpan> out;
+    if (n <= static_cast<int64_t>(cap)) {
+        out.assign(slots_.begin(), slots_.begin() + n);
+        return out;
+    }
+    // Full ring: the oldest surviving span sits at the next write
+    // position.
+    out.reserve(cap);
+    size_t at = static_cast<size_t>(n) % cap;
+    for (size_t i = 0; i < cap; ++i)
+        out.push_back(slots_[(at + i) % cap]);
+    return out;
+}
+
+} // namespace pe

@@ -15,7 +15,10 @@ Executor::Executor(const Graph &g, std::vector<int> order,
     : g_(g), order_(std::move(order)), store_(store),
       variants_(std::move(options.variants)),
       numThreads_(options.numThreads <= 0 ? HostDevice::hardwareThreads()
-                                          : options.numThreads)
+                                          : options.numThreads),
+      traceByDefault_(options.trace),
+      traceCapacity_(options.traceCapacity),
+      traceShards_(options.traceShards)
 {
     detail::ensureKernelsRegistered();
     pool_ = HostDevice::instance().pool(numThreads_);
@@ -369,7 +372,29 @@ Executor::makeContext() const
 {
     auto ctx = std::make_unique<ExecContext>();
     bindInto(*ctx);
+    if (traceByDefault_)
+        armTrace(*ctx, traceCapacity_, traceShards_);
     return ctx;
+}
+
+void
+Executor::armTrace(ExecContext &ctx, size_t capacity,
+                   bool shardSpans) const
+{
+    ctx.trace_ = std::make_unique<TraceBuffer>(capacity);
+    ctx.traceShards_ = shardSpans;
+}
+
+void
+Executor::disarmTrace(ExecContext &ctx) const
+{
+    ctx.trace_.reset();
+}
+
+void
+Executor::armTrace(size_t capacity, bool shardSpans)
+{
+    armTrace(defaultCtx(), capacity, shardSpans);
 }
 
 ExecContext &
@@ -665,6 +690,13 @@ Executor::run(ExecContext &ctx) const
         ctx.warm_ = true;
     }
     ++ctx.step_;
+    // The entire cost of disarmed tracing is this one pointer test
+    // (BM_TraceOverhead asserts it stays in the noise); the traced
+    // loop lives out of line so this path is the exact pre-obs loop.
+    if (TraceBuffer *tb = ctx.trace_.get()) {
+        runTraced(ctx, *tb);
+        return;
+    }
     for (BoundStep &s : ctx.steps_) {
         if (s.shards.empty()) {
             s.ctx.step = ctx.step_;
@@ -677,6 +709,69 @@ Executor::run(ExecContext &ctx) const
                 s.fn(s.shards[i]);
             });
         }
+    }
+}
+
+void
+Executor::runTraced(ExecContext &ctx, TraceBuffer &tb) const
+{
+    const bool shardSpans = ctx.traceShards_;
+    for (size_t si = 0; si < ctx.steps_.size(); ++si) {
+        BoundStep &s = ctx.steps_[si];
+        TraceSpan span;
+        span.kind = SpanKind::Step;
+        span.node = s.node;
+        span.stepIndex = static_cast<int32_t>(si);
+        span.shards = s.shards.empty()
+                          ? 1
+                          : static_cast<int32_t>(s.shards.size());
+        span.runId = ctx.step_;
+        span.op = opName(g_.node(s.node).op);
+        // variants_ is frozen after construction, so the c_str stays
+        // valid for the executor's lifetime — spans borrow, not copy.
+        span.variant = variants_[s.node].c_str();
+        span.startNs = traceNowNs();
+        if (s.shards.empty()) {
+            s.ctx.step = ctx.step_;
+            s.fn(s.ctx);
+        } else {
+            // Shard spans are recorded INSIDE the dispatch from the
+            // worker that ran the shard: each record() reserves its
+            // own ring slot, and the dispatch barrier orders all of
+            // them before the step span below and any reader.
+            pool_->dispatch(
+                static_cast<int>(s.shards.size()), [&](int i) {
+                    s.shards[i].step = ctx.step_;
+                    if (!shardSpans) {
+                        s.fn(s.shards[i]);
+                        return;
+                    }
+                    TraceSpan sh;
+                    sh.kind = SpanKind::Shard;
+                    sh.worker = static_cast<uint16_t>(
+                        ThreadPool::currentWorker());
+                    sh.node = span.node;
+                    sh.stepIndex = span.stepIndex;
+                    sh.shard = i;
+                    sh.shards = span.shards;
+                    sh.runId = span.runId;
+                    sh.begin = s.shards[i].begin;
+                    sh.end = s.shards[i].end;
+                    sh.op = span.op;
+                    sh.variant = span.variant;
+                    int64_t cpu0 = traceThreadCpuNs();
+                    sh.startNs = traceNowNs();
+                    s.fn(s.shards[i]);
+                    sh.durNs = traceNowNs() - sh.startNs;
+                    int64_t cpu1 = traceThreadCpuNs();
+                    sh.cpuNs = (cpu0 >= 0 && cpu1 >= 0)
+                                   ? cpu1 - cpu0
+                                   : -1;
+                    tb.record(sh);
+                });
+        }
+        span.durNs = traceNowNs() - span.startNs;
+        tb.record(span);
     }
 }
 

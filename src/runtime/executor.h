@@ -46,6 +46,7 @@
 #include "hw/threadpool.h"
 #include "ir/graph.h"
 #include "kernels/kernel.h"
+#include "obs/trace.h"
 #include "runtime/arena.h"
 #include "runtime/paramstore.h"
 #include "runtime/planner.h"
@@ -69,6 +70,21 @@ struct ExecOptions {
      * the tolerance contract in kernel.h).
      */
     bool forceScalarTier = false;
+    /**
+     * Arm execution tracing on every context minted from this
+     * program: each run() records one span per kernel step (node, op,
+     * variant incl. SIMD tier, shard count, wall ns) — and one span
+     * per shard when traceShards — into the context's fixed-capacity
+     * TraceBuffer ring (src/obs/). Off (the default) costs the hot
+     * loop a single pointer test; contexts can also be armed
+     * individually after the fact via Executor::armTrace().
+     */
+    bool trace = false;
+    /** Span-ring capacity of contexts armed by `trace`. */
+    size_t traceCapacity = 1 << 14;
+    /** Record per-shard spans (worker id, shard range, CPU ns) in
+     *  addition to per-step spans. */
+    bool traceShards = true;
 };
 
 /**
@@ -129,6 +145,10 @@ class ExecContext
     /** Steps executed through this context so far. */
     int64_t stepCount() const { return step_; }
 
+    /** This context's span ring; null while tracing is disarmed.
+     *  Read it only between runs (see TraceBuffer's contract). */
+    const TraceBuffer *trace() const { return trace_.get(); }
+
   private:
     friend class Executor;
     Arena arena_;                   ///< values + workspaces
@@ -139,6 +159,9 @@ class ExecContext
     std::vector<char> sharedReady_;
     int64_t step_ = 0;
     bool warm_ = false; ///< init hooks run on the first run()
+    /** Armed span ring (null = disarmed, the hot-path test). */
+    std::unique_ptr<TraceBuffer> trace_;
+    bool traceShards_ = true;
 };
 
 /**
@@ -228,6 +251,29 @@ class Executor
     /** Copy a value out of @p ctx's arena (by node id). */
     Tensor fetch(const ExecContext &ctx, int node_id) const;
 
+    // ---- execution tracing (src/obs/) --------------------------------
+
+    /**
+     * Arm @p ctx with a fresh fixed-capacity span ring: every later
+     * run(ctx) records per-step (and, when @p shardSpans, per-shard)
+     * TraceSpans into it. Re-arming replaces the ring. The one
+     * allocation happens here; the record path allocates nothing.
+     */
+    void armTrace(ExecContext &ctx, size_t capacity = 1 << 14,
+                  bool shardSpans = true) const;
+
+    /** Drop @p ctx's ring; run(ctx) returns to the untraced path. */
+    void disarmTrace(ExecContext &ctx) const;
+
+    /** armTrace on the classic API's default context. */
+    void armTrace(size_t capacity = 1 << 14, bool shardSpans = true);
+
+    /** The default context's ring; null while disarmed. */
+    const TraceBuffer *trace() const
+    {
+        return defaultCtx_ ? defaultCtx_->trace() : nullptr;
+    }
+
     // ---- program introspection --------------------------------------
 
     const MemoryPlan &memoryPlan() const { return plan_; }
@@ -305,6 +351,11 @@ class Executor
     /** Artifact-ctor validation: sizes/ids consistent with g_. */
     void validateArtifact() const;
 
+    /** run(ctx) with @p tb armed: the same step loop, recording one
+     *  span per step and (optionally) per shard. Kept out of line so
+     *  the disarmed path stays the exact pre-tracing loop. */
+    void runTraced(ExecContext &ctx, TraceBuffer &tb) const;
+
     /** Build @p ctx's arena, staging and bound steps. Mutates only
      *  @p ctx: program-level stats (step/shard counts, fallback
      *  labels, the serialized-by-workspace tripwire) come from the
@@ -335,6 +386,10 @@ class Executor
     /** Compile-time shard count per kernel step; bindInto verifies
      *  every context's bound plan against it (see planLaunches). */
     std::vector<int> shardsPerStep_;
+    /** ExecOptions trace arming, applied to every makeContext(). */
+    bool traceByDefault_ = false;
+    size_t traceCapacity_ = 1 << 14;
+    bool traceShards_ = true;
     ThreadPool *pool_ = nullptr; ///< owned by HostDevice; null if serial
     /** Lazy classic-API state; mutable so const reads (fetch) can
      *  mint it. The classic API is single-session by contract, so

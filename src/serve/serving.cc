@@ -5,7 +5,10 @@
 #include <cstring>
 #include <filesystem>
 #include <stdexcept>
+#include <unordered_set>
 
+#include "obs/chrome.h"
+#include "obs/trace.h"
 #include "plan/plan.h"
 #include "runtime/planner.h"
 
@@ -73,35 +76,99 @@ std::string
 ServeStats::summary() const
 {
     char buf[512];
+    std::string out;
     std::snprintf(buf, sizeof(buf),
-                  "%lld done / %lld submitted (%lld rejected, "
-                  "%lld failed) | "
-                  "p50 %.0fus p99 %.0fus | %.1f req/s | "
-                  "%lld runs (%lld shared, rate %.2f) | "
-                  "amort %.1fus/req | "
-                  "queue %lld (max %lld) | %lld sessions",
+                  "serving: %lld done / %lld submitted | "
+                  "%lld rejected, %lld failed | %.1f req/s\n",
                   static_cast<long long>(completed),
                   static_cast<long long>(submitted),
                   static_cast<long long>(rejected),
-                  static_cast<long long>(failed), p50LatencyUs,
-                  p99LatencyUs, throughputRps,
+                  static_cast<long long>(failed), throughputRps);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "latency: p50 %.0fus p99 %.0fus (%lld samples) | "
+                  "amortized run %.1fus/req\n",
+                  p50LatencyUs, p99LatencyUs,
+                  static_cast<long long>(latencySamples),
+                  amortizedRunUs);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "runs: %lld (%lld shared, rate %.2f) | "
+                  "queue depth %lld (max %lld) | sessions %lld\n",
                   static_cast<long long>(runs),
                   static_cast<long long>(coalescedRuns), coalesceRate,
-                  amortizedRunUs,
                   static_cast<long long>(queueDepth),
                   static_cast<long long>(maxQueueDepth),
                   static_cast<long long>(sessionsCreated));
-    std::string out = buf;
-    out += " | buckets:";
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%-8s %10s %10s %10s %10s  %s\n",
+                  "bucket", "hits", "runs", "pad rows", "run ms",
+                  "tier");
+    out += buf;
     for (const BucketStats &b : buckets) {
+        std::string label = "b" + std::to_string(b.batch);
         std::snprintf(buf, sizeof(buf),
-                      " b%lld:%lld/%lldr(+%lld pad)",
+                      "%-8s %10lld %10lld %10lld %10.2f  %s\n",
+                      label.c_str(), static_cast<long long>(b.hits),
+                      static_cast<long long>(b.runs),
+                      static_cast<long long>(b.paddedRows),
+                      b.runNs / 1e6, b.tier.c_str());
+        out += buf;
+    }
+    return out;
+}
+
+std::string
+ServeStats::json() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"submitted\":%lld,\"completed\":%lld,\"rejected\":%lld,"
+        "\"failed\":%lld,\"queue_depth\":%lld,"
+        "\"queue_depth_max\":%lld,\"sessions_created\":%lld,"
+        "\"runs\":%lld,\"coalesced_runs\":%lld,"
+        "\"coalesced_requests\":%lld,\"coalesce_rate\":%.17g,"
+        "\"amortized_run_us\":%.17g,\"latency_samples\":%lld,"
+        "\"p50_latency_us\":%.17g,\"p99_latency_us\":%.17g,"
+        "\"throughput_rps\":%.17g,\"elapsed_seconds\":%.17g,"
+        "\"buckets\":[",
+        static_cast<long long>(submitted),
+        static_cast<long long>(completed),
+        static_cast<long long>(rejected),
+        static_cast<long long>(failed),
+        static_cast<long long>(queueDepth),
+        static_cast<long long>(maxQueueDepth),
+        static_cast<long long>(sessionsCreated),
+        static_cast<long long>(runs),
+        static_cast<long long>(coalescedRuns),
+        static_cast<long long>(coalescedRequests), coalesceRate,
+        amortizedRunUs, static_cast<long long>(latencySamples),
+        p50LatencyUs, p99LatencyUs, throughputRps, elapsedSeconds);
+    std::string out = buf;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        const BucketStats &b = buckets[i];
+        if (i)
+            out += ",";
+        std::snprintf(buf, sizeof(buf),
+                      "{\"batch\":%lld,\"hits\":%lld,\"runs\":%lld,"
+                      "\"padded_rows\":%lld,\"run_ns\":%lld,"
+                      "\"tier\":\"%s\",\"latency_hist_us\":[",
                       static_cast<long long>(b.batch),
                       static_cast<long long>(b.hits),
                       static_cast<long long>(b.runs),
-                      static_cast<long long>(b.paddedRows));
+                      static_cast<long long>(b.paddedRows),
+                      static_cast<long long>(b.runNs),
+                      b.tier.c_str());
         out += buf;
+        for (size_t j = 0; j < b.latencyHistUs.size(); ++j) {
+            if (j)
+                out += ",";
+            out += std::to_string(b.latencyHistUs[j]);
+        }
+        out += "]}";
     }
+    out += "]}";
     return out;
 }
 
@@ -362,6 +429,8 @@ ServingEngine::makeRequest(
             std::to_string(want) + " model inputs");
     st->id = nextId_.fetch_add(1, std::memory_order_relaxed);
     st->submitTime = std::chrono::steady_clock::now();
+    if (options_.trace)
+        st->enqueueNs = traceNowNs();
     return st;
 }
 
@@ -430,10 +499,14 @@ ServingEngine::workerLoop(int worker)
     std::shared_ptr<RequestState> carry;
     std::shared_ptr<RequestState> leader;
     while (true) {
-        if (carry)
+        if (carry) {
             leader = std::move(carry);
-        else if (!queue_.pop(leader))
-            break;
+        } else {
+            if (!queue_.pop(leader))
+                break;
+            if (options_.trace)
+                leader->dequeueNs = traceNowNs();
+        }
 
         std::vector<std::shared_ptr<RequestState>> group;
         int64_t total = leader->rows;
@@ -452,6 +525,8 @@ ServingEngine::workerLoop(int worker)
             std::shared_ptr<RequestState> next;
             while (!coalescer_.full(total) &&
                    queue_.popUntil(next, deadline)) {
+                if (options_.trace)
+                    next->dequeueNs = traceNowNs();
                 if (coalescer_.admits(total, next->rows)) {
                     total += next->rows;
                     group.push_back(std::move(next));
@@ -477,6 +552,12 @@ ServingEngine::runGroup(
     int64_t totalRows)
 {
     Bucket &bk = *buckets_[bucketIdx];
+    const bool tracing = options_.trace;
+    // One id per plan execution, shared by every member: coalesced
+    // request lanes carry the same run id into the Chrome export.
+    const int64_t runId =
+        runCounter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    int64_t bindNs = 0, runStartNs = 0, runEndNs = 0;
     int64_t runNs = 0;
     std::string error;
 
@@ -494,7 +575,16 @@ ServingEngine::runGroup(
         if (!sess) {
             sess = bk.exec->makeContext();
             sessionsCreated_.fetch_add(1, std::memory_order_relaxed);
+            // Traced engines arm every session at mint time, so the
+            // executor's kernel steps land inside the serving run
+            // spans. Sessions are serial inside (numThreads = 1), so
+            // shard spans would never appear — skip them.
+            if (tracing)
+                bk.exec->armTrace(*sess, options_.traceCapacity,
+                                  /*shardSpans=*/false);
         }
+        if (tracing)
+            bindNs = traceNowNs();
 
         if (group.size() == 1) {
             // The exact pre-coalescing bind: pad-to-bucket zero-fill.
@@ -515,11 +605,10 @@ ServingEngine::runGroup(
                 bk.exec->zeroInputRowsFrom(*sess, id, totalRows);
         }
 
-        auto t0 = std::chrono::steady_clock::now();
+        runStartNs = traceNowNs();
         bk.exec->run(*sess);
-        runNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
+        runEndNs = traceNowNs();
+        runNs = runEndNs - runStartNs;
 
         const std::vector<int> &outs = bk.cg.graph.outputs();
         if (group.size() == 1) {
@@ -562,6 +651,7 @@ ServingEngine::runGroup(
         bk.paddedRows.fetch_add(bk.batch - totalRows,
                                 std::memory_order_relaxed);
         runNanos_.fetch_add(runNs, std::memory_order_relaxed);
+        bk.runNs.fetch_add(runNs, std::memory_order_relaxed);
         if (group.size() > 1) {
             coalescedRuns_.fetch_add(1, std::memory_order_relaxed);
             coalescedRequests_.fetch_add(
@@ -571,14 +661,52 @@ ServingEngine::runGroup(
         auto now = std::chrono::steady_clock::now();
         {
             std::lock_guard<std::mutex> lock(statsMu_);
-            for (const auto &st : group)
-                latenciesUs_.add(
-                    std::chrono::duration<double, std::micro>(
-                        now - st->submitTime)
-                        .count());
+            for (const auto &st : group) {
+                double us = std::chrono::duration<double, std::micro>(
+                                now - st->submitTime)
+                                .count();
+                latenciesUs_.add(us);
+                // log2 histogram bin: [2^b, 2^(b+1)) us, last open.
+                int64_t v = static_cast<int64_t>(us);
+                int bin = 0;
+                while (v > 1 && bin < kLatencyHistBins - 1) {
+                    v >>= 1;
+                    ++bin;
+                }
+                bk.latHist[static_cast<size_t>(bin)].fetch_add(
+                    1, std::memory_order_relaxed);
+            }
         }
         completed_.fetch_add(static_cast<int64_t>(group.size()),
                              std::memory_order_relaxed);
+        if (tracing) {
+            int64_t doneNs = traceNowNs();
+            const char *tier = simdTierName(bk.exec->simdTier());
+            std::lock_guard<std::mutex> lock(traceMu_);
+            size_t cap = std::max<size_t>(1, options_.traceCapacity);
+            for (const auto &st : group) {
+                LifecycleRecord r;
+                r.id = st->id;
+                r.rows = st->rows;
+                r.bucketBatch = bk.batch;
+                r.groupSize = static_cast<int>(group.size());
+                r.worker = worker;
+                r.runId = runId;
+                r.tier = tier;
+                r.enqueueNs = st->enqueueNs;
+                r.dequeueNs = st->dequeueNs;
+                r.bindNs = bindNs;
+                r.runStartNs = runStartNs;
+                r.runEndNs = runEndNs;
+                r.doneNs = doneNs;
+                if (lifecycle_.size() < cap)
+                    lifecycle_.push_back(r);
+                else
+                    lifecycle_[lifecycleNext_ % cap] = r;
+                lifecycleNext_ = (lifecycleNext_ + 1) % cap;
+                ++lifecycleRecorded_;
+            }
+        }
     }
     {
         std::lock_guard<std::mutex> lock(doneMu_);
@@ -651,6 +779,12 @@ ServingEngine::stats() const
         bs.hits = b->hits.load(std::memory_order_relaxed);
         bs.runs = b->runs.load(std::memory_order_relaxed);
         bs.paddedRows = b->paddedRows.load(std::memory_order_relaxed);
+        bs.runNs = b->runNs.load(std::memory_order_relaxed);
+        bs.tier = simdTierName(b->exec->simdTier());
+        bs.latencyHistUs.reserve(kLatencyHistBins);
+        for (const auto &h : b->latHist)
+            bs.latencyHistUs.push_back(
+                h.load(std::memory_order_relaxed));
         s.runs += bs.runs;
         s.buckets.push_back(bs);
     }
@@ -687,6 +821,94 @@ ServingEngine::stats() const
         s.throughputRps = static_cast<double>(s.completed) /
                           s.elapsedSeconds;
     return s;
+}
+
+bool
+ServingEngine::exportChromeTrace(const std::string &path) const
+{
+    ChromeTraceJson ct;
+    ct.processName(1, "serving workers");
+    ct.processName(2, "requests");
+    for (int w = 0; w < workers_; ++w)
+        ct.threadName(1, w, "worker " + std::to_string(w));
+
+    std::vector<LifecycleRecord> recs;
+    {
+        std::lock_guard<std::mutex> lock(traceMu_);
+        recs = lifecycle_;
+    }
+
+    // Request lanes (pid 2, one tid per request id): queued -> wait
+    // -> run -> complete. Every member of a coalesced group carries
+    // the SAME "run#<id>" span, so in the viewer N lanes converge
+    // into the one worker-run that served them all.
+    std::unordered_set<int64_t> runsEmitted;
+    for (const LifecycleRecord &r : recs) {
+        int64_t tid = static_cast<int64_t>(r.id);
+        ct.threadName(2, tid, "req " + std::to_string(r.id));
+        std::vector<std::pair<std::string, std::string>> args;
+        args.emplace_back("rows", std::to_string(r.rows));
+        ct.event("queued", 2, tid, r.enqueueNs,
+                 r.dequeueNs - r.enqueueNs, args);
+        if (r.runStartNs > r.dequeueNs)
+            ct.event("wait", 2, tid, r.dequeueNs,
+                     r.runStartNs - r.dequeueNs);
+        std::string runName = "run#" + std::to_string(r.runId);
+        std::vector<std::pair<std::string, std::string>> runArgs;
+        runArgs.emplace_back("group_size",
+                             std::to_string(r.groupSize));
+        runArgs.emplace_back("bucket",
+                             "b" + std::to_string(r.bucketBatch));
+        runArgs.emplace_back("worker", std::to_string(r.worker));
+        runArgs.emplace_back("tier", r.tier);
+        ct.event(runName, 2, tid, r.runStartNs,
+                 r.runEndNs - r.runStartNs, runArgs);
+        ct.event("complete", 2, tid, r.runEndNs,
+                 r.doneNs - r.runEndNs);
+
+        // Worker track (pid 1): one bind/run/slice triple per unique
+        // run id, regardless of how many requests shared it.
+        if (runsEmitted.insert(r.runId).second) {
+            ct.event("bind " + std::string("b") +
+                         std::to_string(r.bucketBatch),
+                     1, r.worker, r.bindNs, r.runStartNs - r.bindNs);
+            ct.event(runName + " b" + std::to_string(r.bucketBatch),
+                     1, r.worker, r.runStartNs,
+                     r.runEndNs - r.runStartNs, runArgs);
+            ct.event("slice", 1, r.worker, r.runEndNs,
+                     r.doneNs - r.runEndNs);
+        }
+    }
+
+    // Executor step spans from the armed sessions nest inside the
+    // worker-run spans above (same tracks, finer grain). Reading the
+    // rings is only safe while the engine is quiescent — see the
+    // header contract.
+    for (int w = 0; w < workers_; ++w) {
+        for (size_t b = 0; b < buckets_.size(); ++b) {
+            const auto &sess = sessions_[w][b];
+            const TraceBuffer *tb = sess ? sess->trace() : nullptr;
+            if (!tb)
+                continue;
+            for (const TraceSpan &s : tb->snapshot()) {
+                if (s.kind != SpanKind::Step)
+                    continue;
+                std::string name = s.op;
+                if (s.variant && s.variant[0]) {
+                    name += "/";
+                    name += s.variant;
+                }
+                std::vector<std::pair<std::string, std::string>>
+                    args;
+                args.emplace_back("node", std::to_string(s.node));
+                args.emplace_back(
+                    "bucket",
+                    "b" + std::to_string(buckets_[b]->batch));
+                ct.event(name, 1, w, s.startNs, s.durNs, args);
+            }
+        }
+    }
+    return ct.save(path);
 }
 
 } // namespace pe

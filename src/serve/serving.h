@@ -58,6 +58,7 @@
 
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -143,6 +144,20 @@ struct ServeOptions {
      * whatever calibration attrs the factory's graph already carries.
      */
     std::vector<std::unordered_map<std::string, Tensor>> calibration;
+    /**
+     * Arm request-lifecycle tracing: every completed request records
+     * its enqueue -> dequeue -> bind -> run -> slice -> complete
+     * timestamps into a fixed-capacity ring, every session context is
+     * armed with an executor span ring (so kernel steps appear inside
+     * the serving run spans), and exportChromeTrace() renders it all
+     * as one Perfetto-loadable timeline. Off by default: the record
+     * path costs a handful of clock reads per request, but serving
+     * benchmarks should not pay even that without asking.
+     */
+    bool trace = false;
+    /** Lifecycle-ring capacity (records, oldest overwritten) and the
+     *  per-session executor span-ring capacity when `trace` is on. */
+    size_t traceCapacity = 4096;
 };
 
 /** Per-bucket serving counters. */
@@ -152,6 +167,14 @@ struct BucketStats {
     int64_t runs = 0;       ///< plan executions (== hits minus
                             ///< coalescing: k grouped requests run once)
     int64_t paddedRows = 0; ///< total pad rows executed (waste)
+    int64_t runNs = 0;      ///< summed plan execution time (ns)
+    /** SIMD tier the bucket's plan bound against ("scalar"/"avx2"/
+     *  "neon") — the key for per-tier run-time attribution. */
+    std::string tier;
+    /** Fixed log2 latency histogram: bin b counts completions whose
+     *  submit-to-complete latency fell in [2^b, 2^(b+1)) us (last bin
+     *  open-ended). Sum over bins == hits served by this bucket. */
+    std::vector<int64_t> latencyHistUs;
 };
 
 /** Aggregate serving statistics (CompileReport-style snapshot). */
@@ -193,7 +216,16 @@ struct ServeStats {
     double elapsedSeconds = 0;
     std::vector<BucketStats> buckets;
 
+    /**
+     * Human-readable snapshot: the aggregate counters plus one aligned
+     * per-bucket table row (hits, runs, pad rows, run ms, tier).
+     * summary() and json() render the SAME snapshot — stats() is the
+     * one place serving state is sampled, so the two never disagree.
+     */
     std::string summary() const;
+
+    /** The whole snapshot as a JSON object (metrics endpoints, CI). */
+    std::string json() const;
 };
 
 /**
@@ -252,6 +284,8 @@ class ServingEngine
     /** Latency-percentile reservoir capacity: stats memory is bounded
      *  by this regardless of how many requests the engine serves. */
     static constexpr size_t kLatencyReservoirCap = 4096;
+    /** log2 latency-histogram bins: [1us, 2us) ... [2^18us, inf). */
+    static constexpr int kLatencyHistBins = 20;
 
     ServingEngine(const ModelFactory &model,
                   std::shared_ptr<ParamStore> store,
@@ -291,6 +325,25 @@ class ServingEngine
     /** Snapshot of the serving counters and latency percentiles. */
     ServeStats stats() const;
 
+    /** stats() rendered as JSON — the poll-safe metrics endpoint
+     *  (atomic counter snapshot; only the latency reservoir and
+     *  histogram reads take a lock). */
+    std::string metricsJson() const { return stats().json(); }
+
+    /**
+     * Write the recorded request lifecycles (and, when the engine was
+     * built with ServeOptions::trace, the per-session executor step
+     * spans) to @p path as Chrome Trace Event JSON: one track per
+     * serving worker (bind / run / slice, with kernel steps nested
+     * inside the run), and one lane per request (queued -> wait ->
+     * run -> complete). A coalesced group shows as N request lanes
+     * carrying the SAME "run#<id>" span — the lanes converge into one
+     * worker-run. Call it quiescent (all submitted ids waited): the
+     * session span rings are read without synchronizing against
+     * in-flight runs. Returns false on I/O failure.
+     */
+    bool exportChromeTrace(const std::string &path) const;
+
     /** Compiled-plan report of the bucket whose batch is @p batch. */
     const CompileReport &bucketReport(int64_t batch) const;
 
@@ -321,6 +374,12 @@ class ServingEngine
         /** (input node id in the bucket's graph, request tensor). */
         std::vector<std::pair<int, Tensor>> feeds;
         std::chrono::steady_clock::time_point submitTime;
+        /** Lifecycle timestamps (traceNowNs), written only when the
+         *  engine traces. enqueueNs by the submitting thread before
+         *  the queue push; dequeueNs by the one worker that pops the
+         *  request (the queue handoff orders the two). */
+        int64_t enqueueNs = 0;
+        int64_t dequeueNs = 0;
         std::vector<Tensor> outputs;
         /** Worker-path failure, rethrown by wait(). Written before
          *  the done flag's release store, read after its acquire. */
@@ -340,6 +399,36 @@ class ServingEngine
         std::atomic<int64_t> hits{0};
         std::atomic<int64_t> runs{0};
         std::atomic<int64_t> paddedRows{0};
+        /** Summed plan execution time: the per-(tier, bucket)
+         *  run-time accumulator metricsJson() reports. */
+        std::atomic<int64_t> runNs{0};
+        /** log2 latency histogram (see BucketStats::latencyHistUs). */
+        std::array<std::atomic<int64_t>, kLatencyHistBins> latHist;
+
+        Bucket()
+        {
+            for (auto &h : latHist)
+                h.store(0, std::memory_order_relaxed);
+        }
+    };
+
+    /** One completed request's lifecycle, recorded into the trace
+     *  ring by the worker that ran it. Group members share the
+     *  bind/run/done timestamps and runId of their shared run. */
+    struct LifecycleRecord {
+        RequestId id = 0;
+        int64_t rows = 0;
+        int64_t bucketBatch = 0;
+        int groupSize = 1;
+        int worker = 0;
+        int64_t runId = 0;
+        const char *tier = ""; ///< static simdTierName storage
+        int64_t enqueueNs = 0;
+        int64_t dequeueNs = 0;
+        int64_t bindNs = 0; ///< group drained, binding started
+        int64_t runStartNs = 0;
+        int64_t runEndNs = 0;
+        int64_t doneNs = 0; ///< outputs sliced, completion signaled
     };
 
     std::shared_ptr<RequestState> makeRequest(
@@ -399,6 +488,18 @@ class ServingEngine
     mutable std::mutex statsMu_; ///< latency samples
     LatencyRing latenciesUs_{kLatencyReservoirCap};
     std::chrono::steady_clock::time_point start_;
+
+    /** Shared-run ids: every runGroup takes one, so coalesced members
+     *  carry the SAME id into their lifecycle records (how the Chrome
+     *  export knows which request lanes converge). */
+    std::atomic<int64_t> runCounter_{0};
+    /** Lifecycle ring (ServeOptions::traceCapacity records, oldest
+     *  overwritten). Workers append under traceMu_ only when tracing
+     *  is armed, so the untraced engine never touches it. */
+    mutable std::mutex traceMu_;
+    std::vector<LifecycleRecord> lifecycle_;
+    size_t lifecycleNext_ = 0;
+    int64_t lifecycleRecorded_ = 0;
 };
 
 } // namespace pe
