@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Generative-serving demo: N concurrent decode streams through the
+ * KV-cached ServingEngine, against each stream decoding alone.
+ *
+ * The scenario is the transformer-serving shape the ROADMAP names:
+ * every stream prefills a prompt once (one prompt-bucket run whose
+ * CacheWrite values leave the keys/values in the stream's cache),
+ * then advances token by token through the single-token decode plan.
+ * Incremental decode re-uses the cached rows, so a decode step costs
+ * O(1) attention work instead of the prompt-quadratic prefill — and
+ * because streams in lockstep carry the same cache generation, the
+ * coalescer packs their single-token steps into shared bucket runs,
+ * bit-identical to each stream decoding alone.
+ *
+ * Measured per precision (fp32 and int8):
+ *  - decode-parity: every logit tensor of every stream/step compared
+ *    BIT FOR BIT against the serial (coalescing-off) reference
+ *    through the same bucket plans;
+ *  - run sharing: N x T decode requests vs the decode-bucket runs
+ *    that actually executed (the >= 2x acceptance bar at 4 streams);
+ *  - prefill-vs-decode amortized cost per token (from the engine's
+ *    per-bucket run-time accumulators; wall-clock-dependent, NOT
+ *    gated) and the cache bytes a session pins (machine-independent,
+ *    gated).
+ *
+ *   ./build/decode_bench [tokens-per-stream]   (default: 8)
+ *   ./build/decode_bench --json BENCH_decode.json
+ *       runs the deterministic multi-stream scenarios and writes the
+ *       rows scripts/bench_json.sh snapshots and
+ *       scripts/bench_check.py gates.
+ *   ./build/decode_bench --trace OUT.json
+ *       runs the coalesced fp32 scenario with lifecycle tracing armed
+ *       and exports a Chrome/Perfetto trace: N request lanes per step
+ *       converge into one shared decode-run span (each lane stamped
+ *       with its stream id and generation). Exits 0 only if at least
+ *       one run served >= 2 streams.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../bench/bench_common.h"
+#include "engine/engine.h"
+#include "frontend/models.h"
+#include "serve/serving.h"
+
+using namespace pe;
+
+namespace {
+
+DecoderConfig
+benchCfg()
+{
+    DecoderConfig cfg; // the header defaults: 2 layers, dim 32
+    cfg.maxSeq = 32;
+    return cfg;
+}
+
+Tensor
+tokenRows(const std::vector<float> &toks)
+{
+    Tensor t({static_cast<int64_t>(toks.size()), 1});
+    for (size_t i = 0; i < toks.size(); ++i)
+        t[static_cast<int64_t>(i)] = toks[i];
+    return t;
+}
+
+std::vector<std::unordered_map<std::string, Tensor>>
+calibFeeds(const DecoderConfig &cfg)
+{
+    Rng r(11);
+    std::vector<std::unordered_map<std::string, Tensor>> out;
+    for (int bi = 0; bi < 2; ++bi) {
+        const int64_t gen = 8 + bi;
+        std::vector<float> toks;
+        for (int i = 0; i < 8; ++i)
+            toks.push_back(static_cast<float>(r.randint(cfg.vocab)));
+        Tensor pos({8, 1});
+        Tensor mask({8, cfg.maxSeq});
+        for (int64_t i = 0; i < 8; ++i) {
+            pos[i] = static_cast<float>(gen);
+            for (int64_t j = 0; j < cfg.maxSeq; ++j)
+                mask[i * cfg.maxSeq + j] = j <= gen ? 0.0f : -1e30f;
+        }
+        out.push_back({{"x", tokenRows(toks)},
+                       {"pos", std::move(pos)},
+                       {"mask", std::move(mask)}});
+    }
+    return out;
+}
+
+/** Prompt bucket {8}, decode bucket {4}: solo decode steps pad to the
+ *  SAME bucket-4 plan shared runs use, so fp32 AND int8 parity are
+ *  exact (quantization error is deterministic through one plan). */
+std::unique_ptr<ServingEngine>
+makeEngine(const std::shared_ptr<ParamStore> &store, int64_t window_us,
+           int workers, Precision prec, bool trace = false)
+{
+    const DecoderConfig cfg = benchCfg();
+    ServeOptions so;
+    so.buckets = {8};
+    so.decodeBuckets = {4};
+    so.workers = workers;
+    so.coalesceWindowUs = window_us;
+    so.queueCapacity = 64;
+    so.compile.precision = prec;
+    so.trace = trace;
+    if (prec != Precision::F32)
+        so.calibration = calibFeeds(cfg);
+    so.decodeFactory = [store, cfg](int64_t streams) {
+        Rng r(7);
+        ModelSpec m = buildDecoderDecode(cfg, streams, r, store.get());
+        return ServedModel{std::move(m.graph), {m.logits}};
+    };
+    return std::make_unique<ServingEngine>(
+        [store, cfg](int64_t prompt) {
+            Rng r(7);
+            ModelSpec m =
+                buildDecoderPrefill(cfg, prompt, r, store.get());
+            return ServedModel{std::move(m.graph), {m.logits}};
+        },
+        store, so);
+}
+
+struct StreamPlan {
+    std::vector<std::vector<float>> prompts; ///< per stream, 8 tokens
+    std::vector<std::vector<float>> next;    ///< per stream, T tokens
+};
+
+StreamPlan
+makeTraffic(int streams, int64_t tokens)
+{
+    const DecoderConfig cfg = benchCfg();
+    Rng r(97);
+    StreamPlan p;
+    p.prompts.resize(streams);
+    p.next.resize(streams);
+    for (int s = 0; s < streams; ++s) {
+        for (int i = 0; i < 8; ++i)
+            p.prompts[s].push_back(
+                static_cast<float>(r.randint(cfg.vocab)));
+        for (int64_t t = 0; t < tokens; ++t)
+            p.next[s].push_back(
+                static_cast<float>(r.randint(cfg.vocab)));
+    }
+    return p;
+}
+
+/** Drive every stream through prefill + T decode steps in lockstep;
+ *  returns all logits, [stream][0] = prefill, [stream][1 + t]. */
+std::vector<std::vector<Tensor>>
+driveStreams(ServingEngine &e, const StreamPlan &p, int64_t tokens)
+{
+    const int streams = static_cast<int>(p.prompts.size());
+    std::vector<ServingEngine::StreamId> sids(streams);
+    std::vector<ServingEngine::RequestId> rids(streams);
+    std::vector<std::vector<Tensor>> out(streams);
+    for (int s = 0; s < streams; ++s)
+        sids[s] = e.openStream();
+    for (int s = 0; s < streams; ++s)
+        rids[s] = e.submitPrefill(sids[s],
+                                  {{"x", tokenRows(p.prompts[s])}});
+    for (int s = 0; s < streams; ++s)
+        out[s].push_back(e.wait(rids[s])[0]);
+    for (int64_t t = 0; t < tokens; ++t) {
+        for (int s = 0; s < streams; ++s)
+            rids[s] = e.submitDecode(
+                sids[s], {{"x", tokenRows({p.next[s][t]})}});
+        for (int s = 0; s < streams; ++s)
+            out[s].push_back(e.wait(rids[s])[0]);
+    }
+    for (int s = 0; s < streams; ++s)
+        e.closeStream(sids[s]);
+    return out;
+}
+
+struct DecodeRow {
+    std::string scenario;
+    int64_t streams = 0;
+    int64_t promptLen = 8;
+    int64_t tokens = 0;
+    bool parity = true;
+    int64_t decodeRequests = 0;
+    int64_t runsSolo = 0, runsCoalesced = 0;
+    double runReduction = 0;
+    double coalesceRate = 0;
+    int64_t cacheBytesPerSession = 0;
+    double prefillUsPerToken = 0; ///< wall-clock, informational
+    double decodeUsPerTokenSolo = 0;
+    double decodeUsPerTokenShared = 0;
+};
+
+void
+bucketCost(const ServeStats &st, bool decode, int64_t &hits,
+           int64_t &runs, int64_t &runNs)
+{
+    hits = runs = runNs = 0;
+    for (const BucketStats &b : st.buckets) {
+        if (b.decode != decode)
+            continue;
+        hits += b.hits;
+        runs += b.runs;
+        runNs += b.runNs;
+    }
+}
+
+DecodeRow
+runScenario(const std::string &scenario, Precision prec, int streams,
+            int64_t tokens)
+{
+    const StreamPlan traffic = makeTraffic(streams, tokens);
+    DecodeRow row;
+    row.scenario = scenario;
+    row.streams = streams;
+    row.tokens = tokens;
+    row.decodeRequests = static_cast<int64_t>(streams) * tokens;
+
+    // Serial reference: one stream at a time, coalescing off.
+    auto soloStore = std::make_shared<ParamStore>();
+    auto solo = makeEngine(soloStore, 0, 1, prec);
+    std::vector<std::vector<Tensor>> ref(streams);
+    for (int s = 0; s < streams; ++s) {
+        StreamPlan one;
+        one.prompts = {traffic.prompts[s]};
+        one.next = {traffic.next[s]};
+        ref[s] = driveStreams(*solo, one, tokens)[0];
+    }
+
+    // Coalesced: all streams in lockstep share decode-bucket runs.
+    auto store = std::make_shared<ParamStore>();
+    auto eng = makeEngine(store, 20000, 1, prec);
+    std::vector<std::vector<Tensor>> got =
+        driveStreams(*eng, traffic, tokens);
+
+    for (int s = 0; s < streams; ++s)
+        for (size_t i = 0; i < got[s].size(); ++i)
+            row.parity = row.parity &&
+                         ref[s][i].shape() == got[s][i].shape() &&
+                         std::memcmp(ref[s][i].data(), got[s][i].data(),
+                                     sizeof(float) *
+                                         ref[s][i].size()) == 0;
+
+    ServeStats ss = solo->stats(), cs = eng->stats();
+    int64_t hits = 0, runs = 0, runNs = 0;
+    bucketCost(ss, true, hits, runs, runNs);
+    row.runsSolo = runs;
+    row.decodeUsPerTokenSolo =
+        hits > 0 ? static_cast<double>(runNs) / hits / 1e3 : 0;
+    bucketCost(cs, true, hits, runs, runNs);
+    row.runsCoalesced = runs;
+    row.decodeUsPerTokenShared =
+        hits > 0 ? static_cast<double>(runNs) / hits / 1e3 : 0;
+    row.runReduction =
+        row.runsCoalesced > 0
+            ? static_cast<double>(row.runsSolo) / row.runsCoalesced
+            : 0;
+    row.coalesceRate = cs.coalesceRate;
+    row.cacheBytesPerSession = eng->streamCacheBytes();
+    bucketCost(cs, false, hits, runs, runNs);
+    row.prefillUsPerToken =
+        hits > 0 ? static_cast<double>(runNs) / (hits * row.promptLen) /
+                       1e3
+                 : 0;
+    return row;
+}
+
+void
+printRows(const std::vector<DecodeRow> &rows)
+{
+    std::printf("\n=== incremental decode (shared bucket runs) ===\n");
+    for (const DecodeRow &r : rows) {
+        std::printf(
+            "%-12s: %lld streams x %lld tokens | decode runs %lld -> "
+            "%lld (%.1fx fewer) | rate %.2f | prefill %.1f us/tok, "
+            "decode %.1f -> %.1f us/tok | cache %lld KB/session | "
+            "parity %s\n",
+            r.scenario.c_str(), static_cast<long long>(r.streams),
+            static_cast<long long>(r.tokens),
+            static_cast<long long>(r.runsSolo),
+            static_cast<long long>(r.runsCoalesced), r.runReduction,
+            r.coalesceRate, r.prefillUsPerToken,
+            r.decodeUsPerTokenSolo, r.decodeUsPerTokenShared,
+            static_cast<long long>(r.cacheBytesPerSession / 1024),
+            r.parity ? "EXACT" : "BROKEN");
+    }
+}
+
+/** BENCH_decode.json rows. Gated fields (parity, run counts, cache
+ *  bytes) are machine-independent; the us/token columns are
+ *  informational wall-clock. */
+bool
+saveRows(const std::vector<DecodeRow> &rows, const std::string &path)
+{
+    pe::bench::JsonRows json;
+    for (const DecodeRow &r : rows) {
+        json.begin("decode_stream");
+        json.field("scenario", r.scenario);
+#ifdef NDEBUG
+        json.field("build_type", "release");
+#else
+        json.field("build_type", "debug");
+#endif
+        json.field("streams", r.streams);
+        json.field("prompt_len", r.promptLen);
+        json.field("tokens_per_stream", r.tokens);
+        json.field("decode_requests", r.decodeRequests);
+        json.field("runs_solo", r.runsSolo);
+        json.field("runs_coalesced", r.runsCoalesced);
+        json.field("run_reduction", r.runReduction);
+        json.field("coalesce_rate", r.coalesceRate);
+        json.field("cache_bytes_per_session", r.cacheBytesPerSession);
+        json.field("prefill_us_per_token", r.prefillUsPerToken);
+        json.field("decode_us_per_token_solo", r.decodeUsPerTokenSolo);
+        json.field("decode_us_per_token_shared",
+                   r.decodeUsPerTokenShared);
+        json.field("parity", static_cast<int64_t>(r.parity ? 1 : 0));
+    }
+    return json.save(path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --trace <path>: traced coalesced decode -> Chrome trace whose
+    // request lanes (stamped stream/gen) converge into shared runs.
+    std::string tracePath;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0)
+            tracePath = argv[i + 1];
+    }
+    if (!tracePath.empty()) {
+        auto store = std::make_shared<ParamStore>();
+        auto eng = makeEngine(store, 20000, 1, Precision::F32, true);
+        driveStreams(*eng, makeTraffic(4, 8), 8);
+        ServeStats s = eng->stats();
+        std::printf("%s", s.summary().c_str());
+        if (!eng->exportChromeTrace(tracePath)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         tracePath.c_str());
+            return 1;
+        }
+        std::printf("chrome trace: %s (load in chrome://tracing or "
+                    "ui.perfetto.dev)\n",
+                    tracePath.c_str());
+        std::printf("shared decode runs: %lld served >= 2 stream "
+                    "lanes -> %s\n",
+                    static_cast<long long>(s.coalescedRuns),
+                    s.coalescedRuns >= 1 ? "OK" : "NONE");
+        return s.coalescedRuns >= 1 ? 0 : 1;
+    }
+
+    const std::string jsonPath =
+        pe::bench::jsonPathFromArgs(argc, argv);
+    const int64_t tokens =
+        jsonPath.empty() && argc > 1 ? std::atoll(argv[1]) : 8;
+
+    std::vector<DecodeRow> rows = {
+        runScenario("fp32", Precision::F32, 4, tokens),
+        runScenario("int8", Precision::Int8, 4, tokens),
+    };
+    printRows(rows);
+
+    if (!jsonPath.empty()) {
+        if (!saveRows(rows, jsonPath)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+    for (const DecodeRow &r : rows)
+        if (!r.parity || r.runsCoalesced * 2 > r.runsSolo)
+            return 1;
+    return 0;
+}

@@ -38,6 +38,18 @@ Three file shapes are understood, auto-detected:
   must not shrink beyond the same tolerance. Vanished baseline rows
   fail, same as the other gates.
 
+* decode serving JSON (BENCH_decode.json, rows with kind
+  "decode_stream"): GATED. Hard machine-independent floors on every
+  fresh row — build_type must be release, parity must be 1 (N
+  concurrent decode streams bit-identical to each stream decoding
+  alone, fp32 AND int8), run_reduction >= 2.0 (4 lockstep streams
+  must share decode-bucket runs at least 2x), and
+  cache_bytes_per_session must be positive (the KV cache actually
+  exists). Against the committed baseline, run reduction / coalesce
+  rate must hold >= (1 - tolerance), and the shared/solo us-per-token
+  ratio — self-normalized so host speed cancels — must not grow
+  beyond the same tolerance. Vanished baseline rows fail.
+
 Usage: bench_check.py BASELINE FRESH [--tolerance 0.25]
                                      [--table4-tolerance 0.05]
 Exit status 1 iff a gated row regressed more than its tolerance.
@@ -292,6 +304,93 @@ def check_serve(base, fresh, tolerance):
     return failures == 0
 
 
+# The incremental-decode acceptance bar: 4 lockstep streams must pack
+# their single-token steps into at most half the decode-bucket runs of
+# serial decode. Run counts are coalescer policy, not timing, so the
+# floor is host-independent — and parity is the bit-exactness claim.
+MIN_DECODE_RUN_REDUCTION = 2.0
+
+
+def check_decode(base, fresh, tolerance):
+    b = {serve_key(r): r for r in base}
+    f = {serve_key(r): r for r in fresh}
+    failures = 0
+
+    # Machine-independent floors on the fresh snapshot itself.
+    for name in sorted(f):
+        row = f[name]
+        if row.get("build_type", "release") != "release":
+            print(f"  [FAIL] {name}: snapshot built in debug mode — "
+                  f"rebuild Release via scripts/bench_json.sh")
+            failures += 1
+        if int(row.get("parity", 0)) != 1:
+            print(f"  [FAIL] {name}: shared-run decode is NOT "
+                  f"bit-identical to serial decode (parity="
+                  f"{row.get('parity')})")
+            failures += 1
+        if (float(row.get("run_reduction", 0))
+                < MIN_DECODE_RUN_REDUCTION):
+            print(f"  [FAIL] {name}: run_reduction "
+                  f"{row.get('run_reduction')} below the "
+                  f"{MIN_DECODE_RUN_REDUCTION}x decode run-sharing "
+                  f"acceptance bar at {row.get('streams')} streams")
+            failures += 1
+        if int(row.get("cache_bytes_per_session", 0)) <= 0:
+            print(f"  [FAIL] {name}: cache_bytes_per_session is "
+                  f"{row.get('cache_bytes_per_session')} — the KV "
+                  f"cache vanished")
+            failures += 1
+
+    for name in sorted(set(b) - set(f)):
+        print(f"  [FAIL] baseline scenario missing from fresh run: "
+              f"{name} — restore it or refresh the committed baseline "
+              f"with scripts/bench_json.sh")
+        failures += 1
+    for name in sorted(set(f) - set(b)):
+        print(f"  [info] new scenario (no baseline yet): {name}")
+
+    for name in sorted(set(b) & set(f)):
+        old, new = b[name], f[name]
+        for field in ("run_reduction", "coalesce_rate"):
+            ov, nv = float(old.get(field, 0)), float(new.get(field, 0))
+            ratio = nv / ov if ov > 0 else float("inf")
+            status = "ok"
+            if ratio < 1.0 - tolerance:
+                status = "FAIL"
+                failures += 1
+            print(f"  {name} {field}: {ov:.3g} -> {nv:.3g} "
+                  f"({ratio:.2f}x)  {status}")
+        # Decode cost per token: gate the shared/solo ratio (lower is
+        # better) so host speed cancels out of the comparison.
+        os_, oc = (float(old.get("decode_us_per_token_solo", 0)),
+                   float(old.get("decode_us_per_token_shared", 0)))
+        ns_, nc = (float(new.get("decode_us_per_token_solo", 0)),
+                   float(new.get("decode_us_per_token_shared", 0)))
+        if os_ > 0 and ns_ > 0:
+            orat, nrat = oc / os_, nc / ns_
+            status = "ok"
+            if orat > 0 and nrat > orat * (1.0 + tolerance):
+                status = "FAIL"
+                failures += 1
+            print(f"  {name} decode us/token (shared/solo): "
+                  f"{orat:.2f} -> {nrat:.2f}  {status}")
+    if failures:
+        print(f"{failures} decode gate failure(s): parity break, "
+              f"run-sharing below {MIN_DECODE_RUN_REDUCTION}x, missing "
+              f"cache bytes, regression beyond {tolerance:.0%}, "
+              f"vanished scenario, or non-Release snapshot — "
+              f"investigate or refresh the committed BENCH_decode.json "
+              f"with scripts/bench_json.sh")
+    return failures == 0
+
+
+def is_decode_doc(doc):
+    """Flat decode-stream rows (checked before the serve shape: both
+    are flat scenario lists, distinguished by their kind prefix)."""
+    return (isinstance(doc, list) and len(doc) > 0
+            and str(doc[0].get("kind", "")).startswith("decode"))
+
+
 def is_serve_doc(doc):
     """Flat serve-coalescing rows vs the table4 flat list."""
     return (isinstance(doc, list) and len(doc) > 0
@@ -315,7 +414,12 @@ def main():
     with open(args.fresh) as fp:
         fresh = json.load(fp)
 
-    if is_serve_doc(base) or is_serve_doc(fresh):
+    if is_decode_doc(base) or is_decode_doc(fresh):
+        print(f"decode serving gate: {args.baseline} vs {args.fresh} "
+              f"(parity + {MIN_DECODE_RUN_REDUCTION}x run-sharing "
+              f"floors, tolerance {args.tolerance:.0%} vs baseline)")
+        ok = check_decode(base, fresh, args.tolerance)
+    elif is_serve_doc(base) or is_serve_doc(fresh):
         print(f"serve coalescing gate: {args.baseline} vs "
               f"{args.fresh} (parity + {MIN_BURST_RUN_REDUCTION}x "
               f"run-reduction floors, tolerance {args.tolerance:.0%} "

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Machine-readable benchmark snapshot: runs the memory bench, the
-# kernel microbench, and the serving coalescing scenarios with --json
-# and drops BENCH_table4.json / BENCH_kernels.json / BENCH_serve.json
-# at the repo root — the perf-trajectory files a re-anchor (or CI
-# trend job) diffs against previous PRs.
+# kernel microbench, and the serving coalescing + decode scenarios
+# with --json and drops BENCH_table4.json / BENCH_kernels.json /
+# BENCH_serve.json / BENCH_decode.json at the repo root — the
+# perf-trajectory files a re-anchor (or CI trend job) diffs against
+# previous PRs.
 #
 # Usage: scripts/bench_json.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -44,6 +45,12 @@ echo "wrote BENCH_table4.json"
 # coalesced/solo ratio so host speed cancels.
 "$BUILD"/serve_bench --json BENCH_serve.json > /dev/null
 echo "wrote BENCH_serve.json"
+
+# Incremental-decode rows: decode-parity and run-sharing are policy
+# counts (deterministic); the us/token columns are gated only as a
+# shared/solo ratio so host speed cancels.
+"$BUILD"/decode_bench --json BENCH_decode.json > /dev/null
+echo "wrote BENCH_decode.json"
 
 if [ -x "$BUILD"/bench_kernels ]; then
     # Short min_time: this snapshots relative kernel throughput

@@ -279,6 +279,128 @@ buildLlama(const LlamaConfig &cfg, Rng &rng, ParamStore *store,
     return spec;
 }
 
+namespace {
+
+/**
+ * Shared decoder-LM core: prefill and decode are the SAME parameters
+ * (identical creation order and names — the rng draws line up) under
+ * two attention geometries. Prefill runs rank-2 attention over the
+ * prompt with a constant causal mask and writes the cache at position
+ * 0; decode runs rank-3 single-token attention over the whole cache
+ * through the fed additive mask and writes row "pos" per stream.
+ */
+ModelSpec
+buildDecoderLM(const DecoderConfig &cfg, int64_t lead, bool decode,
+               Rng &rng, ParamStore *store)
+{
+    ModelSpec spec;
+    spec.kind = decode ? "decoder-decode" : "decoder-prefill";
+    NetBuilder b(spec.graph, rng, store);
+    Graph &g = spec.graph;
+    const int64_t D = cfg.dim;
+    const int64_t M = cfg.maxSeq;
+
+    int ids = b.input({lead, 1}, "x");
+    spec.input = ids;
+    int pos = -1;
+    int mask = -1;
+    if (decode) {
+        pos = b.input({lead, 1}, "pos");
+        mask = b.input({lead, M}, "mask");
+    } else {
+        // Prompt geometry is static, so position and visibility fold
+        // into constants: the cache is written at row 0, and token i
+        // sees cache columns j <= i (the prompt itself).
+        Tensor p0({1});
+        p0[0] = 0.0f;
+        pos = g.constantOf(std::move(p0), "pos0");
+        Tensor cm({lead, M});
+        for (int64_t i = 0; i < lead; ++i)
+            for (int64_t j = 0; j < M; ++j)
+                cm[i * M + j] = j <= i ? 0.0f : -1e30f;
+        mask = g.constantOf(std::move(cm), "causal_mask");
+    }
+    int h = b.reshape(b.embedding(ids, cfg.vocab, D, "embed.tok"),
+                      {lead, D});
+
+    Attrs cache_attrs;
+    cache_attrs.set("maxSeq", M);
+    Attrs trans_b;
+    trans_b.set("transB", static_cast<int64_t>(1));
+    const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(D));
+
+    for (int64_t i = 0; i < cfg.layers; ++i) {
+        std::string name = "b" + std::to_string(i);
+        int norm1 = b.rmsNorm(h, name + ".ln1");
+        int q = b.linear(norm1, D, name + ".q", false);
+        int k = b.linear(norm1, D, name + ".k", false);
+        int v = b.linear(norm1, D, name + ".v", false);
+        int attn;
+        if (decode) {
+            int kc = g.add(OpKind::CacheWrite,
+                           {b.reshape(k, {lead, 1, D}), pos},
+                           cache_attrs, name + ".kcache");
+            int vc = g.add(OpKind::CacheWrite,
+                           {b.reshape(v, {lead, 1, D}), pos},
+                           cache_attrs, name + ".vcache");
+            int scores = g.add(OpKind::BatchMatMul,
+                               {b.reshape(q, {lead, 1, D}), kc},
+                               trans_b); // [B,1,M]
+            scores = b.scale(scores, inv_sqrt_d);
+            scores = b.add(scores, b.reshape(mask, {lead, 1, M}));
+            int ctx = g.add(OpKind::BatchMatMul,
+                            {b.softmax(scores), vc}); // [B,1,D]
+            attn = b.linear(b.reshape(ctx, {lead, D}), D,
+                            name + ".proj", false);
+        } else {
+            int kc = g.add(OpKind::CacheWrite, {k, pos}, cache_attrs,
+                           name + ".kcache");
+            int vc = g.add(OpKind::CacheWrite, {v, pos}, cache_attrs,
+                           name + ".vcache");
+            int scores =
+                g.add(OpKind::MatMul, {q, kc}, trans_b); // [S,M]
+            scores = b.scale(scores, inv_sqrt_d);
+            scores = b.add(scores, mask);
+            int ctx =
+                g.add(OpKind::MatMul, {b.softmax(scores), vc});
+            attn = b.linear(ctx, D, name + ".proj", false);
+        }
+        h = b.add(h, attn);
+        int norm2 = b.rmsNorm(h, name + ".ln2");
+        // SwiGLU: fc2(silu(fc1(x)) * fc3(x)).
+        int gate = b.silu(b.linear(norm2, cfg.ffDim,
+                                   name + ".ffn.fc1", false));
+        int up = b.linear(norm2, cfg.ffDim, name + ".ffn.fc3", false);
+        int ff = b.linear(b.mul(gate, up), D, name + ".ffn.fc2",
+                          false);
+        h = b.add(h, ff);
+    }
+    spec.numBlocks = static_cast<int>(cfg.layers);
+
+    h = b.rmsNorm(h, "final.ln");
+    int logits = b.linear(h, cfg.vocab, "head", false);
+    spec.logits = logits;
+    g.markOutput(logits);
+    spec.paramCount = countParams(g);
+    return spec;
+}
+
+} // namespace
+
+ModelSpec
+buildDecoderPrefill(const DecoderConfig &cfg, int64_t prompt_len,
+                    Rng &rng, ParamStore *store)
+{
+    return buildDecoderLM(cfg, prompt_len, false, rng, store);
+}
+
+ModelSpec
+buildDecoderDecode(const DecoderConfig &cfg, int64_t streams, Rng &rng,
+                   ParamStore *store)
+{
+    return buildDecoderLM(cfg, streams, true, rng, store);
+}
+
 SparseUpdateScheme
 cnnSparseScheme(const ModelSpec &m, int bias_blocks, int weight_blocks,
                 double ratio)

@@ -104,6 +104,44 @@ ModelSpec buildLlama(const LlamaConfig &cfg, Rng &rng, ParamStore *store,
 /** Freeze everything except LoRA adapters (and the loss head biases). */
 SparseUpdateScheme loraScheme();
 
+/** Generative decoder-LM configuration (KV-cache serving). One
+ *  attention head per layer keeps the cached graphs small enough for
+ *  CI while exercising the full prefill/decode machinery. */
+struct DecoderConfig {
+    int64_t vocab = 96;
+    int64_t dim = 32;
+    int64_t ffDim = 64; ///< SwiGLU hidden
+    int64_t layers = 2;
+    int64_t maxSeq = 48; ///< KV-cache extent, shared by every layer
+};
+
+/**
+ * Prefill graph for one prompt of @p prompt_len tokens: Input "x"
+ * [S,1] token rows, causal self-attention over the prompt, and
+ * CacheWrite nodes "b<i>.kcache"/"b<i>.vcache" (rank-2 [maxSeq,dim],
+ * written at position 0) that leave the session cache holding the
+ * prompt's keys/values. Output: next-token logits [S,vocab].
+ *
+ * Parameters are created in the SAME order and under the SAME names
+ * as buildDecoderDecode(), so building both from equal-seeded Rngs
+ * against one ParamStore yields one consistent model.
+ */
+ModelSpec buildDecoderPrefill(const DecoderConfig &cfg,
+                              int64_t prompt_len, Rng &rng,
+                              ParamStore *store);
+
+/**
+ * Single-token decode graph for @p streams concurrent sequences:
+ * Inputs "x" [B,1] (one token per stream), "pos" [B,1] (each
+ * stream's generation, i.e. its cache row count), "mask" [B,maxSeq]
+ * (0 for visible cache columns, a large negative for the rest).
+ * CacheWrite nodes carry the same "b<i>.kcache"/"b<i>.vcache" names
+ * rank-3 ([B,maxSeq,dim]); attention reads the whole cache through
+ * the additive mask. Output: next-token logits [B,vocab].
+ */
+ModelSpec buildDecoderDecode(const DecoderConfig &cfg, int64_t streams,
+                             Rng &rng, ParamStore *store);
+
 // ---- Paper Section 4.1 update schemes -------------------------------
 
 /**

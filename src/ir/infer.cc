@@ -389,6 +389,29 @@ inferShape(const Graph &g, OpKind op, const std::vector<int> &inputs,
         return {x[0], x[1], convOutDim(x[2], w[2], s, p),
                 convOutDim(x[3], w[3], s, p)};
       }
+
+      case OpKind::CacheWrite: {
+        expectInputs(op, inputs, 2);
+        const Shape &x = in(0), &pos = in(1);
+        int64_t max_seq = attrs.getInt("maxSeq");
+        if (max_seq <= 0)
+            fail(op, "maxSeq must be positive");
+        if (x.size() == 2) {
+            if (pos != Shape{1})
+                fail(op, "rank-2 x needs pos [1]");
+            if (x[0] < 1 || x[0] > max_seq)
+                fail(op, "need 0 < S <= maxSeq");
+            return {max_seq, x[1]};
+        }
+        if (x.size() == 3) {
+            if (pos != Shape{1} && pos != Shape{x[0], 1})
+                fail(op, "rank-3 x needs pos [1] or [B,1]");
+            if (x[1] < 1 || x[1] > max_seq)
+                fail(op, "need 0 < S <= maxSeq");
+            return {x[0], max_seq, x[2]};
+        }
+        fail(op, "x must be rank 2 or 3");
+      }
     }
     fail(op, "unhandled op");
 }

@@ -83,6 +83,7 @@ nameTable()
         {OpKind::QuantDwConv2d, "QuantDwConv2d"},
         {OpKind::QuantAdd, "QuantAdd"},
         {OpKind::QuantRelu, "QuantRelu"},
+        {OpKind::CacheWrite, "CacheWrite"},
         {OpKind::Identity, "Identity"},
     };
     return table;

@@ -121,6 +121,21 @@ enum class OpKind {
     QuantAdd,  ///< inputs qa, qb; attrs xScale/xZp, bScale/bZp, yScale/yZp
     QuantRelu, ///< relu in the dequantized domain, requantized output
 
+    // --- generative serving (KV cache) ---------------------------------
+    // Writes rows of x into a persistent cache value at a runtime
+    // position. The output is planned as Storage::Cache: it lives in
+    // the per-context cache region, which survives across runs of one
+    // session (every other planned value dies within a run). Only the
+    // written rows change; everything else keeps its prior contents.
+    //
+    //   rank-2: x [S,D],   pos [1]           -> cache [maxSeq, D]
+    //           rows [pos, pos+S) receive x.
+    //   rank-3: x [B,S,D], pos [1] or [B,1]  -> cache [B, maxSeq, D]
+    //           per slot b, rows [pos_b, pos_b+S) receive x[b].
+    //
+    // attr "maxSeq" fixes the cache extent at compile time.
+    CacheWrite,
+
     Identity,
 };
 

@@ -101,6 +101,47 @@ broadcastToK(const KernelCtx &c)
     }
 }
 
+/**
+ * KV-cache row write. The output is a Storage::Cache value: it
+ * persists across runs of one session, so this kernel touches ONLY
+ * the rows [pos, pos+S) it was asked to write — no memset of the
+ * rest, that would destroy the earlier tokens' entries. Out-of-range
+ * positions are clamped row-by-row instead of written, so a bogus
+ * runtime pos can never escape the planned cache extent.
+ */
+void
+cacheWriteK(const KernelCtx &c)
+{
+    const Shape &xs = *c.inShapes[0];
+    const Shape &os = *c.outShape;
+    const float *pos = c.in[1];
+    const Shape &ps = *c.inShapes[1];
+    if (xs.size() == 2) {
+        int64_t s = xs[0], d = xs[1], max_seq = os[0];
+        int64_t p = static_cast<int64_t>(pos[0]);
+        for (int64_t i = 0; i < s; ++i) {
+            int64_t row = p + i;
+            if (row < 0 || row >= max_seq)
+                continue;
+            std::memcpy(c.out + row * d, c.in[0] + i * d,
+                        sizeof(float) * d);
+        }
+        return;
+    }
+    int64_t b = xs[0], s = xs[1], d = xs[2], max_seq = os[1];
+    bool per_slot = numel(ps) == b;
+    for (int64_t bi = 0; bi < b; ++bi) {
+        int64_t p = static_cast<int64_t>(pos[per_slot ? bi : 0]);
+        for (int64_t i = 0; i < s; ++i) {
+            int64_t row = p + i;
+            if (row < 0 || row >= max_seq)
+                continue;
+            std::memcpy(c.out + (bi * max_seq + row) * d,
+                        c.in[0] + (bi * s + i) * d, sizeof(float) * d);
+        }
+    }
+}
+
 } // namespace
 
 namespace detail {
@@ -113,6 +154,9 @@ registerShapeOpKernels()
     registerKernel(OpKind::Slice, "", sliceK);
     registerKernel(OpKind::Pad, "", padK);
     registerKernel(OpKind::BroadcastTo, "", broadcastToK);
+    // Unsplittable: the write set depends on a runtime input (pos),
+    // which the bind-time partition planner cannot see.
+    registerKernel(OpKind::CacheWrite, "", cacheWriteK);
 }
 
 } // namespace detail

@@ -340,6 +340,7 @@ buildMemPlan(const MemoryPlan &p)
     for (int64_t b : p.liveBytesAtStep)
         w.i64(b);
     w.i64(p.peakLiveBytes);
+    w.i64(p.cacheBytes); // format v2: per-context cache region
     return w.take();
 }
 
@@ -756,7 +757,7 @@ deserializeImpl(const std::string &bytes)
         p.values.resize(num_values);
         for (ValuePlacement &v : p.values) {
             uint8_t st = r.get<uint8_t>();
-            if (st > static_cast<uint8_t>(Storage::Alias))
+            if (st > static_cast<uint8_t>(Storage::Cache))
                 throw PlanFormatError("plan: bad storage tag");
             v.storage = static_cast<Storage>(st);
             uint8_t dt = r.get<uint8_t>();
@@ -794,14 +795,17 @@ deserializeImpl(const std::string &bytes)
         for (int64_t &b : p.constBytesByDtype)
             b = r.get<int64_t>();
         uint32_t timeline = r.get<uint32_t>();
-        r.need(static_cast<size_t>(timeline) * 8 + 8); // + peak
+        r.need(static_cast<size_t>(timeline) * 8 + 16); // + peak + cache
         p.liveBytesAtStep.resize(timeline);
         for (int64_t &b : p.liveBytesAtStep)
             b = r.get<int64_t>();
         p.peakLiveBytes = r.get<int64_t>();
+        p.cacheBytes = r.get<int64_t>(); // format v2
         r.finish();
         if (p.arenaBytes < 0)
             throw PlanFormatError("plan: negative arena extent");
+        if (p.cacheBytes < 0)
+            throw PlanFormatError("plan: negative cache extent");
     }
 
     { // CNST — pre-packed pool, no repacking on load.

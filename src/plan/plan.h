@@ -61,8 +61,13 @@
 
 namespace pe {
 
-/** Format version this build writes (and the only one it reads). */
-inline constexpr uint32_t kPlanFormatVersion = 1;
+/** Format version this build writes (and the only one it reads).
+ *  v2 (the KV-cache release): MPLN grew the cache-region extent
+ *  (MemoryPlan::cacheBytes) after peakLiveBytes, and the storage-tag
+ *  range admits Storage::Cache (tag 5). v1 tags 0-4 are unchanged, so
+ *  the bump exists to make cross-build loads fail TYPED
+ *  (PlanVersionError) instead of misreading the grown section. */
+inline constexpr uint32_t kPlanFormatVersion = 2;
 
 // ---- typed load errors ----------------------------------------------
 // Each corruption class gets its own type so deployment code can

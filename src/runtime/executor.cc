@@ -267,10 +267,21 @@ Executor::validateArtifact() const
     if (plan_.arenaBytes < 0)
         throw std::runtime_error(
             "Executor: artifact arena extent is negative");
+    if (plan_.cacheBytes < 0)
+        throw std::runtime_error(
+            "Executor: artifact cache extent is negative");
     auto fits = [&](int64_t offset, int64_t bytes) {
         return offset >= 0 && bytes >= 0 &&
                static_cast<__int128>(offset) + bytes <=
                    plan_.arenaBytes;
+    };
+    // Cache placements are bounded by the CACHE region, not the
+    // arena: a tampered offset that fits the (usually larger) arena
+    // must still be rejected here.
+    auto fitsCache = [&](int64_t offset, int64_t bytes) {
+        return offset >= 0 && bytes >= 0 &&
+               static_cast<__int128>(offset) + bytes <=
+                   plan_.cacheBytes;
     };
     for (int id = 0; id < n; ++id) {
         const Node &node = g_.node(id);
@@ -292,7 +303,9 @@ Executor::validateArtifact() const
                        : node.op == OpKind::Const ? Storage::ConstBuf
                        : node.op == OpKind::Input ? Storage::External
                        : isInPlaceOp(node.op)    ? Storage::Alias
-                                                 : Storage::Arena;
+                       : node.op == OpKind::CacheWrite
+                           ? Storage::Cache
+                           : Storage::Arena;
         if (v.storage != want)
             throw std::runtime_error(
                 "Executor: artifact storage class does not match "
@@ -319,6 +332,12 @@ Executor::validateArtifact() const
             throw std::runtime_error(
                 "Executor: artifact placement does not fit its "
                 "value inside the arena");
+        if (v.storage == Storage::Cache &&
+            (ne * dtypeSize(v.dtype) != v.bytes ||
+             !fitsCache(v.offset, v.bytes)))
+            throw std::runtime_error(
+                "Executor: artifact cache placement does not fit "
+                "inside the cache region");
     }
     // Alias chains: resolve() walks input 0 until a non-alias
     // placement, so every alias node needs an input and the chain
@@ -421,6 +440,8 @@ Executor::resolve(ExecContext &ctx, int id) const
         return resolve(ctx, n.inputs[0]);
       case Storage::Arena:
         return ctx.arena_.at<float>(v.offset);
+      case Storage::Cache:
+        return ctx.cache_.at<float>(v.offset);
     }
     throw std::runtime_error("Executor::resolve: bad storage");
 }
@@ -429,6 +450,11 @@ void
 Executor::bindInto(ExecContext &ctx) const
 {
     ctx.arena_.reset(plan_.arenaBytes);
+    // The cache region is zeroed here — at bind — and then left alone
+    // forever: run() never touches it, which is exactly the cross-run
+    // persistence Storage::Cache promises. resetCache() re-zeroes it
+    // at session-recycle boundaries.
+    ctx.cache_.reset(plan_.cacheBytes);
 
     // Input staging buffers are per-session: two in-flight requests
     // must never share the bytes their feeds land in.
@@ -815,6 +841,78 @@ Executor::fetch(const ExecContext &ctx, int node_id) const
       }
     }
     return out;
+}
+
+void
+Executor::resetCache(ExecContext &ctx) const
+{
+    ctx.cache_.reset(plan_.cacheBytes);
+}
+
+namespace {
+
+/** Resolve a cache value's row geometry: [maxSeq, D] for rank-2,
+ *  [B, maxSeq, D] for rank-3 (@p slot picks the leading dim). Returns
+ *  the element offset of (slot, row0) and writes D to @p rowElems. */
+int64_t
+cacheRowBase(const Node &n, const ValuePlacement &v, int64_t slot,
+             int64_t row0, int64_t rows, int64_t *rowElems)
+{
+    if (v.storage != Storage::Cache)
+        throw std::runtime_error("Executor: " + n.name +
+                                 " is not a cache value");
+    const Shape &s = n.shape;
+    int64_t b = s.size() == 3 ? s[0] : 1;
+    int64_t max_seq = s.size() == 3 ? s[1] : s[0];
+    int64_t d = s.back();
+    if (slot < 0 || slot >= b)
+        throw std::runtime_error(
+            "Executor: cache slot " + std::to_string(slot) +
+            " out of range for " + n.name);
+    if (row0 < 0 || rows < 0 || row0 + rows > max_seq)
+        throw std::runtime_error(
+            "Executor: cache rows [" + std::to_string(row0) + ", " +
+            std::to_string(row0 + rows) + ") exceed the " +
+            std::to_string(max_seq) + " rows of " + n.name);
+    *rowElems = d;
+    return (slot * max_seq + row0) * d;
+}
+
+} // namespace
+
+Tensor
+Executor::fetchCacheRows(const ExecContext &ctx, int node_id,
+                         int64_t slot, int64_t row0, int64_t rows) const
+{
+    const Node &n = g_.node(node_id);
+    int64_t d = 0;
+    int64_t base = cacheRowBase(n, plan_.values[node_id], slot, row0,
+                                rows, &d);
+    Tensor out({rows, d});
+    const float *src =
+        resolve(const_cast<ExecContext &>(ctx), node_id);
+    std::memcpy(out.data(), src + base, sizeof(float) * rows * d);
+    return out;
+}
+
+void
+Executor::bindCacheRows(ExecContext &ctx, int node_id, int64_t slot,
+                        int64_t row0, const Tensor &t) const
+{
+    const Node &n = g_.node(node_id);
+    if (t.shape().size() != 2)
+        throw std::runtime_error(
+            "Executor::bindCacheRows: expected a [rows, D] tensor");
+    int64_t rows = t.shape()[0];
+    int64_t d = 0;
+    int64_t base = cacheRowBase(n, plan_.values[node_id], slot, row0,
+                                rows, &d);
+    if (t.shape()[1] != d)
+        throw std::runtime_error(
+            "Executor::bindCacheRows: row width mismatch for " +
+            n.name);
+    std::memcpy(resolve(ctx, node_id) + base, t.data(),
+                sizeof(float) * rows * d);
 }
 
 } // namespace pe

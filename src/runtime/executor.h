@@ -152,6 +152,11 @@ class ExecContext
   private:
     friend class Executor;
     Arena arena_;                   ///< values + workspaces
+    /** KV-cache region (Storage::Cache values). Zeroed ONCE at bind
+     *  and never reset by run(): its contents — the session's cached
+     *  K/V rows — are the state that must survive between runs. Only
+     *  Executor::resetCache() (session recycle) re-zeroes it. */
+    Arena cache_;
     std::vector<Tensor> inputBufs_; ///< by node id (Input staging)
     std::vector<BoundStep> steps_;
     /** Shared-region validity flags, by step index (stable storage
@@ -250,6 +255,39 @@ class Executor
 
     /** Copy a value out of @p ctx's arena (by node id). */
     Tensor fetch(const ExecContext &ctx, int node_id) const;
+
+    // ---- KV-cache session state (generative serving) -----------------
+
+    /** Extent of the per-context persistent cache region; 0 for every
+     *  non-generative program. */
+    int64_t cacheBytes() const { return plan_.cacheBytes; }
+
+    /**
+     * Re-zero @p ctx's cache region — the session-recycle boundary.
+     * run() NEVER does this (cross-run persistence is the region's
+     * whole contract), so a context handed to a new conversation must
+     * be recycled explicitly or it will serve the old one's tokens.
+     */
+    void resetCache(ExecContext &ctx) const;
+
+    /**
+     * Copy rows [@p row0, @p row0 + @p rows) of cache value
+     * @p node_id (a CacheWrite output) out of @p ctx as a [rows, D]
+     * tensor. @p slot selects the leading-dim index of a rank-3
+     * [B, maxSeq, D] cache; pass 0 for rank-2. This is the serving
+     * runtime's scatter/gather half: per-stream authoritative state
+     * lives engine-side, session contexts are just the run's staging.
+     */
+    Tensor fetchCacheRows(const ExecContext &ctx, int node_id,
+                          int64_t slot, int64_t row0,
+                          int64_t rows) const;
+
+    /** Inverse of fetchCacheRows: copy @p t ([rows, D]) into rows
+     *  [@p row0, @p row0 + rows) of cache value @p node_id, slot
+     *  @p slot. Touches nothing else — surrounding rows keep their
+     *  persisted contents. */
+    void bindCacheRows(ExecContext &ctx, int node_id, int64_t slot,
+                       int64_t row0, const Tensor &t) const;
 
     // ---- execution tracing (src/obs/) --------------------------------
 

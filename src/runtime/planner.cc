@@ -168,6 +168,16 @@ planMemory(const Graph &g, const std::vector<int> &order,
             plan.inputBytes += v.bytes;
         } else if (isInPlaceOp(node.op)) {
             v.storage = Storage::Alias;
+        } else if (node.op == OpKind::CacheWrite) {
+            // Cross-run lifetime: packed monotonically into the
+            // per-context cache region, never released — the greedy
+            // sweep below deals only in within-run lifetimes and
+            // never sees these values.
+            v.storage = Storage::Cache;
+            if (pos[id] >= 0) {
+                v.offset = alignUp(plan.cacheBytes);
+                plan.cacheBytes = v.offset + v.bytes;
+            }
         } else {
             v.storage = Storage::Arena;
             if (pos[id] >= 0) { // scheduled: actually materialized

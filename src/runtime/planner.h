@@ -34,6 +34,11 @@ enum class Storage {
     ConstBuf, ///< compile-time constant
     External, ///< Input node, bound by the caller
     Alias,    ///< in-place op output; storage of its input 0
+    // Appended after Alias so the serialized u8 tags 0-4 of format-v1
+    // plans keep their meaning.
+    Cache,    ///< KV-cache value: per-context region that SURVIVES
+              ///< across runs of one session (offset is relative to
+              ///< the cache region, not the arena)
 };
 
 /** One value's placement. */
@@ -107,12 +112,21 @@ struct MemoryPlan {
     /** max(liveBytesAtStep): peak simultaneously-live bytes; differs
      *  from arenaBytes only by best-fit fragmentation. */
     int64_t peakLiveBytes = 0;
+    /** Extent of the per-context persistent cache region (KV caches).
+     *  Zero for every non-generative graph. Cache values never join
+     *  the arena's lifetime churn: they are monotonically packed here
+     *  and the executor zeroes the region once at bind, never between
+     *  runs — that "never" IS the cross-run persistence. */
+    int64_t cacheBytes = 0;
 
-    /** Total training-step footprint (Table 4's metric). */
+    /** Total per-session footprint (Table 4's metric; cacheBytes is 0
+     *  for every non-generative graph, so historical rows are
+     *  unchanged). */
     int64_t
     totalBytes() const
     {
-        return arenaBytes + paramBytes + constBytes + inputBytes;
+        return arenaBytes + paramBytes + constBytes + inputBytes +
+               cacheBytes;
     }
 };
 

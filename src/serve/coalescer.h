@@ -47,6 +47,20 @@
 
 namespace pe {
 
+/**
+ * Cache-generation tags for admission (generative serving, PR 9).
+ * Sharing a run is only bit-safe when every member reads the SAME
+ * synthesized position/mask feeds, i.e. when their KV caches hold the
+ * same number of rows — so decode requests carry their stream's
+ * generation and only equal generations group.
+ */
+/** Plain (cache-less) request: groups with any other plain request —
+ *  the pre-generation admission rule, unchanged. */
+inline constexpr int64_t kGenNone = -1;
+/** Never groups (prefill: its CacheWrite targets the whole session
+ *  cache, so two prefills in one run would collide). */
+inline constexpr int64_t kGenSolo = -2;
+
 class Coalescer
 {
   public:
@@ -90,6 +104,22 @@ class Coalescer
     bool admits(int64_t groupRows, int64_t rows) const
     {
         return rows > 0 && groupRows + rows <= maxBatch();
+    }
+
+    /**
+     * Generation-aware admission (the PR-9 extension): row fit as
+     * above AND cache compatibility. kGenSolo never admits or is
+     * admitted; kGenNone matches only kGenNone (plain traffic keeps
+     * the old rule verbatim); decode generations match only their
+     * exact value — members of one run then share the same
+     * synthesized pos/mask, which is what makes a coalesced decode
+     * step bit-identical to the serial one.
+     */
+    bool admits(int64_t groupRows, int64_t groupGen, int64_t rows,
+                int64_t gen) const
+    {
+        return groupGen != kGenSolo && gen != kGenSolo &&
+               groupGen == gen && admits(groupRows, rows);
     }
 
     /** Drain stop condition: the group exactly fills the largest

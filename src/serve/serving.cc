@@ -105,8 +105,18 @@ ServeStats::summary() const
                   "bucket", "hits", "runs", "pad rows", "run ms",
                   "tier");
     out += buf;
+    if (streamsOpened > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "streams: %lld opened | %lld prefills, "
+                      "%lld decode steps\n",
+                      static_cast<long long>(streamsOpened),
+                      static_cast<long long>(prefills),
+                      static_cast<long long>(decodeSteps));
+        out += buf;
+    }
     for (const BucketStats &b : buckets) {
-        std::string label = "b" + std::to_string(b.batch);
+        std::string label =
+            (b.decode ? "d" : "b") + std::to_string(b.batch);
         std::snprintf(buf, sizeof(buf),
                       "%-8s %10lld %10lld %10lld %10.2f  %s\n",
                       label.c_str(), static_cast<long long>(b.hits),
@@ -129,6 +139,8 @@ ServeStats::json() const
         "\"queue_depth_max\":%lld,\"sessions_created\":%lld,"
         "\"runs\":%lld,\"coalesced_runs\":%lld,"
         "\"coalesced_requests\":%lld,\"coalesce_rate\":%.17g,"
+        "\"streams_opened\":%lld,\"prefills\":%lld,"
+        "\"decode_steps\":%lld,"
         "\"amortized_run_us\":%.17g,\"latency_samples\":%lld,"
         "\"p50_latency_us\":%.17g,\"p99_latency_us\":%.17g,"
         "\"throughput_rps\":%.17g,\"elapsed_seconds\":%.17g,"
@@ -143,6 +155,9 @@ ServeStats::json() const
         static_cast<long long>(runs),
         static_cast<long long>(coalescedRuns),
         static_cast<long long>(coalescedRequests), coalesceRate,
+        static_cast<long long>(streamsOpened),
+        static_cast<long long>(prefills),
+        static_cast<long long>(decodeSteps),
         amortizedRunUs, static_cast<long long>(latencySamples),
         p50LatencyUs, p99LatencyUs, throughputRps, elapsedSeconds);
     std::string out = buf;
@@ -151,10 +166,12 @@ ServeStats::json() const
         if (i)
             out += ",";
         std::snprintf(buf, sizeof(buf),
-                      "{\"batch\":%lld,\"hits\":%lld,\"runs\":%lld,"
+                      "{\"batch\":%lld,\"decode\":%d,"
+                      "\"hits\":%lld,\"runs\":%lld,"
                       "\"padded_rows\":%lld,\"run_ns\":%lld,"
                       "\"tier\":\"%s\",\"latency_hist_us\":[",
                       static_cast<long long>(b.batch),
+                      b.decode ? 1 : 0,
                       static_cast<long long>(b.hits),
                       static_cast<long long>(b.runs),
                       static_cast<long long>(b.paddedRows),
@@ -203,78 +220,29 @@ ServingEngine::ServingEngine(const ModelFactory &model,
     // below proves no compile pipeline stage ran.
     const bool from_plans = !options_.planDir.empty();
     PipelineCounters before = pipelineCounters();
-    for (int64_t batch : batches) {
-        auto b = std::make_unique<Bucket>();
-        b->batch = batch;
-        if (from_plans) {
-            std::string path =
-                options_.planDir + "/" +
-                planFileName(options_.compile.precision, batch);
-            PlanData pd = deserializePlan(readPlanFile(path));
-            if (pd.precision != options_.compile.precision)
-                throw std::invalid_argument(
-                    "ServingEngine: plan '" + path +
-                    "' precision does not match ServeOptions");
-            if (pd.artifact.numThreads != 1)
-                throw std::invalid_argument(
-                    "ServingEngine: plan '" + path +
-                    "' was compiled at numThreads != 1; serving "
-                    "sessions are serial inside");
-            std::vector<int> input_ids = pd.graph.inputIds();
-            if (input_ids.empty() ||
-                pd.graph.node(input_ids[0]).shape.empty() ||
-                pd.graph.node(input_ids[0]).shape[0] != batch)
-                throw std::invalid_argument(
-                    "ServingEngine: plan '" + path +
-                    "' batch does not match bucket " +
-                    std::to_string(batch));
-            // All bucket plans freeze the same weights, so repeated
-            // sets write identical values.
-            for (auto &[name, t] : pd.params)
-                store_->set(name, std::move(t));
-            b->cg.graph = std::move(pd.graph);
-            b->cg.lossId = pd.lossId;
-            b->cg.order = pd.artifact.order;
-            b->cg.variants = pd.artifact.variants;
-            b->cg.report = std::move(pd.report);
-            b->exec = std::make_unique<Executor>(
-                b->cg.graph, std::move(pd.artifact), *store_);
-        } else {
-            ServedModel m = model(batch);
-            if (m.outputs.empty())
-                throw std::invalid_argument(
-                    "ServingEngine: model factory produced no "
-                    "outputs");
-            // Quantized buckets: stamp observed ranges before the
-            // QuantizePass consumes them. Feeds are fitted to this
-            // bucket's batch (zero-pad up / truncate down), matching
-            // the padding real traffic gets.
-            if (options_.compile.precision != Precision::F32 &&
-                !options_.calibration.empty()) {
-                std::vector<std::unordered_map<std::string, Tensor>>
-                    fitted;
-                fitted.reserve(options_.calibration.size());
-                for (const auto &feeds : options_.calibration) {
-                    std::unordered_map<std::string, Tensor> fit;
-                    for (const auto &[name, t] : feeds)
-                        fit.emplace(name, fitRows(t, batch));
-                    fitted.push_back(std::move(fit));
-                }
-                calibrate(m.graph, *store_, fitted);
-            }
-            b->cg = compileInferenceGraph(m.graph, m.outputs,
-                                          options_.compile, store_);
-            ExecOptions eopt;
-            eopt.variants = b->cg.variants;
-            eopt.numThreads = 1;
-            eopt.forceScalarTier = options_.compile.forceScalarTier;
-            b->exec = std::make_unique<Executor>(
-                b->cg.graph, b->cg.order, *store_, std::move(eopt));
-        }
-        finalizeExecReport(b->cg.report, *b->exec);
-        b->cg.report.kernelFallbacks = b->exec->fallbackCount();
-        b->cg.report.fallbackKernels = b->exec->fallbackKernels();
-        buckets_.push_back(std::move(b));
+    for (int64_t batch : batches)
+        buckets_.push_back(buildBucket(model, batch, false));
+    prefillBuckets_ = buckets_.size();
+
+    // Generative engines append the decode domain: one single-token
+    // plan per stream-count bucket, built by the decode factory.
+    generative_ = static_cast<bool>(options_.decodeFactory);
+    if (generative_) {
+        std::vector<int64_t> dbatches = options_.decodeBuckets;
+        dbatches.erase(std::remove_if(dbatches.begin(), dbatches.end(),
+                                      [](int64_t b) { return b < 1; }),
+                       dbatches.end());
+        std::sort(dbatches.begin(), dbatches.end());
+        dbatches.erase(std::unique(dbatches.begin(), dbatches.end()),
+                       dbatches.end());
+        if (dbatches.empty())
+            dbatches.push_back(1);
+        decodeCoalescer_ =
+            Coalescer(dbatches, options_.coalesceWindowUs);
+        for (int64_t batch : dbatches)
+            buckets_.push_back(
+                buildBucket(options_.decodeFactory, batch, true));
+        resolveCacheTopology();
     }
     if (from_plans && pipelineCounters() != before)
         throw std::logic_error(
@@ -311,6 +279,207 @@ ServingEngine::ServingEngine(const ModelFactory &model,
     });
 }
 
+std::unique_ptr<ServingEngine::Bucket>
+ServingEngine::buildBucket(const ModelFactory &model, int64_t batch,
+                           bool decode)
+{
+    auto b = std::make_unique<Bucket>();
+    b->batch = batch;
+    b->decode = decode;
+    if (!options_.planDir.empty()) {
+        std::string path =
+            options_.planDir + "/" +
+            planFileName(options_.compile.precision, batch, decode);
+        PlanData pd = deserializePlan(readPlanFile(path));
+        if (pd.precision != options_.compile.precision)
+            throw std::invalid_argument(
+                "ServingEngine: plan '" + path +
+                "' precision does not match ServeOptions");
+        if (pd.artifact.numThreads != 1)
+            throw std::invalid_argument(
+                "ServingEngine: plan '" + path +
+                "' was compiled at numThreads != 1; serving "
+                "sessions are serial inside");
+        std::vector<int> input_ids = pd.graph.inputIds();
+        if (input_ids.empty() ||
+            pd.graph.node(input_ids[0]).shape.empty() ||
+            pd.graph.node(input_ids[0]).shape[0] != batch)
+            throw std::invalid_argument(
+                "ServingEngine: plan '" + path +
+                "' batch does not match bucket " +
+                std::to_string(batch));
+        // All bucket plans freeze the same weights, so repeated
+        // sets write identical values.
+        for (auto &[name, t] : pd.params)
+            store_->set(name, std::move(t));
+        b->cg.graph = std::move(pd.graph);
+        b->cg.lossId = pd.lossId;
+        b->cg.order = pd.artifact.order;
+        b->cg.variants = pd.artifact.variants;
+        b->cg.report = std::move(pd.report);
+        b->exec = std::make_unique<Executor>(
+            b->cg.graph, std::move(pd.artifact), *store_);
+    } else {
+        ServedModel m = model(batch);
+        if (m.outputs.empty())
+            throw std::invalid_argument(
+                "ServingEngine: model factory produced no outputs");
+        // Quantized buckets: stamp observed ranges before the
+        // QuantizePass consumes them. Feeds are fitted to this
+        // bucket's batch (zero-pad up / truncate down), matching
+        // the padding real traffic gets.
+        if (options_.compile.precision != Precision::F32 &&
+            !options_.calibration.empty()) {
+            std::vector<std::unordered_map<std::string, Tensor>>
+                fitted;
+            fitted.reserve(options_.calibration.size());
+            for (const auto &feeds : options_.calibration) {
+                std::unordered_map<std::string, Tensor> fit;
+                for (const auto &[name, t] : feeds) {
+                    // One calibration map serves both generative
+                    // domains: feeds naming Inputs this bucket's
+                    // graph lacks (pos/mask on the prefill side)
+                    // are dropped, not rejected.
+                    bool known = false;
+                    for (int id : m.graph.inputIds())
+                        if (m.graph.node(id).name == name) {
+                            known = true;
+                            break;
+                        }
+                    if (known)
+                        fit.emplace(name, fitRows(t, batch));
+                }
+                fitted.push_back(std::move(fit));
+            }
+            calibrate(m.graph, *store_, fitted);
+        }
+        b->cg = compileInferenceGraph(m.graph, m.outputs,
+                                      options_.compile, store_);
+        ExecOptions eopt;
+        eopt.variants = b->cg.variants;
+        eopt.numThreads = 1;
+        eopt.forceScalarTier = options_.compile.forceScalarTier;
+        b->exec = std::make_unique<Executor>(
+            b->cg.graph, b->cg.order, *store_, std::move(eopt));
+    }
+    finalizeExecReport(b->cg.report, *b->exec);
+    b->cg.report.kernelFallbacks = b->exec->fallbackCount();
+    b->cg.report.fallbackKernels = b->exec->fallbackKernels();
+    return b;
+}
+
+void
+ServingEngine::resolveCacheTopology()
+{
+    // Collect every bucket's CacheWrite values, sorted by name — the
+    // name is the prefill <-> decode correspondence key, so it must
+    // be present and unique within each graph.
+    for (auto &b : buckets_) {
+        const Graph &g = b->cg.graph;
+        for (const Node &n : g.nodes()) {
+            if (n.op != OpKind::CacheWrite)
+                continue;
+            if (n.name.empty())
+                throw std::invalid_argument(
+                    "ServingEngine: unnamed CacheWrite node in " +
+                    std::string(b->decode ? "decode" : "prefill") +
+                    " bucket " + std::to_string(b->batch) +
+                    " — cache values correspond by name");
+            CacheNodeRef ref;
+            ref.name = n.name;
+            ref.id = n.id;
+            ref.maxSeq = n.attrs.getInt("maxSeq");
+            ref.dim = n.shape.back();
+            if (b->decode) {
+                if (n.shape.size() != 3 || n.shape[0] != b->batch)
+                    throw std::invalid_argument(
+                        "ServingEngine: decode cache " + n.name +
+                        " must be [streams, maxSeq, D]");
+            } else if (n.shape.size() != 2) {
+                throw std::invalid_argument(
+                    "ServingEngine: prefill cache " + n.name +
+                    " must be rank-2 [maxSeq, D]");
+            }
+            b->cacheNodes.push_back(std::move(ref));
+        }
+        std::sort(b->cacheNodes.begin(), b->cacheNodes.end(),
+                  [](const CacheNodeRef &a, const CacheNodeRef &c) {
+                      return a.name < c.name;
+                  });
+        for (size_t i = 1; i < b->cacheNodes.size(); ++i) {
+            if (b->cacheNodes[i].name == b->cacheNodes[i - 1].name)
+                throw std::invalid_argument(
+                    "ServingEngine: duplicate cache name " +
+                    b->cacheNodes[i].name);
+        }
+        // Decode buckets carry the engine-synthesized inputs.
+        if (b->decode) {
+            b->posInput = b->exec->inputId("pos");
+            b->maskInput = b->exec->inputId("mask");
+            if (b->posInput < 0 || b->maskInput < 0)
+                throw std::invalid_argument(
+                    "ServingEngine: decode model must declare 'pos' "
+                    "and 'mask' inputs");
+        }
+    }
+
+    // The canonical geometry comes from the first decode bucket;
+    // every other generative bucket must agree name-for-name.
+    const Bucket &canon = *buckets_[prefillBuckets_];
+    if (canon.cacheNodes.empty())
+        throw std::invalid_argument(
+            "ServingEngine: decode factory produced no CacheWrite "
+            "values — nothing persists between steps");
+    cacheSpec_ = canon.cacheNodes;
+    for (CacheNodeRef &c : cacheSpec_)
+        c.id = -1; // geometry only; ids are graph-local
+    maxSeq_ = cacheSpec_[0].maxSeq;
+    for (const auto &b : buckets_) {
+        if (b->cacheNodes.size() != cacheSpec_.size())
+            throw std::invalid_argument(
+                "ServingEngine: " +
+                std::string(b->decode ? "decode" : "prefill") +
+                " bucket " + std::to_string(b->batch) + " has " +
+                std::to_string(b->cacheNodes.size()) + " cache values"
+                ", expected " + std::to_string(cacheSpec_.size()));
+        for (size_t i = 0; i < cacheSpec_.size(); ++i) {
+            const CacheNodeRef &got = b->cacheNodes[i];
+            const CacheNodeRef &want = cacheSpec_[i];
+            if (got.name != want.name || got.maxSeq != want.maxSeq ||
+                got.dim != want.dim)
+                throw std::invalid_argument(
+                    "ServingEngine: cache value " + got.name +
+                    " of bucket " + std::to_string(b->batch) +
+                    " does not match the decode graph's geometry "
+                    "(name/maxSeq/D must pair up across graphs)");
+            if (got.maxSeq != maxSeq_)
+                throw std::invalid_argument(
+                    "ServingEngine: all cache values must share one "
+                    "maxSeq (the synthesized mask's width)");
+        }
+        // A prompt longer than the cache could never be written.
+        if (!b->decode && b->batch > maxSeq_)
+            throw std::invalid_argument(
+                "ServingEngine: prompt bucket " +
+                std::to_string(b->batch) + " exceeds maxSeq " +
+                std::to_string(maxSeq_));
+        // The decode mask is one row per stream, maxSeq wide.
+        if (b->decode) {
+            const Shape &ms = b->cg.graph.node(b->maskInput).shape;
+            if (ms.size() != 2 || ms[0] != b->batch ||
+                ms[1] != maxSeq_)
+                throw std::invalid_argument(
+                    "ServingEngine: decode 'mask' input must be "
+                    "[streams, maxSeq]");
+            const Shape &ps = b->cg.graph.node(b->posInput).shape;
+            if (ps.size() != 2 || ps[0] != b->batch || ps[1] != 1)
+                throw std::invalid_argument(
+                    "ServingEngine: decode 'pos' input must be "
+                    "[streams, 1]");
+        }
+    }
+}
+
 ServingEngine::~ServingEngine()
 {
     // close() rejects new submissions but still delivers everything
@@ -321,9 +490,9 @@ ServingEngine::~ServingEngine()
 }
 
 std::string
-ServingEngine::planFileName(Precision p, int64_t batch)
+ServingEngine::planFileName(Precision p, int64_t batch, bool decode)
 {
-    return std::string(precisionName(p)) + "_b" +
+    return std::string(precisionName(p)) + (decode ? "_d" : "_b") +
            std::to_string(batch) + ".peplan";
 }
 
@@ -334,7 +503,8 @@ ServingEngine::savePlans(const std::string &dir) const
     for (const auto &b : buckets_) {
         std::string path =
             dir + "/" +
-            planFileName(options_.compile.precision, b->batch);
+            planFileName(options_.compile.precision, b->batch,
+                         b->decode);
         writePlanFile(path, serializePlan(b->cg.graph,
                                           b->exec->exportArtifact(),
                                           b->cg.report, *store_, "",
@@ -370,7 +540,7 @@ ServingEngine::bucketReport(int64_t batch) const
 
 std::shared_ptr<ServingEngine::RequestState>
 ServingEngine::makeRequest(
-    std::unordered_map<std::string, Tensor> &feeds)
+    std::unordered_map<std::string, Tensor> &feeds, bool decodeDomain)
 {
     if (feeds.empty())
         throw std::invalid_argument("ServingEngine: empty feed set");
@@ -388,17 +558,33 @@ ServingEngine::makeRequest(
                 ")");
     }
 
-    int bucket = bucketIndexFor(rows);
+    int bucket = -1;
+    if (decodeDomain) {
+        int i = decodeCoalescer_.routeSingle(rows);
+        if (i >= 0)
+            bucket = static_cast<int>(prefillBuckets_) + i;
+    } else {
+        bucket = bucketIndexFor(rows);
+    }
     if (bucket < 0)
         throw std::invalid_argument(
             "ServingEngine: request rows " + std::to_string(rows) +
             " exceed the largest bucket (" +
-            std::to_string(buckets_.back()->batch) + ")");
+            std::to_string(decodeDomain
+                               ? buckets_.back()->batch
+                               : buckets_[prefillBuckets_ - 1]->batch) +
+            ")");
 
     Bucket &bk = *buckets_[bucket];
     auto st = std::make_shared<RequestState>();
     st->bucket = bucket;
     st->rows = rows;
+    // On a generative engine every prompt-domain request runs solo:
+    // a prefill graph's rows cross-attend (causal attention over the
+    // packed batch), so packing two requests would mix their tokens.
+    // Plain engines keep kGenNone — the pre-generation rule verbatim.
+    if (generative_ && !decodeDomain)
+        st->gen = kGenSolo;
     st->feeds.reserve(feeds.size());
     for (auto &[name, t] : feeds) {
         int id = bk.exec->inputId(name);
@@ -446,9 +632,8 @@ ServingEngine::finishSubmit(const std::shared_ptr<RequestState> &st)
 }
 
 ServingEngine::RequestId
-ServingEngine::submit(std::unordered_map<std::string, Tensor> feeds)
+ServingEngine::enqueue(const std::shared_ptr<RequestState> &st)
 {
-    std::shared_ptr<RequestState> st = makeRequest(feeds);
     {
         std::lock_guard<std::mutex> lock(stateMu_);
         states_.emplace(st->id, st);
@@ -465,6 +650,12 @@ ServingEngine::submit(std::unordered_map<std::string, Tensor> feeds)
     }
     finishSubmit(st);
     return st->id;
+}
+
+ServingEngine::RequestId
+ServingEngine::submit(std::unordered_map<std::string, Tensor> feeds)
+{
+    return enqueue(makeRequest(feeds));
 }
 
 ServingEngine::RequestId
@@ -489,6 +680,175 @@ ServingEngine::trySubmit(std::unordered_map<std::string, Tensor> feeds)
     return st->id;
 }
 
+// ---- generative stream API -------------------------------------------
+
+void
+ServingEngine::requireGenerative() const
+{
+    if (!generative_)
+        throw std::logic_error(
+            "ServingEngine: stream API requires "
+            "ServeOptions::decodeFactory");
+}
+
+ServingEngine::StreamId
+ServingEngine::openStream()
+{
+    requireGenerative();
+    std::lock_guard<std::mutex> lock(streamMu_);
+    StreamId id = nextStreamId_++;
+    Stream s;
+    s.cache.reserve(cacheSpec_.size());
+    for (const CacheNodeRef &c : cacheSpec_)
+        s.cache.push_back(Tensor::zeros({c.maxSeq, c.dim}));
+    streams_.emplace(id, std::move(s));
+    streamsOpened_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void
+ServingEngine::closeStream(StreamId id)
+{
+    requireGenerative();
+    std::lock_guard<std::mutex> lock(streamMu_);
+    auto it = streams_.find(id);
+    if (it == streams_.end())
+        throw std::out_of_range("ServingEngine: unknown stream " +
+                                std::to_string(id));
+    if (it->second.busy)
+        throw std::runtime_error(
+            "ServingEngine: stream " + std::to_string(id) +
+            " has a request in flight; wait() it before closing");
+    streams_.erase(it);
+}
+
+int64_t
+ServingEngine::streamGeneration(StreamId id) const
+{
+    requireGenerative();
+    std::lock_guard<std::mutex> lock(streamMu_);
+    auto it = streams_.find(id);
+    if (it == streams_.end())
+        throw std::out_of_range("ServingEngine: unknown stream " +
+                                std::to_string(id));
+    return it->second.gen;
+}
+
+int64_t
+ServingEngine::streamCacheBytes() const
+{
+    int64_t bytes = 0;
+    for (const CacheNodeRef &c : cacheSpec_)
+        bytes += c.maxSeq * c.dim *
+                 static_cast<int64_t>(sizeof(float));
+    return bytes;
+}
+
+int64_t
+ServingEngine::decodeBucketFor(int64_t streams) const
+{
+    requireGenerative();
+    int i = decodeCoalescer_.routeSingle(streams);
+    return i < 0 ? -1 : buckets_[prefillBuckets_ + i]->batch;
+}
+
+ServingEngine::RequestId
+ServingEngine::submitPrefill(
+    StreamId stream, std::unordered_map<std::string, Tensor> feeds)
+{
+    requireGenerative();
+    {
+        std::lock_guard<std::mutex> lock(streamMu_);
+        auto it = streams_.find(stream);
+        if (it == streams_.end())
+            throw std::out_of_range(
+                "ServingEngine: unknown stream " +
+                std::to_string(stream));
+        if (it->second.busy)
+            throw std::runtime_error(
+                "ServingEngine: stream " + std::to_string(stream) +
+                " already has a request in flight");
+        it->second.busy = true;
+    }
+    try {
+        std::shared_ptr<RequestState> st = makeRequest(feeds, false);
+        st->stream = stream;
+        st->isPrefill = true;
+        st->gen = kGenSolo; // prefill owns the whole session cache
+        prefills_.fetch_add(1, std::memory_order_relaxed);
+        return enqueue(st);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(streamMu_);
+        auto it = streams_.find(stream);
+        if (it != streams_.end())
+            it->second.busy = false;
+        throw;
+    }
+}
+
+ServingEngine::RequestId
+ServingEngine::submitDecode(
+    StreamId stream, std::unordered_map<std::string, Tensor> feeds)
+{
+    requireGenerative();
+    int64_t gen = 0;
+    {
+        std::lock_guard<std::mutex> lock(streamMu_);
+        auto it = streams_.find(stream);
+        if (it == streams_.end())
+            throw std::out_of_range(
+                "ServingEngine: unknown stream " +
+                std::to_string(stream));
+        Stream &s = it->second;
+        if (s.busy)
+            throw std::runtime_error(
+                "ServingEngine: stream " + std::to_string(stream) +
+                " already has a request in flight");
+        if (s.gen <= 0)
+            throw std::runtime_error(
+                "ServingEngine: stream " + std::to_string(stream) +
+                " has no prefilled prompt to decode from");
+        if (s.gen >= maxSeq_)
+            throw std::runtime_error(
+                "ServingEngine: stream " + std::to_string(stream) +
+                " is at maxSeq capacity (" +
+                std::to_string(maxSeq_) + ")");
+        s.busy = true;
+        gen = s.gen;
+    }
+    try {
+        if (feeds.count("pos") || feeds.count("mask"))
+            throw std::invalid_argument(
+                "ServingEngine: 'pos' and 'mask' are synthesized "
+                "from the stream's generation — do not feed them");
+        // One row per stream: the write position is the generation,
+        // and columns past it are masked hard enough that exp()
+        // underflows to exact 0.0f (bit-parity with a fresh session
+        // whose tail rows are true zeros).
+        Tensor pos({1, 1});
+        pos[0] = static_cast<float>(gen);
+        Tensor mask({1, maxSeq_});
+        for (int64_t j = 0; j <= gen; ++j)
+            mask[j] = 0.0f;
+        for (int64_t j = gen + 1; j < maxSeq_; ++j)
+            mask[j] = -1e30f;
+        feeds.emplace("pos", std::move(pos));
+        feeds.emplace("mask", std::move(mask));
+        std::shared_ptr<RequestState> st = makeRequest(feeds, true);
+        st->stream = stream;
+        st->isDecode = true;
+        st->gen = gen;
+        decodeSteps_.fetch_add(1, std::memory_order_relaxed);
+        return enqueue(st);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(streamMu_);
+        auto it = streams_.find(stream);
+        if (it != streams_.end())
+            it->second.busy = false;
+        throw;
+    }
+}
+
 void
 ServingEngine::workerLoop(int worker)
 {
@@ -511,23 +871,34 @@ ServingEngine::workerLoop(int worker)
         std::vector<std::shared_ptr<RequestState>> group;
         int64_t total = leader->rows;
         int bucketIdx = leader->bucket;
+        const int64_t gen = leader->gen;
+        const bool decodeDom = leader->isDecode;
         group.push_back(std::move(leader));
 
-        if (coalescable_ && coalescer_.enabled()) {
+        // Each domain drains under its own bucket set; a solo-tagged
+        // leader (prefill) skips the drain entirely — waiting the
+        // window out could never buy it company.
+        const Coalescer &co =
+            decodeDom ? decodeCoalescer_ : coalescer_;
+        if (coalescable_ && co.enabled() && gen != kGenSolo) {
             // Continuous batching: drain compatible queued requests
             // into this group until the largest bucket is exactly
             // full, the deadline window expires, or an arrival does
             // not fit. A lone request goes out alone after at most
-            // windowUs.
+            // windowUs. Admission is (rows, generation)-aware: only
+            // equal cache generations share a run (they must read
+            // identical synthesized pos/mask feeds), and cross-domain
+            // pairs never match (kGenNone != any generation).
             auto deadline =
                 std::chrono::steady_clock::now() +
-                std::chrono::microseconds(coalescer_.windowUs());
+                std::chrono::microseconds(co.windowUs());
             std::shared_ptr<RequestState> next;
-            while (!coalescer_.full(total) &&
+            while (!co.full(total) &&
                    queue_.popUntil(next, deadline)) {
                 if (options_.trace)
                     next->dequeueNs = traceNowNs();
-                if (coalescer_.admits(total, next->rows)) {
+                if (next->isDecode == decodeDom &&
+                    co.admits(total, gen, next->rows, next->gen)) {
                     total += next->rows;
                     group.push_back(std::move(next));
                 } else {
@@ -539,7 +910,10 @@ ServingEngine::workerLoop(int worker)
             // PACKED total — group pad waste, not per-request pad
             // waste (a 3-row + 1-row pair shares one bucket-4 run).
             if (group.size() > 1)
-                bucketIdx = coalescer_.routeGroup(total);
+                bucketIdx =
+                    (decodeDom ? static_cast<int>(prefillBuckets_)
+                               : 0) +
+                    co.routeGroup(total);
         }
         runGroup(worker, bucketIdx, group, total);
     }
@@ -586,6 +960,28 @@ ServingEngine::runGroup(
         if (tracing)
             bindNs = traceNowNs();
 
+        // Generative gather: copy each decode member's authoritative
+        // stream cache into its slot of the session's persistent
+        // cache region. A stream's rows >= gen are zero, so the slot
+        // ends up byte-equal to a fresh serial session at the same
+        // generation — the root of shared-vs-solo bit parity.
+        // (Prefill skips this: it rewrites rows [0, S) itself and
+        // nothing beyond its prompt is ever fetched back.)
+        if (!bk.cacheNodes.empty()) {
+            int64_t off = 0;
+            for (const auto &st : group) {
+                if (st->isDecode) {
+                    std::lock_guard<std::mutex> lk(streamMu_);
+                    const Stream &s = streams_.at(st->stream);
+                    for (size_t i = 0; i < bk.cacheNodes.size(); ++i)
+                        bk.exec->bindCacheRows(
+                            *sess, bk.cacheNodes[i].id, off, 0,
+                            s.cache[i]);
+                }
+                off += st->rows;
+            }
+        }
+
         if (group.size() == 1) {
             // The exact pre-coalescing bind: pad-to-bucket zero-fill.
             for (const auto &[id, t] : group[0]->feeds)
@@ -630,11 +1026,70 @@ ServingEngine::runGroup(
                 }
             }
         }
+        // Generative scatter: pull the freshly written cache rows
+        // back into each member's stream state and advance its
+        // generation, so the NEXT submit on the stream (gated on the
+        // done flag below) sees consistent state.
+        if (!bk.cacheNodes.empty()) {
+            int64_t off = 0;
+            for (const auto &st : group) {
+                if (st->stream != 0) {
+                    std::lock_guard<std::mutex> lk(streamMu_);
+                    auto sit = streams_.find(st->stream);
+                    if (sit != streams_.end()) {
+                        Stream &s = sit->second;
+                        for (size_t i = 0; i < bk.cacheNodes.size();
+                             ++i) {
+                            const CacheNodeRef &c = bk.cacheNodes[i];
+                            if (st->isPrefill) {
+                                // The prompt's rows; the rest of the
+                                // stream cache returns to zero (a
+                                // re-prefill restarts the stream).
+                                Tensor rows = bk.exec->fetchCacheRows(
+                                    *sess, c.id, 0, 0, st->rows);
+                                std::memset(s.cache[i].data(), 0,
+                                            sizeof(float) *
+                                                s.cache[i].size());
+                                std::memcpy(s.cache[i].data(),
+                                            rows.data(),
+                                            sizeof(float) *
+                                                rows.size());
+                            } else {
+                                // The one row this step wrote, out of
+                                // this member's slot.
+                                Tensor row = bk.exec->fetchCacheRows(
+                                    *sess, c.id, off, st->gen, 1);
+                                std::memcpy(s.cache[i].data() +
+                                                st->gen * c.dim,
+                                            row.data(),
+                                            sizeof(float) * c.dim);
+                            }
+                        }
+                        s.gen = st->isPrefill ? st->rows
+                                              : st->gen + 1;
+                        s.busy = false;
+                    }
+                }
+                off += st->rows;
+            }
+        }
     } catch (const std::exception &e) {
         error = e.what();
     }
 
     if (!error.empty()) {
+        // A failed stream request leaves the stream re-submittable
+        // (cache state unchanged — the run never scattered back).
+        if (generative_) {
+            std::lock_guard<std::mutex> lk(streamMu_);
+            for (const auto &st : group) {
+                if (st->stream != 0) {
+                    auto sit = streams_.find(st->stream);
+                    if (sit != streams_.end())
+                        sit->second.busy = false;
+                }
+            }
+        }
         // Failures stay out of completed/hits/latency: a failing
         // fleet must read as failing, not as healthy throughput. A
         // mid-group throw fails every member — none of them ran.
@@ -699,6 +1154,8 @@ ServingEngine::runGroup(
                 r.runStartNs = runStartNs;
                 r.runEndNs = runEndNs;
                 r.doneNs = doneNs;
+                r.stream = st->stream;
+                r.gen = st->gen;
                 if (lifecycle_.size() < cap)
                     lifecycle_.push_back(r);
                 else
@@ -773,9 +1230,13 @@ ServingEngine::stats() const
     s.coalescedRuns = coalescedRuns_.load(std::memory_order_relaxed);
     s.coalescedRequests =
         coalescedRequests_.load(std::memory_order_relaxed);
+    s.streamsOpened = streamsOpened_.load(std::memory_order_relaxed);
+    s.prefills = prefills_.load(std::memory_order_relaxed);
+    s.decodeSteps = decodeSteps_.load(std::memory_order_relaxed);
     for (const auto &b : buckets_) {
         BucketStats bs;
         bs.batch = b->batch;
+        bs.decode = b->decode;
         bs.hits = b->hits.load(std::memory_order_relaxed);
         bs.runs = b->runs.load(std::memory_order_relaxed);
         bs.paddedRows = b->paddedRows.load(std::memory_order_relaxed);
@@ -861,6 +1322,12 @@ ServingEngine::exportChromeTrace(const std::string &path) const
                              "b" + std::to_string(r.bucketBatch));
         runArgs.emplace_back("worker", std::to_string(r.worker));
         runArgs.emplace_back("tier", r.tier);
+        // Decode-stream lanes: the viewer shows N "stream S @gen G"
+        // lanes converging into one shared run per step.
+        if (r.stream != 0) {
+            runArgs.emplace_back("stream", std::to_string(r.stream));
+            runArgs.emplace_back("gen", std::to_string(r.gen));
+        }
         ct.event(runName, 2, tid, r.runStartNs,
                  r.runEndNs - r.runStartNs, runArgs);
         ct.event("complete", 2, tid, r.runEndNs,

@@ -90,6 +90,39 @@ struct ServedModel {
 /** Builds the served model at a given leading (batch) dimension. */
 using ModelFactory = std::function<ServedModel(int64_t batch)>;
 
+/**
+ * Generative serving (PR 9): a model family becomes generative by
+ * providing a SECOND factory that builds the single-token decode step.
+ * The primary factory then builds the PREFILL graph — batch dimension
+ * = prompt length, bucketed by ServeOptions::buckets (e.g. {32, 128,
+ * 512} prompt buckets) — and the decode factory builds the decode
+ * graph at each ServeOptions::decodeBuckets stream count.
+ *
+ * Contract between the two graphs:
+ *  - Both write their K/V rows through CacheWrite nodes; prefill and
+ *    decode cache values correspond BY NODE NAME (e.g. "b0.kcache"),
+ *    with equal maxSeq and row width. Validated at construction.
+ *  - The prefill graph is self-positioned (position 0 is a Const, the
+ *    causal mask is a Const): its only Input is the prompt, one token
+ *    per row, and its caches are rank-2 [maxSeq, D].
+ *  - The decode graph takes one token per stream row plus two
+ *    engine-synthesized Inputs: "pos" [B, 1] (each stream's write
+ *    position = its generation) and "mask" [B, maxSeq] (0 for columns
+ *    <= generation, -1e30f beyond — large enough that exp() underflows
+ *    to exact 0.0f, which is what makes shared runs bit-identical to
+ *    solo runs no matter what stale rows sit past the generation).
+ *    Its caches are rank-3 [B, maxSeq, D], one slot per stream row.
+ *
+ * Per-stream authoritative cache state lives engine-side (openStream
+ * allocates it); before a decode run the engine gathers each member
+ * stream's rows into its slot of the session's persistent cache
+ * region, and afterwards scatters the newly written row back. Decode
+ * requests carry their stream's generation, and the coalescer only
+ * groups equal generations — members of one shared run therefore read
+ * identical pos/mask feeds, so N concurrent streams coalesce into
+ * bucket runs bit-identical to each stream decoding alone.
+ */
+
 /** Serving-engine construction options. */
 struct ServeOptions {
     /** Shape buckets: the leading-dimension sizes compiled plans
@@ -97,6 +130,17 @@ struct ServeOptions {
      *  fits; larger requests are rejected at submit. Sorted and
      *  deduplicated internally; empty = {1}. */
     std::vector<int64_t> buckets = {1};
+    /**
+     * Generative mode switch: when set, builds the single-token decode
+     * graph at each decodeBuckets stream count (see the ModelFactory
+     * contract above) and arms the stream API (openStream /
+     * submitPrefill / submitDecode). The primary factory then builds
+     * the prefill graph, bucketed by `buckets` as PROMPT lengths.
+     */
+    ModelFactory decodeFactory;
+    /** Decode shape buckets: concurrent-stream counts compiled decode
+     *  plans exist for. Same normalization as `buckets`. */
+    std::vector<int64_t> decodeBuckets = {1};
     /** Concurrent serving workers (= max in-flight sessions). */
     int workers = 2;
     /**
@@ -163,6 +207,7 @@ struct ServeOptions {
 /** Per-bucket serving counters. */
 struct BucketStats {
     int64_t batch = 0;      ///< the bucket's compiled batch size
+    bool decode = false;    ///< decode-domain bucket (batch = streams)
     int64_t hits = 0;       ///< requests served by this bucket's plan
     int64_t runs = 0;       ///< plan executions (== hits minus
                             ///< coalescing: k grouped requests run once)
@@ -202,6 +247,10 @@ struct ServeStats {
     int64_t coalescedRequests = 0;
     /** coalescedRequests / completed — the coalescing rate. */
     double coalesceRate = 0;
+    /** Generative-serving counters (0 on non-generative engines). */
+    int64_t streamsOpened = 0;
+    int64_t prefills = 0;    ///< prompt requests submitted
+    int64_t decodeSteps = 0; ///< single-token decode requests submitted
     /** Plan execution time divided by requests served: the amortized
      *  per-request cost coalescing buys down (excludes queueing, so
      *  it is comparable across traffic shapes). */
@@ -279,6 +328,7 @@ class ServingEngine
 {
   public:
     using RequestId = uint64_t;
+    using StreamId = uint64_t;
     /** Returned by trySubmit when the admission queue is full. */
     static constexpr RequestId kRejected = 0;
     /** Latency-percentile reservoir capacity: stats memory is bounded
@@ -322,6 +372,60 @@ class ServingEngine
      */
     std::vector<Tensor> wait(RequestId id);
 
+    // ---- generative stream API (requires ServeOptions::decodeFactory)
+
+    /** True when the engine was built with a decode factory. */
+    bool generative() const { return generative_; }
+
+    /**
+     * Open one generation stream: allocates its authoritative K/V
+     * cache (streamCacheBytes() of zeroed rows) and returns its id.
+     * Throws std::logic_error on a non-generative engine.
+     */
+    StreamId openStream();
+
+    /** Release @p id's cache state. Throws std::out_of_range for
+     *  unknown ids and std::runtime_error while a request is in
+     *  flight on the stream. */
+    void closeStream(StreamId id);
+
+    /**
+     * Enqueue @p stream's prompt: feeds are the prefill graph's
+     * Inputs, one token per row (rows = prompt length, routed to the
+     * smallest fitting prompt bucket). Prefill never coalesces (its
+     * CacheWrite spans the whole session cache). On completion the
+     * stream's cache holds the prompt's K/V rows and its generation
+     * equals the prompt length; re-prefilling restarts the stream.
+     * One in-flight request per stream: submitting while another is
+     * pending throws std::runtime_error.
+     */
+    RequestId submitPrefill(StreamId stream,
+                            std::unordered_map<std::string, Tensor> feeds);
+
+    /**
+     * Enqueue one single-token decode step for @p stream: feeds are
+     * the decode graph's Inputs EXCEPT "pos" and "mask", which the
+     * engine synthesizes from the stream's generation, one row each.
+     * Requires a completed prefill and generation < maxSeq. Decode
+     * requests carry the generation as their coalescing tag, so
+     * concurrent streams at the same generation share bucket runs —
+     * bit-identically to each stream decoding alone.
+     */
+    RequestId submitDecode(StreamId stream,
+                           std::unordered_map<std::string, Tensor> feeds);
+
+    /** Rows currently cached for @p stream (== next token position). */
+    int64_t streamGeneration(StreamId stream) const;
+
+    /** Engine-side cache bytes held per open stream (sum over cache
+     *  values of maxSeq x D x sizeof(float)) — the per-session memory
+     *  cost of a conversation. 0 on non-generative engines. */
+    int64_t streamCacheBytes() const;
+
+    /** The decode bucket (stream count) @p streams concurrent rows
+     *  route to; -1 when it exceeds every decode bucket. */
+    int64_t decodeBucketFor(int64_t streams) const;
+
     /** Snapshot of the serving counters and latency percentiles. */
     ServeStats stats() const;
 
@@ -363,14 +467,25 @@ class ServingEngine
     void savePlans(const std::string &dir) const;
 
     /** Canonical plan file name of one (precision, bucket) plan,
-     *  e.g. "int8_b4.peplan". */
-    static std::string planFileName(Precision p, int64_t batch);
+     *  e.g. "int8_b4.peplan"; decode-domain buckets use a "d" prefix
+     *  ("int8_d4.peplan") so a prompt bucket and a stream bucket of
+     *  the same size never collide in one plan directory. */
+    static std::string planFileName(Precision p, int64_t batch,
+                                    bool decode = false);
 
   private:
     struct RequestState {
         RequestId id = 0;
         int bucket = -1; ///< index into buckets_
         int64_t rows = 0;
+        /** Coalescing admission tag: kGenNone for plain traffic,
+         *  kGenSolo for prefill, the stream's generation for decode
+         *  (see src/serve/coalescer.h). */
+        int64_t gen = kGenNone;
+        /** Owning stream; 0 for plain (non-generative) requests. */
+        StreamId stream = 0;
+        bool isPrefill = false;
+        bool isDecode = false;
         /** (input node id in the bucket's graph, request tensor). */
         std::vector<std::pair<int, Tensor>> feeds;
         std::chrono::steady_clock::time_point submitTime;
@@ -392,8 +507,25 @@ class ServingEngine
      *  reference stays valid for the engine's lifetime; its report is
      *  finalized in place at construction (the one copy bucketReport
      *  serves). */
+    /** One CacheWrite value of a generative bucket's graph: the name
+     *  is the cross-graph correspondence key (prefill and decode
+     *  caches pair up by it), the id is graph-local. */
+    struct CacheNodeRef {
+        std::string name;
+        int id = -1;
+        int64_t maxSeq = 0;
+        int64_t dim = 0; ///< row width D
+    };
+
     struct Bucket {
         int64_t batch = 0;
+        bool decode = false; ///< decode-domain bucket (batch = streams)
+        /** CacheWrite values of this bucket's graph, sorted by name —
+         *  index-aligned with cacheSpec_ and Stream::cache. */
+        std::vector<CacheNodeRef> cacheNodes;
+        /** Decode buckets only: the engine-synthesized inputs. */
+        int posInput = -1;
+        int maskInput = -1;
         CompiledGraph cg;
         std::unique_ptr<Executor> exec;
         std::atomic<int64_t> hits{0};
@@ -429,10 +561,38 @@ class ServingEngine
         int64_t runStartNs = 0;
         int64_t runEndNs = 0;
         int64_t doneNs = 0; ///< outputs sliced, completion signaled
+        StreamId stream = 0;    ///< owning stream (0 = plain request)
+        int64_t gen = kGenNone; ///< decode generation at submit
+    };
+
+    /** One generation stream's authoritative state. Guarded by
+     *  streamMu_ for map access and flag flips; the cache tensors are
+     *  touched only by the submitting thread (while !busy) or by the
+     *  one worker running the stream's request (while busy), so the
+     *  bulk copies never contend. */
+    struct Stream {
+        int64_t gen = 0; ///< cached rows (== next token position)
+        bool busy = false; ///< one in-flight request per stream
+        /** Authoritative K/V rows, one [maxSeq, D] tensor per
+         *  cacheSpec_ entry; rows >= gen stay zero, which is what
+         *  keeps shared-run session slots byte-equal to a fresh
+         *  serial session's. */
+        std::vector<Tensor> cache;
     };
 
     std::shared_ptr<RequestState> makeRequest(
-        std::unordered_map<std::string, Tensor> &feeds);
+        std::unordered_map<std::string, Tensor> &feeds,
+        bool decodeDomain = false);
+    /** Shared submit tail: register the state, count it, block-push
+     *  it into the admission queue (throws when stopped). */
+    RequestId enqueue(const std::shared_ptr<RequestState> &st);
+    /** Compile (or planDir-load) one bucket of either domain. */
+    std::unique_ptr<Bucket> buildBucket(const ModelFactory &model,
+                                        int64_t batch, bool decode);
+    /** Discover + cross-validate CacheWrite values and the decode
+     *  graphs' pos/mask inputs; fills cacheSpec_/maxSeq_. */
+    void resolveCacheTopology();
+    void requireGenerative() const;
     void finishSubmit(const std::shared_ptr<RequestState> &st);
     void workerLoop(int worker);
     /** Pack @p group's rows into one session of bucket @p bucketIdx,
@@ -451,9 +611,20 @@ class ServingEngine
     std::shared_ptr<ParamStore> store_;
     ServeOptions options_;
     int workers_ = 1;
+    /** Prefill/plain buckets first, then (generative engines) decode
+     *  buckets: indices [0, prefillBuckets_) are the prompt domain,
+     *  [prefillBuckets_, size) the decode domain. */
     std::vector<std::unique_ptr<Bucket>> buckets_;
+    size_t prefillBuckets_ = 0;
+    bool generative_ = false;
+    /** Canonical cache geometry (names sorted; ids unset) every
+     *  generative bucket was validated against. */
+    std::vector<CacheNodeRef> cacheSpec_;
+    int64_t maxSeq_ = 0; ///< shared cache extent (mask row width)
     /** Grouping policy (bucket batches + deadline window). */
     Coalescer coalescer_;
+    /** Decode-domain grouping policy (stream-count batches). */
+    Coalescer decodeCoalescer_;
     /** Every bucket's outputs lead with its batch dim, so a shared
      *  run can be sliced back per request. Computed once at
      *  construction; false pins every request to a solo run. */
@@ -471,6 +642,10 @@ class ServingEngine
     std::unordered_map<RequestId, std::shared_ptr<RequestState>> states_;
     std::atomic<RequestId> nextId_{1};
 
+    mutable std::mutex streamMu_; ///< stream map + gen/busy flips
+    std::unordered_map<StreamId, Stream> streams_;
+    StreamId nextStreamId_ = 1; ///< guarded by streamMu_
+
     mutable std::mutex doneMu_; ///< completion signaling only
     std::condition_variable doneCv_;
 
@@ -482,6 +657,9 @@ class ServingEngine
     std::atomic<int64_t> sessionsCreated_{0};
     std::atomic<int64_t> coalescedRuns_{0};
     std::atomic<int64_t> coalescedRequests_{0};
+    std::atomic<int64_t> streamsOpened_{0};
+    std::atomic<int64_t> prefills_{0};
+    std::atomic<int64_t> decodeSteps_{0};
     /** Summed plan execution time (ns) across all bucket runs — the
      *  numerator of ServeStats::amortizedRunUs. */
     std::atomic<int64_t> runNanos_{0};

@@ -1,0 +1,574 @@
+/**
+ * @file
+ * KV-cache / incremental-decode tests (ctest label: decode — the CI
+ * decode-parity gate's focused pass).
+ *
+ * Guarantee layers:
+ *  1. The cache region's lifetime contract at the executor level:
+ *     Storage::Cache values persist across run() calls, bindCacheRows
+ *     / fetchCacheRows move exactly the addressed rows, and
+ *     resetCache() (the session-recycle boundary) re-zeroes the
+ *     region.
+ *  2. Plans carrying cache values round-trip bit-identically with
+ *     ZERO pipeline invocations on load, and a tampered cache-region
+ *     extent is rejected at load time (checksum gate for blind
+ *     corruption, validateArtifact for resealed tampering).
+ *  3. Coalescer generation tags: only equal decode generations group;
+ *     prefill (kGenSolo) never groups; plain traffic (kGenNone) keeps
+ *     the old rule.
+ *  4. The generative stream API's lifecycle rules: decode before
+ *     prefill, one in-flight request per stream, cache-full streams,
+ *     close-while-busy, non-generative engines.
+ *  5. The acceptance bar: N concurrent decode streams coalescing into
+ *     shared bucket runs produce logits BIT-IDENTICAL to each stream
+ *     decoding alone through the same bucket plans — fp32 and int8 —
+ *     including a threaded mixed-pace stress run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "frontend/models.h"
+#include "plan/plan.h"
+#include "serve/coalescer.h"
+#include "serve/serving.h"
+
+namespace pe {
+namespace {
+
+/** Small enough for CI, big enough that every decode step touches
+ *  embedding, two cached-attention blocks and the LM head. */
+DecoderConfig
+smallCfg()
+{
+    DecoderConfig cfg;
+    cfg.vocab = 48;
+    cfg.dim = 16;
+    cfg.ffDim = 32;
+    cfg.layers = 2;
+    cfg.maxSeq = 16;
+    return cfg;
+}
+
+Tensor
+tokenRows(const std::vector<float> &toks)
+{
+    Tensor t({static_cast<int64_t>(toks.size()), 1});
+    for (size_t i = 0; i < toks.size(); ++i)
+        t[static_cast<int64_t>(i)] = toks[i];
+    return t;
+}
+
+void
+expectBitEqual(const Tensor &a, const Tensor &b, const std::string &what)
+{
+    ASSERT_EQ(a.shape(), b.shape()) << what;
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), sizeof(float) * a.size()),
+              0)
+        << what << ": values differ";
+}
+
+// ---- 1. executor-level cache lifetime --------------------------------
+
+struct BuiltPrefill {
+    std::shared_ptr<ParamStore> store;
+    std::unique_ptr<InferenceProgram> prog;
+    int kcache = -1; ///< node id of "b0.kcache"
+};
+
+BuiltPrefill
+makePrefill(int64_t prompt_len)
+{
+    BuiltPrefill b;
+    b.store = std::make_shared<ParamStore>();
+    DecoderConfig cfg = smallCfg();
+    Rng rng(7);
+    ModelSpec m = buildDecoderPrefill(cfg, prompt_len, rng,
+                                      b.store.get());
+    CompileOptions opt;
+    opt.numThreads = 1;
+    CompiledGraph c =
+        compileInferenceGraph(m.graph, {m.logits}, opt, b.store);
+    ExecOptions eopt;
+    eopt.variants = std::move(c.variants);
+    eopt.numThreads = 1;
+    b.prog = std::make_unique<InferenceProgram>(
+        std::move(c.graph), b.store, std::move(eopt),
+        std::move(c.report), std::move(c.order));
+    const Graph &g = b.prog->graph();
+    for (int id = 0; id < g.numNodes(); ++id)
+        if (g.node(id).op == OpKind::CacheWrite &&
+            g.node(id).name == "b0.kcache")
+            b.kcache = id;
+    return b;
+}
+
+TEST(CacheRegion, PersistsAcrossRunsUntilReset)
+{
+    const DecoderConfig cfg = smallCfg();
+    const int64_t S = 4;
+    BuiltPrefill b = makePrefill(S);
+    ASSERT_GE(b.kcache, 0) << "prefill graph must carry b0.kcache";
+    Executor &ex = b.prog->executor();
+    // 2 layers x {k, v} caches of [maxSeq, dim] f32 rows.
+    EXPECT_EQ(ex.cacheBytes(),
+              cfg.layers * 2 * cfg.maxSeq * cfg.dim *
+                  static_cast<int64_t>(sizeof(float)));
+
+    auto ctx = ex.makeContext();
+    int xid = ex.inputId("x");
+    ASSERT_GE(xid, 0);
+
+    // Fresh sessions start zeroed — rows past the prompt must read
+    // as exact zeros (the shared-run parity argument leans on this).
+    Tensor fresh = ex.fetchCacheRows(*ctx, b.kcache, 0, 0, cfg.maxSeq);
+    for (int64_t i = 0; i < fresh.size(); ++i)
+        ASSERT_EQ(fresh[i], 0.0f) << "fresh cache row not zero";
+
+    ex.bindInputById(*ctx, xid, tokenRows({1, 2, 3, 4}));
+    ex.run(*ctx);
+    Tensor written = ex.fetchCacheRows(*ctx, b.kcache, 0, 0, S);
+    bool nonzero = false;
+    for (int64_t i = 0; i < written.size(); ++i)
+        nonzero = nonzero || written[i] != 0.0f;
+    EXPECT_TRUE(nonzero) << "CacheWrite left the prompt rows zero";
+
+    // Rows the graph never writes persist across run(): plant data
+    // past the prompt, run again, and it must still be there — run()
+    // NEVER re-zeroes the cache region.
+    Rng r(31);
+    Tensor planted = Tensor::randn({2, cfg.dim}, r);
+    ex.bindCacheRows(*ctx, b.kcache, 0, 8, planted);
+    ex.bindInputById(*ctx, xid, tokenRows({5, 6, 7, 8}));
+    ex.run(*ctx);
+    expectBitEqual(ex.fetchCacheRows(*ctx, b.kcache, 0, 8, 2), planted,
+                   "rows planted past the prompt");
+
+    // resetCache is the ONE recycle boundary: everything re-zeroes.
+    ex.resetCache(*ctx);
+    Tensor cleared = ex.fetchCacheRows(*ctx, b.kcache, 0, 0,
+                                       cfg.maxSeq);
+    for (int64_t i = 0; i < cleared.size(); ++i)
+        ASSERT_EQ(cleared[i], 0.0f) << "resetCache left data behind";
+}
+
+// ---- 2. plan round-trip with cache values ----------------------------
+
+TEST(CachePlan, RoundTripBitParityWithZeroPipelineInvocations)
+{
+    BuiltPrefill b = makePrefill(4);
+    std::string blob = serializePlan(b.prog->graph(),
+                                     b.prog->executor().exportArtifact(),
+                                     b.prog->report(), *b.store);
+
+    PipelineCounters before = pipelineCounters();
+    auto loaded = loadPlanFromBytes(blob);
+    Tensor x = tokenRows({9, 3, 7, 1});
+    Tensor got = loaded->run({{"x", x}})[0];
+    PipelineCounters after = pipelineCounters();
+    EXPECT_TRUE(before == after)
+        << "loading or running a cache plan invoked a compile stage";
+
+    EXPECT_EQ(loaded->executor().cacheBytes(),
+              b.prog->executor().cacheBytes())
+        << "cache-region extent did not round-trip";
+
+    expectBitEqual(got, b.prog->run({{"x", x}})[0], "loaded logits");
+
+    // The cache CONTENTS round-trip too: run both executors session-
+    // style and compare the written rows byte for byte.
+    Executor &e1 = b.prog->executor();
+    Executor &e2 = loaded->executor();
+    auto c1 = e1.makeContext();
+    auto c2 = e2.makeContext();
+    e1.bindInputById(*c1, e1.inputId("x"), x);
+    e2.bindInputById(*c2, e2.inputId("x"), x);
+    e1.run(*c1);
+    e2.run(*c2);
+    expectBitEqual(e1.fetchCacheRows(*c1, b.kcache, 0, 0, 4),
+                   e2.fetchCacheRows(*c2, b.kcache, 0, 0, 4),
+                   "cache rows after load");
+}
+
+TEST(CachePlan, TamperedCacheExtentRejectedAtLoad)
+{
+    BuiltPrefill b = makePrefill(4);
+    ASSERT_GT(b.prog->executor().cacheBytes(), 0);
+    std::string blob = serializePlan(b.prog->graph(),
+                                     b.prog->executor().exportArtifact(),
+                                     b.prog->report(), *b.store);
+
+    size_t mplnOff = 0, mplnBytes = 0;
+    for (const PlanSectionInfo &s : planSections(blob)) {
+        if (s.tag == "MPLN") {
+            mplnOff = static_cast<size_t>(s.offset);
+            mplnBytes = static_cast<size_t>(s.bytes);
+        }
+    }
+    ASSERT_GT(mplnBytes, 8u);
+
+    // Blind corruption anywhere in the memory-plan section trips the
+    // checksum gate before any payload is interpreted.
+    {
+        std::string bad = blob;
+        bad[mplnOff + mplnBytes / 2] ^= 0x40;
+        EXPECT_THROW(loadPlanFromBytes(bad), PlanChecksumError);
+    }
+
+    // An attacker who RESEALS the checksums still cannot shrink the
+    // cache region under its placements: cacheBytes is the final
+    // field of MPLN, and validateArtifact rejects placements that no
+    // longer fit inside it.
+    {
+        std::string bad = blob;
+        int64_t zero = 0;
+        std::memcpy(&bad[mplnOff + mplnBytes - sizeof(int64_t)], &zero,
+                    sizeof(int64_t));
+        resealPlan(bad);
+        try {
+            loadPlanFromBytes(bad);
+            FAIL() << "shrunken cache extent must be rejected";
+        } catch (const std::exception &e) {
+            EXPECT_NE(std::string(e.what()).find("cache"),
+                      std::string::npos)
+                << "rejection must name the cache region, got: "
+                << e.what();
+        }
+    }
+}
+
+// ---- 3. coalescer generation tags ------------------------------------
+
+TEST(Coalescer, OnlyEqualGenerationsGroup)
+{
+    Coalescer co({1, 4}, 100);
+
+    // Plain traffic keeps the old row-fit rule verbatim.
+    EXPECT_TRUE(co.admits(1, kGenNone, 2, kGenNone));
+    EXPECT_FALSE(co.admits(3, kGenNone, 2, kGenNone)) << "row overflow";
+
+    // Decode: exact generation match only.
+    EXPECT_TRUE(co.admits(2, 7, 1, 7));
+    EXPECT_FALSE(co.admits(2, 7, 1, 8));
+    EXPECT_FALSE(co.admits(2, 7, 1, kGenNone))
+        << "plain and decode traffic must not mix";
+
+    // Prefill never groups, in either direction.
+    EXPECT_FALSE(co.admits(1, kGenSolo, 1, kGenSolo));
+    EXPECT_FALSE(co.admits(1, kGenSolo, 1, 3));
+    EXPECT_FALSE(co.admits(1, 3, 1, kGenSolo));
+}
+
+// ---- 4. generative stream API ----------------------------------------
+
+std::vector<std::unordered_map<std::string, Tensor>>
+calibFeeds(const DecoderConfig &cfg)
+{
+    Rng r(11);
+    std::vector<std::unordered_map<std::string, Tensor>> out;
+    for (int bi = 0; bi < 2; ++bi) {
+        const int64_t gen = 4 + bi;
+        std::vector<float> toks;
+        for (int i = 0; i < 4; ++i)
+            toks.push_back(static_cast<float>(r.randint(cfg.vocab)));
+        Tensor pos({4, 1});
+        Tensor mask({4, cfg.maxSeq});
+        for (int64_t i = 0; i < 4; ++i) {
+            pos[i] = static_cast<float>(gen);
+            for (int64_t j = 0; j < cfg.maxSeq; ++j)
+                mask[i * cfg.maxSeq + j] = j <= gen ? 0.0f : -1e30f;
+        }
+        out.push_back({{"x", tokenRows(toks)},
+                       {"pos", std::move(pos)},
+                       {"mask", std::move(mask)}});
+    }
+    return out;
+}
+
+struct GenEngine {
+    std::shared_ptr<ParamStore> store;
+    std::unique_ptr<ServingEngine> engine;
+};
+
+/** Prompt bucket {4}, decode bucket {4}: every prompt is 4 tokens and
+ *  solo decode steps pad to the SAME bucket-4 plan shared runs use —
+ *  which is what makes the int8 parity comparison exact (quantization
+ *  error is deterministic through one plan). */
+GenEngine
+makeGenEngine(int64_t window_us, int workers,
+              Precision prec = Precision::F32)
+{
+    const DecoderConfig cfg = smallCfg();
+    GenEngine ge;
+    ge.store = std::make_shared<ParamStore>();
+    auto store = ge.store;
+    ServeOptions so;
+    so.buckets = {4};
+    so.decodeBuckets = {4};
+    so.workers = workers;
+    so.coalesceWindowUs = window_us;
+    so.queueCapacity = 64;
+    so.compile.precision = prec;
+    if (prec != Precision::F32)
+        so.calibration = calibFeeds(cfg);
+    so.decodeFactory = [store, cfg](int64_t streams) {
+        Rng r(7);
+        ModelSpec m = buildDecoderDecode(cfg, streams, r, store.get());
+        return ServedModel{std::move(m.graph), {m.logits}};
+    };
+    ge.engine = std::make_unique<ServingEngine>(
+        [store, cfg](int64_t prompt) {
+            Rng r(7);
+            ModelSpec m =
+                buildDecoderPrefill(cfg, prompt, r, store.get());
+            return ServedModel{std::move(m.graph), {m.logits}};
+        },
+        store, so);
+    return ge;
+}
+
+TEST(DecodeStreams, LifecycleRules)
+{
+    const DecoderConfig cfg = smallCfg();
+    GenEngine ge = makeGenEngine(0, 1);
+    ServingEngine &e = *ge.engine;
+    ASSERT_TRUE(e.generative());
+    EXPECT_EQ(e.streamCacheBytes(),
+              cfg.layers * 2 * cfg.maxSeq * cfg.dim *
+                  static_cast<int64_t>(sizeof(float)));
+    EXPECT_EQ(e.decodeBucketFor(1), 4);
+    EXPECT_EQ(e.decodeBucketFor(5), -1);
+
+    auto sid = e.openStream();
+    EXPECT_EQ(e.streamGeneration(sid), 0);
+
+    // Decode needs a completed prefill first.
+    EXPECT_THROW(e.submitDecode(sid, {{"x", tokenRows({1})}}),
+                 std::runtime_error);
+
+    auto rid = e.submitPrefill(sid, {{"x", tokenRows({1, 2, 3, 4})}});
+    std::vector<Tensor> pre = e.wait(rid);
+    ASSERT_EQ(pre.size(), 1u);
+    EXPECT_EQ(pre[0].shape(), (Shape{4, cfg.vocab}));
+    EXPECT_EQ(e.streamGeneration(sid), 4);
+
+    // The synthesized feeds are engine-owned.
+    EXPECT_THROW(e.submitDecode(sid, {{"x", tokenRows({1})},
+                                      {"pos", tokenRows({0})}}),
+                 std::invalid_argument);
+
+    // Decode to the cache limit, then the stream is full.
+    for (int64_t g = 4; g < cfg.maxSeq; ++g) {
+        std::vector<Tensor> out =
+            e.wait(e.submitDecode(sid, {{"x", tokenRows({5})}}));
+        ASSERT_EQ(out.size(), 1u);
+        EXPECT_EQ(out[0].shape(), (Shape{1, cfg.vocab}));
+        EXPECT_EQ(e.streamGeneration(sid), g + 1);
+    }
+    EXPECT_THROW(e.submitDecode(sid, {{"x", tokenRows({5})}}),
+                 std::runtime_error);
+
+    // Re-prefill restarts the conversation on the same stream.
+    e.wait(e.submitPrefill(sid, {{"x", tokenRows({9, 8, 7, 6})}}));
+    EXPECT_EQ(e.streamGeneration(sid), 4);
+
+    e.closeStream(sid);
+    EXPECT_THROW(e.streamGeneration(sid), std::out_of_range);
+    EXPECT_THROW(e.closeStream(sid + 99), std::out_of_range);
+
+    ServeStats st = e.stats();
+    EXPECT_EQ(st.streamsOpened, 1);
+    EXPECT_EQ(st.prefills, 2);
+    EXPECT_EQ(st.decodeSteps, cfg.maxSeq - 4);
+}
+
+TEST(DecodeStreams, NonGenerativeEngineRejectsStreamApi)
+{
+    auto store = std::make_shared<ParamStore>();
+    const DecoderConfig cfg = smallCfg();
+    ServeOptions so;
+    so.buckets = {2};
+    so.workers = 1;
+    ServingEngine e(
+        [&](int64_t b) {
+            Rng r(7);
+            ModelSpec m = buildDecoderPrefill(cfg, b, r, store.get());
+            return ServedModel{std::move(m.graph), {m.logits}};
+        },
+        store, so);
+    EXPECT_FALSE(e.generative());
+    EXPECT_EQ(e.streamCacheBytes(), 0);
+    EXPECT_THROW(e.openStream(), std::logic_error);
+    EXPECT_THROW(e.submitPrefill(1, {{"x", tokenRows({1, 2})}}),
+                 std::logic_error);
+}
+
+// ---- 5. the acceptance bar: shared-run decode bit-parity --------------
+
+/** Drive N streams for T decode steps on @p prec: once serially
+ *  (coalescing off, one stream at a time), once with all N streams
+ *  submitted per step against a coalescing engine — every logit
+ *  tensor must match BIT FOR BIT, and the coalesced engine must have
+ *  shared runs (>= 2x fewer decode runs than decode requests). */
+void
+runDecodeParity(Precision prec)
+{
+    const DecoderConfig cfg = smallCfg();
+    const int N = 4;     // streams
+    const int64_t T = 6; // decode steps per stream
+    Rng r(97);
+    std::vector<std::vector<float>> prompts(N), next(N);
+    for (int s = 0; s < N; ++s) {
+        for (int i = 0; i < 4; ++i)
+            prompts[s].push_back(
+                static_cast<float>(r.randint(cfg.vocab)));
+        for (int64_t t = 0; t < T; ++t)
+            next[s].push_back(
+                static_cast<float>(r.randint(cfg.vocab)));
+    }
+
+    // Serial reference: one stream at a time, coalescing disabled.
+    // Solo decode steps still pad to the bucket-4 decode plan.
+    std::vector<Tensor> refPrefill(N);
+    std::vector<std::vector<Tensor>> refStep(N);
+    {
+        GenEngine ge = makeGenEngine(0, 1, prec);
+        for (int s = 0; s < N; ++s) {
+            auto sid = ge.engine->openStream();
+            refPrefill[s] = ge.engine->wait(
+                ge.engine->submitPrefill(sid, {{"x",
+                                                tokenRows(prompts[s])}}))[0];
+            for (int64_t t = 0; t < T; ++t)
+                refStep[s].push_back(ge.engine->wait(
+                    ge.engine->submitDecode(
+                        sid, {{"x", tokenRows({next[s][t]})}}))[0]);
+            ge.engine->closeStream(sid);
+        }
+    }
+
+    // Coalesced: all N streams advance in lockstep, so every step's
+    // N single-token requests carry the same generation and share
+    // bucket runs.
+    GenEngine ge = makeGenEngine(20000, 1, prec);
+    ServingEngine &e = *ge.engine;
+    std::vector<ServingEngine::StreamId> sids(N);
+    std::vector<ServingEngine::RequestId> rids(N);
+    for (int s = 0; s < N; ++s)
+        sids[s] = e.openStream();
+    for (int s = 0; s < N; ++s)
+        rids[s] = e.submitPrefill(sids[s],
+                                  {{"x", tokenRows(prompts[s])}});
+    for (int s = 0; s < N; ++s)
+        expectBitEqual(e.wait(rids[s])[0], refPrefill[s],
+                       "prefill stream " + std::to_string(s));
+    for (int64_t t = 0; t < T; ++t) {
+        for (int s = 0; s < N; ++s)
+            rids[s] = e.submitDecode(
+                sids[s], {{"x", tokenRows({next[s][t]})}});
+        for (int s = 0; s < N; ++s)
+            expectBitEqual(e.wait(rids[s])[0], refStep[s][t],
+                           "stream " + std::to_string(s) + " step " +
+                               std::to_string(t));
+    }
+    for (int s = 0; s < N; ++s)
+        e.closeStream(sids[s]);
+
+    // Run sharing actually happened: N x T decode requests must have
+    // executed in at most half as many decode-bucket runs.
+    ServeStats st = e.stats();
+    int64_t decodeHits = 0, decodeRuns = 0;
+    for (const BucketStats &bs : st.buckets)
+        if (bs.decode) {
+            decodeHits += bs.hits;
+            decodeRuns += bs.runs;
+        }
+    EXPECT_EQ(decodeHits, static_cast<int64_t>(N) * T);
+    EXPECT_LE(decodeRuns * 2, decodeHits)
+        << "decode coalescing below the 2x acceptance bar";
+    EXPECT_GE(st.coalescedRuns, 1);
+}
+
+TEST(DecodeParity, SharedRunsMatchSerialFp32)
+{
+    runDecodeParity(Precision::F32);
+}
+
+TEST(DecodeParity, SharedRunsMatchSerialInt8)
+{
+    runDecodeParity(Precision::Int8);
+}
+
+/** Threaded mixed-pace stress: 8 streams driven by 8 client threads
+ *  (2 workers, real window) against per-stream serial references.
+ *  Streams drift out of lockstep, so groups form opportunistically —
+ *  parity must hold no matter how the generations interleave. */
+TEST(DecodeParity, ThreadedStreamStressMatchesSerial)
+{
+    const DecoderConfig cfg = smallCfg();
+    const int N = 8;
+    const int64_t T = 5;
+    Rng r(131);
+    std::vector<std::vector<float>> prompts(N), next(N);
+    for (int s = 0; s < N; ++s) {
+        for (int i = 0; i < 4; ++i)
+            prompts[s].push_back(
+                static_cast<float>(r.randint(cfg.vocab)));
+        for (int64_t t = 0; t < T; ++t)
+            next[s].push_back(
+                static_cast<float>(r.randint(cfg.vocab)));
+    }
+
+    std::vector<Tensor> refPrefill(N);
+    std::vector<std::vector<Tensor>> refStep(N);
+    {
+        GenEngine ge = makeGenEngine(0, 1);
+        for (int s = 0; s < N; ++s) {
+            auto sid = ge.engine->openStream();
+            refPrefill[s] = ge.engine->wait(
+                ge.engine->submitPrefill(sid, {{"x",
+                                                tokenRows(prompts[s])}}))[0];
+            for (int64_t t = 0; t < T; ++t)
+                refStep[s].push_back(ge.engine->wait(
+                    ge.engine->submitDecode(
+                        sid, {{"x", tokenRows({next[s][t]})}}))[0]);
+            ge.engine->closeStream(sid);
+        }
+    }
+
+    GenEngine ge = makeGenEngine(500, 2);
+    ServingEngine &e = *ge.engine;
+    std::vector<std::thread> clients;
+    for (int s = 0; s < N; ++s) {
+        clients.emplace_back([&, s] {
+            auto sid = e.openStream();
+            Tensor pre = e.wait(e.submitPrefill(
+                sid, {{"x", tokenRows(prompts[s])}}))[0];
+            expectBitEqual(pre, refPrefill[s],
+                           "stress prefill " + std::to_string(s));
+            for (int64_t t = 0; t < T; ++t) {
+                Tensor out = e.wait(e.submitDecode(
+                    sid, {{"x", tokenRows({next[s][t]})}}))[0];
+                expectBitEqual(out, refStep[s][t],
+                               "stress stream " + std::to_string(s) +
+                                   " step " + std::to_string(t));
+            }
+            e.closeStream(sid);
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+
+    ServeStats st = e.stats();
+    EXPECT_EQ(st.streamsOpened, N);
+    EXPECT_EQ(st.decodeSteps, static_cast<int64_t>(N) * T);
+    EXPECT_EQ(st.failed, 0);
+    EXPECT_EQ(st.completed, st.submitted);
+}
+
+} // namespace
+} // namespace pe
