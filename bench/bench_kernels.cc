@@ -15,6 +15,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -359,8 +360,130 @@ BM_QuantDwConv(benchmark::State &state, const std::string &variant)
     state.SetItemsProcessed(state.iterations() * 2 * macs);
 }
 
+/**
+ * Fused decode attention vs the unfused five-op chain
+ * (BatchMatMul^T -> Scale -> Add(mask) -> Softmax -> BatchMatMul) at
+ * the decode hot-loop shape: B rows of q [B,1,Dh] against a cached
+ * [B,M,Dh] K/V slab, M = 32, Dh = 32. B = 16 is the LLaMA-proxy
+ * decode bucket (4 streams x 4 heads, dim 128); B = 4 one stream.
+ * Both ops in one graph; kernels are invoked directly, so the delta
+ * is kernel work plus the chain's intermediate-buffer sweeps. The
+ * chain's BatchMatMuls use the "" variant — at decode sizes the
+ * scores tensor sits far below the blocked-GEMM threshold, so that
+ * is exactly what the compiled decode plan binds.
+ */
+struct AttnFixture {
+    Graph g;
+    int fused, qk, sc, ad, sm, pv;
+    Tensor q, k, v, mask;
+    Tensor scores, scaled, masked, probs, out;
+
+    AttnFixture(int64_t B, int64_t M, int64_t Dh)
+    {
+        Rng rng(1);
+        int qi = g.input({B, 1, Dh}, "q");
+        int ki = g.input({B, M, Dh}, "k");
+        int vi = g.input({B, M, Dh}, "v");
+        int mi = g.input({B, 1, M}, "mask");
+        const double scale = 1.0 / std::sqrt(static_cast<double>(Dh));
+        Attrs fa;
+        fa.set("scale", scale);
+        fused = g.add(OpKind::FusedAttention, {qi, ki, vi, mi},
+                      std::move(fa));
+        Attrs tb;
+        tb.set("transB", static_cast<int64_t>(1));
+        qk = g.add(OpKind::BatchMatMul, {qi, ki}, std::move(tb));
+        Attrs al;
+        al.set("alpha", scale);
+        sc = g.add(OpKind::Scale, {qk}, std::move(al));
+        ad = g.add(OpKind::Add, {sc, mi});
+        sm = g.add(OpKind::Softmax, {ad});
+        pv = g.add(OpKind::BatchMatMul, {sm, vi});
+        q = Tensor::randn({B, 1, Dh}, rng);
+        k = Tensor::randn({B, M, Dh}, rng);
+        v = Tensor::randn({B, M, Dh}, rng);
+        mask = Tensor::zeros({B, 1, M});
+        scores = Tensor::zeros(g.node(qk).shape);
+        scaled = Tensor::zeros(g.node(sc).shape);
+        masked = Tensor::zeros(g.node(ad).shape);
+        probs = Tensor::zeros(g.node(sm).shape);
+        out = Tensor::zeros(g.node(fused).shape);
+    }
+
+    KernelCtx
+    make(int node, std::vector<const float *> ins, Tensor &o)
+    {
+        KernelCtx c;
+        const Node &n = g.node(node);
+        c.node = &n;
+        c.in = std::move(ins);
+        for (int in : n.inputs)
+            c.inShapes.push_back(&g.node(in).shape);
+        c.out = o.data();
+        c.outShape = &n.shape;
+        return c;
+    }
+};
+
+void
+BM_FusedAttention(benchmark::State &state, const std::string &variant)
+{
+    int64_t B = state.range(0);
+    AttnFixture f(B, 32, 32);
+    KernelCtx c = f.make(
+        f.fused, {f.q.data(), f.k.data(), f.v.data(), f.mask.data()},
+        f.out);
+    DirectWorkspace ws;
+    ws.attach(c, f.g, f.g.node(f.fused), variant);
+    KernelFn fn = lookupKernel(OpKind::FusedAttention, variant);
+    for (auto _ : state) {
+        fn(c);
+        benchmark::DoNotOptimize(f.out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * B);
+}
+
+void
+BM_UnfusedAttention(benchmark::State &state)
+{
+    int64_t B = state.range(0);
+    AttnFixture f(B, 32, 32);
+    KernelCtx cqk =
+        f.make(f.qk, {f.q.data(), f.k.data()}, f.scores);
+    KernelCtx csc = f.make(f.sc, {f.scores.data()}, f.scaled);
+    KernelCtx cad =
+        f.make(f.ad, {f.scaled.data(), f.mask.data()}, f.masked);
+    KernelCtx csm = f.make(f.sm, {f.masked.data()}, f.probs);
+    KernelCtx cpv =
+        f.make(f.pv, {f.probs.data(), f.v.data()}, f.out);
+    DirectWorkspace w1, w2, w3, w4, w5;
+    w1.attach(cqk, f.g, f.g.node(f.qk), "");
+    w2.attach(csc, f.g, f.g.node(f.sc), "");
+    w3.attach(cad, f.g, f.g.node(f.ad), "");
+    w4.attach(csm, f.g, f.g.node(f.sm), "");
+    w5.attach(cpv, f.g, f.g.node(f.pv), "");
+    KernelFn fqk = lookupKernel(OpKind::BatchMatMul, "");
+    KernelFn fsc = lookupKernel(OpKind::Scale, "");
+    KernelFn fad = lookupKernel(OpKind::Add, "");
+    KernelFn fsm = lookupKernel(OpKind::Softmax, "");
+    KernelFn fpv = lookupKernel(OpKind::BatchMatMul, "");
+    for (auto _ : state) {
+        fqk(cqk);
+        fsc(csc);
+        fad(cad);
+        fsm(csm);
+        fpv(cpv);
+        benchmark::DoNotOptimize(f.out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * B);
+}
+
 BENCHMARK(BM_FusedConvBiasRelu)->Arg(16)->Arg(32);
 BENCHMARK(BM_UnfusedConvBiasRelu)->Arg(16)->Arg(32);
+BENCHMARK_CAPTURE(BM_FusedAttention, base, std::string(""))
+    ->Arg(4)
+    ->Arg(16);
+BENCHMARK(BM_UnfusedAttention)->Arg(4)->Arg(16);
 BENCHMARK_CAPTURE(BM_QuantMatMul, int8, std::string("int8"))
     ->Arg(64)
     ->Arg(128);
@@ -448,6 +571,15 @@ struct SimdBenchRegistrar {
                 "int8" + sfx)
                 ->Arg(32)
                 ->Arg(96);
+        // FusedAttention's tier candidate is the bare tier name (the
+        // base variant is ""). The row still embeds "@avx2"/"@neon"
+        // so the perf gate's tier detection recognizes it.
+        if (hasKernelVariant(OpKind::FusedAttention, simdTierName(t)))
+            benchmark::RegisterBenchmark(
+                ("BM_FusedAttention/base" + sfx).c_str(),
+                BM_FusedAttention, std::string(simdTierName(t)))
+                ->Arg(4)
+                ->Arg(16);
     }
 };
 SimdBenchRegistrar g_simdBenchRegistrar;

@@ -35,8 +35,17 @@
  *       converge into one shared decode-run span (each lane stamped
  *       with its stream id and generation). Exits 0 only if at least
  *       one run served >= 2 streams.
+ *
+ * The llama_proxy_fused scenario serves a multi-head config (4 heads
+ * of 32, dim 128) end to end with the FusedAttention rewrite on, and
+ * adds the fused-attention gates: logits within 1e-5 of the unfused
+ * serial reference, attention-stage us/step >= 1.5x faster fused than
+ * unfused, and the fused decode plan's peak-live strictly below the
+ * unfused plan's.
  */
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +55,7 @@
 
 #include "../bench/bench_common.h"
 #include "engine/engine.h"
+#include "frontend/builder.h"
 #include "frontend/models.h"
 #include "serve/serving.h"
 
@@ -59,6 +69,19 @@ benchCfg()
     DecoderConfig cfg; // the header defaults: 2 layers, dim 32
     cfg.maxSeq = 32;
     return cfg;
+}
+
+/** LLaMA-proxy decode config: the multi-head shape the fused-attention
+ *  gates run at (4 heads of 32; per-head decode attention is
+ *  [streams*4, 1, 32] q against a [streams*4, 32, 32] cached K/V). */
+DecoderConfig
+llamaProxyCfg()
+{
+    return DecoderConfig{}
+        .withDim(128)
+        .withHeads(4)
+        .withFfDim(256)
+        .withMaxSeq(32);
 }
 
 Tensor
@@ -99,16 +122,17 @@ calibFeeds(const DecoderConfig &cfg)
  *  exact (quantization error is deterministic through one plan). */
 std::unique_ptr<ServingEngine>
 makeEngine(const std::shared_ptr<ParamStore> &store, int64_t window_us,
-           int workers, Precision prec, bool trace = false)
+           int workers, Precision prec, const DecoderConfig &cfg,
+           bool fuse_attention = true, bool trace = false)
 {
-    const DecoderConfig cfg = benchCfg();
-    ServeOptions so;
-    so.buckets = {8};
-    so.decodeBuckets = {4};
-    so.workers = workers;
-    so.coalesceWindowUs = window_us;
-    so.queueCapacity = 64;
+    ServeOptions so = ServeOptions{}
+                          .withBuckets({8})
+                          .withDecodeBuckets({4})
+                          .withWorkers(workers)
+                          .withCoalesceWindow(window_us)
+                          .withQueueCapacity(64);
     so.compile.precision = prec;
+    so.compile.fuseAttention = fuse_attention;
     so.trace = trace;
     if (prec != Precision::F32)
         so.calibration = calibFeeds(cfg);
@@ -133,9 +157,8 @@ struct StreamPlan {
 };
 
 StreamPlan
-makeTraffic(int streams, int64_t tokens)
+makeTraffic(const DecoderConfig &cfg, int streams, int64_t tokens)
 {
-    const DecoderConfig cfg = benchCfg();
     Rng r(97);
     StreamPlan p;
     p.prompts.resize(streams);
@@ -193,6 +216,17 @@ struct DecodeRow {
     double prefillUsPerToken = 0; ///< wall-clock, informational
     double decodeUsPerTokenSolo = 0;
     double decodeUsPerTokenShared = 0;
+
+    // Fused-attention columns; emitted (and gated) only when
+    // fusedAttention >= 0 (the llama_proxy_fused scenario).
+    int64_t heads = 0;
+    int fusedAttention = -1;
+    int parityVsUnfused1e5 = -1; ///< fused within 1e-5 of unfused
+    double attnUsFused = 0;      ///< attention stage, us per decode step
+    double attnUsUnfused = 0;
+    double attnSpeedup = 0;         ///< unfused / fused; gate >= 1.5
+    int64_t peakLiveFused = 0;      ///< decode plan peak-live bytes
+    int64_t peakLiveUnfused = 0;    ///< gate: fused strictly below
 };
 
 void
@@ -211,9 +245,9 @@ bucketCost(const ServeStats &st, bool decode, int64_t &hits,
 
 DecodeRow
 runScenario(const std::string &scenario, Precision prec, int streams,
-            int64_t tokens)
+            int64_t tokens, const DecoderConfig &cfg)
 {
-    const StreamPlan traffic = makeTraffic(streams, tokens);
+    const StreamPlan traffic = makeTraffic(cfg, streams, tokens);
     DecodeRow row;
     row.scenario = scenario;
     row.streams = streams;
@@ -222,7 +256,7 @@ runScenario(const std::string &scenario, Precision prec, int streams,
 
     // Serial reference: one stream at a time, coalescing off.
     auto soloStore = std::make_shared<ParamStore>();
-    auto solo = makeEngine(soloStore, 0, 1, prec);
+    auto solo = makeEngine(soloStore, 0, 1, prec, cfg);
     std::vector<std::vector<Tensor>> ref(streams);
     for (int s = 0; s < streams; ++s) {
         StreamPlan one;
@@ -233,7 +267,7 @@ runScenario(const std::string &scenario, Precision prec, int streams,
 
     // Coalesced: all streams in lockstep share decode-bucket runs.
     auto store = std::make_shared<ParamStore>();
-    auto eng = makeEngine(store, 20000, 1, prec);
+    auto eng = makeEngine(store, 20000, 1, prec, cfg);
     std::vector<std::vector<Tensor>> got =
         driveStreams(*eng, traffic, tokens);
 
@@ -269,6 +303,183 @@ runScenario(const std::string &scenario, Precision prec, int streams,
     return row;
 }
 
+/**
+ * Attention-stage microbench: the standalone decode attention
+ * subgraph — q [B,1,Dh] against the cached K/V [B,M,Dh] with the
+ * per-stream mask row, B = decode-bucket streams x heads — compiled
+ * with the fusion pass on or off and timed through the bound
+ * executor. This is the per-step cost of exactly the ops the
+ * FusedAttention rewrite collapses, so fused/unfused is the
+ * fusion speedup with the rest of the layer held constant.
+ */
+double
+attnStageUsPerStep(const DecoderConfig &cfg, int64_t streams,
+                   bool fused)
+{
+    const int64_t B = streams * cfg.heads;
+    const int64_t M = cfg.maxSeq;
+    const int64_t Dh = cfg.dim / cfg.heads;
+    auto store = std::make_shared<ParamStore>();
+    Graph g;
+    Rng rng(5);
+    NetBuilder b(g, rng, store.get());
+    int q = b.input({B, 1, Dh}, "q");
+    int k = b.input({B, M, Dh}, "k");
+    int v = b.input({B, M, Dh}, "v");
+    int m = b.input({B, 1, M}, "mask");
+    Attrs tb;
+    tb.set("transB", static_cast<int64_t>(1));
+    int scores = g.add(OpKind::BatchMatMul, {q, k}, std::move(tb));
+    scores = b.scale(scores, 1.0 / std::sqrt(static_cast<double>(Dh)));
+    scores = b.add(scores, m);
+    int ctx = g.add(OpKind::BatchMatMul, {b.softmax(scores), v});
+    g.markOutput(ctx);
+    CompileOptions opt;
+    opt.fuseAttention = fused;
+    CompiledGraph c = compileInferenceGraph(g, {ctx}, opt, store);
+    ExecOptions eo;
+    eo.variants = std::move(c.variants);
+    InferenceProgram prog(std::move(c.graph), store, std::move(eo),
+                          std::move(c.report), std::move(c.order));
+
+    Rng vr(11);
+    Tensor qt({B, 1, Dh}), kt({B, M, Dh}), vt({B, M, Dh});
+    Tensor mt = Tensor::zeros({B, 1, M});
+    for (int64_t i = 0; i < qt.size(); ++i)
+        qt[i] = vr.uniform(-1.0f, 1.0f);
+    for (int64_t i = 0; i < kt.size(); ++i)
+        kt[i] = vr.uniform(-1.0f, 1.0f);
+    for (int64_t i = 0; i < vt.size(); ++i)
+        vt[i] = vr.uniform(-1.0f, 1.0f);
+    std::unordered_map<std::string, Tensor> feeds = {
+        {"q", qt}, {"k", kt}, {"v", vt}, {"mask", mt}};
+    const int iters = 1500;
+    for (int i = 0; i < 50; ++i)
+        prog.run(feeds);
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        prog.run(feeds);
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(t1 - t0).count() /
+           iters;
+}
+
+/** Every fused logit within 1e-5 (relative, floored at 1) of the
+ *  unfused reference. */
+bool
+within1e5(const Tensor &a, const Tensor &b)
+{
+    if (a.shape() != b.shape())
+        return false;
+    for (int64_t i = 0; i < a.size(); ++i) {
+        double scale = std::max(
+            1.0, std::max(std::abs(static_cast<double>(a[i])),
+                          std::abs(static_cast<double>(b[i]))));
+        if (std::abs(static_cast<double>(a[i]) -
+                     static_cast<double>(b[i])) > 1e-5 * scale)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * The fused-attention acceptance scenario: the LLaMA-proxy config
+ * (heads >= 2) served end to end with the FusedAttention rewrite.
+ * Bit parity is fused-coalesced vs fused-serial (the decode_stream
+ * contract); the 1e-5 column compares the fused serial run against a
+ * second engine compiled with the fusion pass OFF, so the rewrite
+ * itself is what is being bounded. Peak-live comes from the two
+ * engines' decode-bucket compile reports.
+ */
+DecodeRow
+runLlamaScenario(int64_t tokens)
+{
+    const DecoderConfig cfg = llamaProxyCfg();
+    const int streams = 4;
+    const StreamPlan traffic = makeTraffic(cfg, streams, tokens);
+    DecodeRow row;
+    row.scenario = "llama_proxy_fused";
+    row.streams = streams;
+    row.tokens = tokens;
+    row.decodeRequests = static_cast<int64_t>(streams) * tokens;
+    row.heads = cfg.heads;
+    row.fusedAttention = 1;
+
+    // Unfused serial reference: fusion pass off end to end.
+    auto ustore = std::make_shared<ParamStore>();
+    auto unfused =
+        makeEngine(ustore, 0, 1, Precision::F32, cfg, false);
+    std::vector<std::vector<Tensor>> refU(streams);
+    for (int s = 0; s < streams; ++s) {
+        StreamPlan one;
+        one.prompts = {traffic.prompts[s]};
+        one.next = {traffic.next[s]};
+        refU[s] = driveStreams(*unfused, one, tokens)[0];
+    }
+
+    // Fused serial: the bit reference for shared runs.
+    auto sstore = std::make_shared<ParamStore>();
+    auto solo = makeEngine(sstore, 0, 1, Precision::F32, cfg);
+    std::vector<std::vector<Tensor>> refF(streams);
+    for (int s = 0; s < streams; ++s) {
+        StreamPlan one;
+        one.prompts = {traffic.prompts[s]};
+        one.next = {traffic.next[s]};
+        refF[s] = driveStreams(*solo, one, tokens)[0];
+    }
+
+    // Fused coalesced: lockstep streams share decode-bucket runs.
+    auto store = std::make_shared<ParamStore>();
+    auto eng = makeEngine(store, 20000, 1, Precision::F32, cfg);
+    std::vector<std::vector<Tensor>> got =
+        driveStreams(*eng, traffic, tokens);
+
+    row.parityVsUnfused1e5 = 1;
+    for (int s = 0; s < streams; ++s) {
+        for (size_t i = 0; i < got[s].size(); ++i) {
+            row.parity =
+                row.parity &&
+                refF[s][i].shape() == got[s][i].shape() &&
+                std::memcmp(refF[s][i].data(), got[s][i].data(),
+                            sizeof(float) * refF[s][i].size()) == 0;
+            if (!within1e5(refF[s][i], refU[s][i]))
+                row.parityVsUnfused1e5 = 0;
+        }
+    }
+
+    ServeStats ss = solo->stats(), cs = eng->stats();
+    int64_t hits = 0, runs = 0, runNs = 0;
+    bucketCost(ss, true, hits, runs, runNs);
+    row.runsSolo = runs;
+    row.decodeUsPerTokenSolo =
+        hits > 0 ? static_cast<double>(runNs) / hits / 1e3 : 0;
+    bucketCost(cs, true, hits, runs, runNs);
+    row.runsCoalesced = runs;
+    row.decodeUsPerTokenShared =
+        hits > 0 ? static_cast<double>(runNs) / hits / 1e3 : 0;
+    row.runReduction =
+        row.runsCoalesced > 0
+            ? static_cast<double>(row.runsSolo) / row.runsCoalesced
+            : 0;
+    row.coalesceRate = cs.coalesceRate;
+    row.cacheBytesPerSession = eng->streamCacheBytes();
+    bucketCost(cs, false, hits, runs, runNs);
+    row.prefillUsPerToken =
+        hits > 0 ? static_cast<double>(runNs) / (hits * row.promptLen) /
+                       1e3
+                 : 0;
+
+    // Decode-bucket (batch 4) planned peak-live, fused vs unfused.
+    row.peakLiveFused = eng->bucketReport(4).peakLiveBytes;
+    row.peakLiveUnfused = unfused->bucketReport(4).peakLiveBytes;
+
+    row.attnUsFused = attnStageUsPerStep(cfg, 4, true);
+    row.attnUsUnfused = attnStageUsPerStep(cfg, 4, false);
+    row.attnSpeedup =
+        row.attnUsFused > 0 ? row.attnUsUnfused / row.attnUsFused : 0;
+    return row;
+}
+
 void
 printRows(const std::vector<DecodeRow> &rows)
 {
@@ -287,6 +498,17 @@ printRows(const std::vector<DecodeRow> &rows)
             r.decodeUsPerTokenSolo, r.decodeUsPerTokenShared,
             static_cast<long long>(r.cacheBytesPerSession / 1024),
             r.parity ? "EXACT" : "BROKEN");
+        if (r.fusedAttention >= 0) {
+            std::printf(
+                "  fused attention (%lld heads): vs unfused 1e-5 %s | "
+                "attn stage %.2f -> %.2f us/step (%.2fx) | decode "
+                "peak-live %lld -> %lld bytes\n",
+                static_cast<long long>(r.heads),
+                r.parityVsUnfused1e5 == 1 ? "OK" : "BROKEN",
+                r.attnUsUnfused, r.attnUsFused, r.attnSpeedup,
+                static_cast<long long>(r.peakLiveUnfused),
+                static_cast<long long>(r.peakLiveFused));
+        }
     }
 }
 
@@ -319,6 +541,18 @@ saveRows(const std::vector<DecodeRow> &rows, const std::string &path)
         json.field("decode_us_per_token_shared",
                    r.decodeUsPerTokenShared);
         json.field("parity", static_cast<int64_t>(r.parity ? 1 : 0));
+        if (r.fusedAttention >= 0) {
+            json.field("heads", r.heads);
+            json.field("fused_attention",
+                       static_cast<int64_t>(r.fusedAttention));
+            json.field("parity_vs_unfused_1e5",
+                       static_cast<int64_t>(r.parityVsUnfused1e5));
+            json.field("attn_us_per_step_fused", r.attnUsFused);
+            json.field("attn_us_per_step_unfused", r.attnUsUnfused);
+            json.field("attn_fused_speedup", r.attnSpeedup);
+            json.field("peak_live_fused_bytes", r.peakLiveFused);
+            json.field("peak_live_unfused_bytes", r.peakLiveUnfused);
+        }
     }
     return json.save(path);
 }
@@ -337,8 +571,9 @@ main(int argc, char **argv)
     }
     if (!tracePath.empty()) {
         auto store = std::make_shared<ParamStore>();
-        auto eng = makeEngine(store, 20000, 1, Precision::F32, true);
-        driveStreams(*eng, makeTraffic(4, 8), 8);
+        auto eng = makeEngine(store, 20000, 1, Precision::F32,
+                              benchCfg(), true, true);
+        driveStreams(*eng, makeTraffic(benchCfg(), 4, 8), 8);
         ServeStats s = eng->stats();
         std::printf("%s", s.summary().c_str());
         if (!eng->exportChromeTrace(tracePath)) {
@@ -362,8 +597,9 @@ main(int argc, char **argv)
         jsonPath.empty() && argc > 1 ? std::atoll(argv[1]) : 8;
 
     std::vector<DecodeRow> rows = {
-        runScenario("fp32", Precision::F32, 4, tokens),
-        runScenario("int8", Precision::Int8, 4, tokens),
+        runScenario("fp32", Precision::F32, 4, tokens, benchCfg()),
+        runScenario("int8", Precision::Int8, 4, tokens, benchCfg()),
+        runLlamaScenario(tokens),
     };
     printRows(rows);
 
@@ -375,8 +611,13 @@ main(int argc, char **argv)
         }
         std::printf("wrote %s\n", jsonPath.c_str());
     }
-    for (const DecodeRow &r : rows)
+    for (const DecodeRow &r : rows) {
         if (!r.parity || r.runsCoalesced * 2 > r.runsSolo)
             return 1;
+        if (r.fusedAttention >= 0 &&
+            (r.parityVsUnfused1e5 != 1 || r.attnSpeedup < 1.5 ||
+             r.peakLiveFused >= r.peakLiveUnfused))
+            return 1;
+    }
     return 0;
 }

@@ -45,10 +45,24 @@ Three file shapes are understood, auto-detected:
   alone, fp32 AND int8), run_reduction >= 2.0 (4 lockstep streams
   must share decode-bucket runs at least 2x), and
   cache_bytes_per_session must be positive (the KV cache actually
-  exists). Against the committed baseline, run reduction / coalesce
-  rate must hold >= (1 - tolerance), and the shared/solo us-per-token
-  ratio — self-normalized so host speed cancels — must not grow
-  beyond the same tolerance. Vanished baseline rows fail.
+  exists). Rows stamped fused_attention=1 (the llama_proxy_fused
+  scenario) carry three more floors: parity_vs_unfused_1e5 must be 1
+  (fused logits within 1e-5 of the unfused serial reference),
+  attn_fused_speedup >= 1.5 (the attention stage at the decode shape),
+  and peak_live_fused_bytes strictly below peak_live_unfused_bytes
+  (both positive). A baseline row that had the fused columns and a
+  fresh row without them is a gate bypass and fails. Against the
+  committed baseline, run reduction / coalesce rate must hold
+  >= (1 - tolerance), and the shared/solo us-per-token ratio —
+  self-normalized so host speed cancels — must not grow beyond the
+  same tolerance. Vanished baseline rows fail.
+
+  The gbench gate also pairs rows: every fresh BM_FusedAttention
+  tier row must beat the BM_UnfusedAttention row at the same shape
+  arg by >= 1.5x (the serving-bound comparison — the chain has no
+  tier variants at decode sizes), the scalar base row must never
+  lose to the chain, and a missing counterpart fails (the claim
+  would be unverifiable).
 
 Usage: bench_check.py BASELINE FRESH [--tolerance 0.25]
                                      [--table4-tolerance 0.05]
@@ -99,6 +113,25 @@ def row_tier(name):
     return None
 
 
+# The fused-attention kernel claim at the decode shape: the fused
+# kernel the executor binds on a SIMD host (the tier row) must beat
+# the five-dispatch unfused chain by at least this factor. The chain
+# has no tier variants at decode sizes (the scores tensor sits below
+# the blocked-GEMM threshold), so tier-fused vs scalar-chain is
+# exactly the serving comparison. Same-snapshot pairing, so machine
+# speed cancels.
+MIN_FUSED_ATTN_SPEEDUP = 1.5
+# The scalar fused kernel's contract is bit-exactness with the chain,
+# not speed — but it strictly eliminates the chain's intermediate
+# sweeps, so it must never LOSE to it.
+MIN_FUSED_ATTN_SCALAR_SPEEDUP = 1.0
+
+
+def unfused_counterpart(name):
+    """BM_FusedAttention/base[@tier]/16 -> BM_UnfusedAttention/16."""
+    return "BM_UnfusedAttention/" + name.split("/")[-1]
+
+
 def check_gbench(base, fresh, tolerance):
     b, f = rows_of(base), rows_of(fresh)
     failures = 0
@@ -142,6 +175,30 @@ def check_gbench(base, fresh, tolerance):
             status = "info (multi-thread row, not gated)"
         print(f"  {name}: {old:.3g} -> {new:.3g} ops/s "
               f"({ratio:.2f}x)  {status}")
+    # Fused-vs-unfused attention pairing: gate the ratio WITHIN the
+    # fresh snapshot (host speed cancels). Tier rows carry the 1.5x
+    # serving claim; the scalar base row floors at parity. A fused
+    # row whose unfused counterpart vanished fails — the speedup
+    # claim is unverifiable.
+    for name in sorted(f):
+        if not name.startswith("BM_FusedAttention"):
+            continue
+        other = unfused_counterpart(name)
+        if other not in f:
+            print(f"  [FAIL] {name}: unfused counterpart {other} "
+                  f"missing from the fresh run — the fused-attention "
+                  f"speedup claim is unverifiable")
+            failures += 1
+            continue
+        floor = (MIN_FUSED_ATTN_SPEEDUP if row_tier(name)
+                 else MIN_FUSED_ATTN_SCALAR_SPEEDUP)
+        speedup = throughput(f[name]) / throughput(f[other])
+        status = "ok"
+        if speedup < floor:
+            status = "FAIL"
+            failures += 1
+        print(f"  {name}: {speedup:.2f}x vs {other} (floor "
+              f"{floor}x)  {status}")
     if failures:
         print(f"{failures} gate failure(s): regression beyond "
               f"{tolerance:.0%}, vanished baseline row, or non-Release "
@@ -340,6 +397,27 @@ def check_decode(base, fresh, tolerance):
                   f"{row.get('cache_bytes_per_session')} — the KV "
                   f"cache vanished")
             failures += 1
+        if int(row.get("fused_attention", 0)) == 1:
+            if int(row.get("parity_vs_unfused_1e5", 0)) != 1:
+                print(f"  [FAIL] {name}: fused logits are NOT within "
+                      f"1e-5 of the unfused serial reference "
+                      f"(parity_vs_unfused_1e5="
+                      f"{row.get('parity_vs_unfused_1e5')})")
+                failures += 1
+            speedup = float(row.get("attn_fused_speedup", 0))
+            if speedup < MIN_FUSED_ATTN_SPEEDUP:
+                print(f"  [FAIL] {name}: attention-stage fused "
+                      f"speedup {speedup:.2f}x below the "
+                      f"{MIN_FUSED_ATTN_SPEEDUP}x fused-attention "
+                      f"acceptance bar")
+                failures += 1
+            plf = int(row.get("peak_live_fused_bytes", 0))
+            plu = int(row.get("peak_live_unfused_bytes", 0))
+            if plf <= 0 or plu <= 0 or plf >= plu:
+                print(f"  [FAIL] {name}: fused decode peak-live "
+                      f"({plf}) is not strictly below unfused "
+                      f"({plu})")
+                failures += 1
 
     for name in sorted(set(b) - set(f)):
         print(f"  [FAIL] baseline scenario missing from fresh run: "
@@ -351,6 +429,14 @@ def check_decode(base, fresh, tolerance):
 
     for name in sorted(set(b) & set(f)):
         old, new = b[name], f[name]
+        # The fused-attention columns vanishing from a row that gated
+        # them is a gate bypass, same as a vanished scenario.
+        if (int(old.get("fused_attention", 0)) == 1
+                and int(new.get("fused_attention", 0)) != 1):
+            print(f"  [FAIL] {name}: fused-attention columns vanished "
+                  f"from the fresh row — restore them or refresh the "
+                  f"committed baseline with scripts/bench_json.sh")
+            failures += 1
         for field in ("run_reduction", "coalesce_rate"):
             ov, nv = float(old.get(field, 0)), float(new.get(field, 0))
             ratio = nv / ov if ov > 0 else float("inf")
@@ -377,10 +463,12 @@ def check_decode(base, fresh, tolerance):
     if failures:
         print(f"{failures} decode gate failure(s): parity break, "
               f"run-sharing below {MIN_DECODE_RUN_REDUCTION}x, missing "
-              f"cache bytes, regression beyond {tolerance:.0%}, "
-              f"vanished scenario, or non-Release snapshot — "
-              f"investigate or refresh the committed BENCH_decode.json "
-              f"with scripts/bench_json.sh")
+              f"cache bytes, a fused-attention floor (1e-5 parity, "
+              f"{MIN_FUSED_ATTN_SPEEDUP}x attention speedup, fused "
+              f"peak-live below unfused), regression beyond "
+              f"{tolerance:.0%}, vanished scenario, or non-Release "
+              f"snapshot — investigate or refresh the committed "
+              f"BENCH_decode.json with scripts/bench_json.sh")
     return failures == 0
 
 

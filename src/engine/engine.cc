@@ -203,8 +203,11 @@ compileGraphOnly(const Graph &forward, int loss_id,
     simplify(g);
     if (options.foldConstants)
         report.folded = constantFold(g);
-    if (options.fuse)
+    if (options.fuse) {
         report.fusions = fuseOperators(g);
+        if (options.fuseAttention)
+            report.fusions += fuseAttention(g);
+    }
     report.prunedNodes = dce(g);
 
     // Re-locate the loss node after compaction.
@@ -370,8 +373,11 @@ compileInferenceGraph(const Graph &forward,
     simplify(g);
     if (options.foldConstants)
         out.report.folded = constantFold(g);
-    if (options.fuse)
+    if (options.fuse) {
         out.report.fusions = fuseOperators(g);
+        if (options.fuseAttention)
+            out.report.fusions += fuseAttention(g);
+    }
     out.report.prunedNodes = dce(g);
 
     out.report.precision = options.precision;

@@ -29,6 +29,10 @@ namespace pe {
 /** Compilation switches (all graph optimizations are ablatable). */
 struct CompileOptions {
     bool fuse = true;          ///< operator fusion
+    bool fuseAttention = true; ///< collapse attention subgraphs into
+                               ///< FusedAttention (also needs `fuse`);
+                               ///< off builds the unfused reference
+                               ///< the parity tests/benches compare to
     bool reorder = true;       ///< memory-aware scheduling + in-place
     bool winograd = true;      ///< bind frozen 3x3 convs to Winograd
     bool blocked = true;       ///< blocked GEMM variant

@@ -1,6 +1,8 @@
 #include "frontend/models.h"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "frontend/builder.h"
 
@@ -281,6 +283,79 @@ buildLlama(const LlamaConfig &cfg, Rng &rng, ParamStore *store,
 
 namespace {
 
+[[noreturn]] void
+badDecoderField(const std::string &field, const std::string &why)
+{
+    throw std::invalid_argument("DecoderConfig::" + field + ": " + why);
+}
+
+} // namespace
+
+DecoderConfig &
+DecoderConfig::withHeads(int64_t n)
+{
+    if (n < 1)
+        badDecoderField("heads", "must be >= 1");
+    if (dim % n != 0)
+        badDecoderField("heads",
+                        "must divide dim (dim=" + std::to_string(dim) +
+                            ", heads=" + std::to_string(n) + ")");
+    heads = n;
+    return *this;
+}
+
+DecoderConfig &
+DecoderConfig::withDim(int64_t d)
+{
+    if (d < 1)
+        badDecoderField("dim", "must be >= 1");
+    if (d % heads != 0)
+        badDecoderField("dim",
+                        "must be divisible by heads (dim=" +
+                            std::to_string(d) +
+                            ", heads=" + std::to_string(heads) + ")");
+    dim = d;
+    return *this;
+}
+
+DecoderConfig &
+DecoderConfig::withLayers(int64_t n)
+{
+    if (n < 1)
+        badDecoderField("layers", "must be >= 1");
+    layers = n;
+    return *this;
+}
+
+DecoderConfig &
+DecoderConfig::withMaxSeq(int64_t n)
+{
+    if (n < 1)
+        badDecoderField("maxSeq", "must be >= 1");
+    maxSeq = n;
+    return *this;
+}
+
+DecoderConfig &
+DecoderConfig::withVocab(int64_t v)
+{
+    if (v < 1)
+        badDecoderField("vocab", "must be >= 1");
+    vocab = v;
+    return *this;
+}
+
+DecoderConfig &
+DecoderConfig::withFfDim(int64_t d)
+{
+    if (d < 1)
+        badDecoderField("ffDim", "must be >= 1");
+    ffDim = d;
+    return *this;
+}
+
+namespace {
+
 /**
  * Shared decoder-LM core: prefill and decode are the SAME parameters
  * (identical creation order and names — the rng draws line up) under
@@ -288,6 +363,17 @@ namespace {
  * prompt with a constant causal mask and writes the cache at position
  * 0; decode runs rank-3 single-token attention over the whole cache
  * through the fed additive mask and writes row "pos" per stream.
+ *
+ * Multi-head (cfg.heads > 1) folds the head axis into the batched
+ * matmul's leading dim with existing shapeops: Q/K/V stay packed as
+ * [.., D] with D = H*Dh (so the cache layout and the
+ * "b<i>.kcache"/"b<i>.vcache" node-name contract are untouched), get
+ * split to [..*H, .., Dh] around the attention core, and the head
+ * outputs merge back by reshape (decode: rows are (b,h) with h
+ * fastest, which IS the packed [B, D] layout) or permute+reshape
+ * (prefill). Head count changes only the graph, never the serving
+ * engine. With heads == 1 the emitted graph is node-for-node the
+ * pre-multi-head one.
  */
 ModelSpec
 buildDecoderLM(const DecoderConfig &cfg, int64_t lead, bool decode,
@@ -323,11 +409,20 @@ buildDecoderLM(const DecoderConfig &cfg, int64_t lead, bool decode,
     int h = b.reshape(b.embedding(ids, cfg.vocab, D, "embed.tok"),
                       {lead, D});
 
+    if (cfg.heads < 1 || D % cfg.heads != 0) {
+        throw std::invalid_argument(
+            "DecoderConfig::heads: must be >= 1 and divide dim "
+            "(dim=" + std::to_string(D) +
+            ", heads=" + std::to_string(cfg.heads) + ")");
+    }
+    const int64_t H = cfg.heads;
+    const int64_t Dh = D / H;
+
     Attrs cache_attrs;
     cache_attrs.set("maxSeq", M);
     Attrs trans_b;
     trans_b.set("transB", static_cast<int64_t>(1));
-    const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(D));
+    const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(Dh));
 
     for (int64_t i = 0; i < cfg.layers; ++i) {
         std::string name = "b" + std::to_string(i);
@@ -343,13 +438,38 @@ buildDecoderLM(const DecoderConfig &cfg, int64_t lead, bool decode,
             int vc = g.add(OpKind::CacheWrite,
                            {b.reshape(v, {lead, 1, D}), pos},
                            cache_attrs, name + ".vcache");
-            int scores = g.add(OpKind::BatchMatMul,
-                               {b.reshape(q, {lead, 1, D}), kc},
-                               trans_b); // [B,1,M]
+            int q3, k3, v3, m3;
+            if (H == 1) {
+                q3 = b.reshape(q, {lead, 1, D});
+                k3 = kc;
+                v3 = vc;
+                m3 = b.reshape(mask, {lead, 1, M});
+            } else {
+                // Head split: Q rows are packed [H, Dh], so the
+                // head-batched form is a pure reshape; the cache
+                // [B,M,H*Dh] needs the head axis hoisted past M.
+                q3 = b.reshape(q, {lead * H, 1, Dh});
+                k3 = b.reshape(b.permute(b.reshape(kc, {lead, M, H, Dh}),
+                                         {0, 2, 1, 3}),
+                               {lead * H, M, Dh});
+                v3 = b.reshape(b.permute(b.reshape(vc, {lead, M, H, Dh}),
+                                         {0, 2, 1, 3}),
+                               {lead * H, M, Dh});
+                Attrs bc;
+                bc.set("shape", Shape{lead, H, M});
+                m3 = b.reshape(g.add(OpKind::BroadcastTo,
+                                     {b.reshape(mask, {lead, 1, M})},
+                                     bc),
+                               {lead * H, 1, M});
+            }
+            int scores = g.add(OpKind::BatchMatMul, {q3, k3},
+                               trans_b); // [B*H,1,M]
             scores = b.scale(scores, inv_sqrt_d);
-            scores = b.add(scores, b.reshape(mask, {lead, 1, M}));
+            scores = b.add(scores, m3);
             int ctx = g.add(OpKind::BatchMatMul,
-                            {b.softmax(scores), vc}); // [B,1,D]
+                            {b.softmax(scores), v3}); // [B*H,1,Dh]
+            // Head merge: rows are (b, h) with h fastest — exactly
+            // the packed [B, H*Dh] layout, so a reshape suffices.
             attn = b.linear(b.reshape(ctx, {lead, D}), D,
                             name + ".proj", false);
         } else {
@@ -357,13 +477,34 @@ buildDecoderLM(const DecoderConfig &cfg, int64_t lead, bool decode,
                            name + ".kcache");
             int vc = g.add(OpKind::CacheWrite, {v, pos}, cache_attrs,
                            name + ".vcache");
-            int scores =
-                g.add(OpKind::MatMul, {q, kc}, trans_b); // [S,M]
-            scores = b.scale(scores, inv_sqrt_d);
-            scores = b.add(scores, mask);
-            int ctx =
-                g.add(OpKind::MatMul, {b.softmax(scores), vc});
-            attn = b.linear(ctx, D, name + ".proj", false);
+            int ctx2;
+            if (H == 1) {
+                int scores =
+                    g.add(OpKind::MatMul, {q, kc}, trans_b); // [S,M]
+                scores = b.scale(scores, inv_sqrt_d);
+                scores = b.add(scores, mask);
+                ctx2 = g.add(OpKind::MatMul, {b.softmax(scores), vc});
+            } else {
+                int q3 = b.permute(b.reshape(q, {lead, H, Dh}),
+                                   {1, 0, 2}); // [H,S,Dh]
+                int k3 = b.permute(b.reshape(kc, {M, H, Dh}),
+                                   {1, 0, 2}); // [H,M,Dh]
+                int v3 = b.permute(b.reshape(vc, {M, H, Dh}),
+                                   {1, 0, 2});
+                Attrs bc;
+                bc.set("shape", Shape{H, lead, M});
+                int m3 = g.add(OpKind::BroadcastTo,
+                               {b.reshape(mask, {1, lead, M})}, bc);
+                int scores = g.add(OpKind::BatchMatMul, {q3, k3},
+                                   trans_b); // [H,S,M]
+                scores = b.scale(scores, inv_sqrt_d);
+                scores = b.add(scores, m3);
+                int ctx = g.add(OpKind::BatchMatMul,
+                                {b.softmax(scores), v3}); // [H,S,Dh]
+                ctx2 = b.reshape(b.permute(ctx, {1, 0, 2}),
+                                 {lead, D});
+            }
+            attn = b.linear(ctx2, D, name + ".proj", false);
         }
         h = b.add(h, attn);
         int norm2 = b.rmsNorm(h, name + ".ln2");

@@ -104,15 +104,28 @@ ModelSpec buildLlama(const LlamaConfig &cfg, Rng &rng, ParamStore *store,
 /** Freeze everything except LoRA adapters (and the loss head biases). */
 SparseUpdateScheme loraScheme();
 
-/** Generative decoder-LM configuration (KV-cache serving). One
- *  attention head per layer keeps the cached graphs small enough for
- *  CI while exercising the full prefill/decode machinery. */
+/** Generative decoder-LM configuration (KV-cache serving). The
+ *  default single head keeps the cached graphs small enough for CI
+ *  while exercising the full prefill/decode machinery; withHeads()
+ *  turns on multi-head attention (heads packed in the cache's dim
+ *  axis, so the cache layout and node names are head-agnostic). */
 struct DecoderConfig {
     int64_t vocab = 96;
     int64_t dim = 32;
     int64_t ffDim = 64; ///< SwiGLU hidden
     int64_t layers = 2;
     int64_t maxSeq = 48; ///< KV-cache extent, shared by every layer
+    int64_t heads = 1;   ///< attention heads; must divide dim
+
+    // Validated builder-style setters: each rejects bad values up
+    // front, naming the offending field, so misconfiguration fails at
+    // construction instead of deep inside graph building.
+    DecoderConfig &withHeads(int64_t n);
+    DecoderConfig &withDim(int64_t d);
+    DecoderConfig &withLayers(int64_t n);
+    DecoderConfig &withMaxSeq(int64_t n);
+    DecoderConfig &withVocab(int64_t v);
+    DecoderConfig &withFfDim(int64_t d);
 };
 
 /**

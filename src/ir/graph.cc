@@ -269,6 +269,13 @@ nodeFlops(const Graph &g, const Node &n)
         int64_t k = n.attrs.getInt("transA", 0) ? a[1] : a[2];
         return 2.0 * out * static_cast<double>(k);
       }
+      case OpKind::FusedAttention: {
+        // QK^T and PV are each 2*out*M flops; scale/mask/softmax are
+        // lower-order.
+        Shape kk = inShape(1);
+        int64_t m = kk[kk.size() - 2];
+        return 4.0 * out * static_cast<double>(m);
+      }
       case OpKind::Conv2d:
       case OpKind::ConvBiasAct: {
         Shape w = inShape(1);

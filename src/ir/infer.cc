@@ -412,6 +412,51 @@ inferShape(const Graph &g, OpKind op, const std::vector<int> &inputs,
         }
         fail(op, "x must be rank 2 or 3");
       }
+
+      case OpKind::FusedAttention: {
+        expectInputs(op, inputs, 4);
+        const Shape &q = in(0), &k = in(1), &v = in(2), &m = in(3);
+        int64_t heads = attrs.getInt("heads", 0);
+        if (heads > 0) {
+            // Head-split sunk into the op: Q is the head-batched
+            // [L*H,1,Dh] alias, K/V the raw [L,M,H*Dh] cache slabs
+            // read head-strided, and the mask one [L,M] row per lead
+            // shared by all H heads of that lead.
+            if (q.size() != 3 || k.size() != 3 || m.size() != 2)
+                fail(op, "head-split form needs rank-3 Q/K/V and a "
+                         "rank-2 mask");
+            if (k != v)
+                fail(op, "head-split K/V shapes mismatch " +
+                         shapeToString(k) + " / " + shapeToString(v));
+            int64_t dh = q[2];
+            if (q[1] != 1 || q[0] != k[0] * heads ||
+                k[2] != heads * dh)
+                fail(op, "head-split Q must be [L*heads,1,Dh] over "
+                         "K/V [L,M,heads*Dh], got " +
+                         shapeToString(q) + " / " + shapeToString(k));
+            if (m[0] != k[0] || m[1] != k[1])
+                fail(op, "head-split mask must be [L,M], got " +
+                         shapeToString(m));
+            return q;
+        }
+        if (q.size() != k.size() || q.size() != v.size() ||
+            q.size() != m.size() || (q.size() != 2 && q.size() != 3))
+            fail(op, "Q/K/V/mask must all be rank 2 or rank 3");
+        size_t r = q.size();
+        int64_t dh = q[r - 1];
+        int64_t rows = k[r - 2];
+        if (k[r - 1] != dh || v[r - 1] != dh)
+            fail(op, "Q/K/V head dims mismatch " + shapeToString(q) +
+                     " / " + shapeToString(k) + " / " + shapeToString(v));
+        if (v[r - 2] != rows)
+            fail(op, "K/V row counts mismatch " + shapeToString(k) +
+                     " / " + shapeToString(v));
+        if (m[r - 2] != q[r - 2] || m[r - 1] != rows)
+            fail(op, "mask must be [S,M], got " + shapeToString(m));
+        if (r == 3 && (k[0] != q[0] || v[0] != q[0] || m[0] != q[0]))
+            fail(op, "batch dims mismatch");
+        return q;
+      }
     }
     fail(op, "unhandled op");
 }

@@ -84,6 +84,7 @@ nameTable()
         {OpKind::QuantAdd, "QuantAdd"},
         {OpKind::QuantRelu, "QuantRelu"},
         {OpKind::CacheWrite, "CacheWrite"},
+        {OpKind::FusedAttention, "FusedAttention"},
         {OpKind::Identity, "Identity"},
     };
     return table;

@@ -136,6 +136,23 @@ enum class OpKind {
     // attr "maxSeq" fixes the cache extent at compile time.
     CacheWrite,
 
+    // Scaled-dot-product attention collapsed into one op by the
+    // fuseAttention pass (decode hot loop: five ops / four arena
+    // intermediates -> one op whose QK row, softmax, and V-accumulate
+    // all live in per-shard workspace). Inputs: Q, K, V, mask; attr
+    // "scale" (1/sqrt(headDim)).
+    //
+    //   rank-2 (prefill): Q [S,Dh], K [M,Dh], V [M,Dh], mask [S,M]
+    //                     -> softmax(Q K^T * scale + mask) V  [S,Dh]
+    //   rank-3 (decode):  Q [B,S,Dh], K [B,M,Dh], V [B,M,Dh],
+    //                     mask [B,S,M] -> [B,S,Dh] (batched over B;
+    //                     multi-head folds heads into B).
+    //
+    // Always fp32: the QuantizePass never rewrites it (like the
+    // BatchMatMul/Softmax subgraph it replaces), so int8 graphs reach
+    // it through the auto-inserted Dequantize boundaries unchanged.
+    FusedAttention,
+
     Identity,
 };
 

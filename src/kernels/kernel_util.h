@@ -211,6 +211,18 @@ qgemmWorkspace(const Graph &g, const Node &n)
     return spec;
 }
 
+/** One fp32 attention-score row ([M] = K's row count) per shard: the
+ *  QK product, mask add, and softmax all happen in this buffer, so the
+ *  five-op subgraph's four arena intermediates become zero. */
+inline WorkspaceSpec
+fusedAttentionWorkspace(const Graph &g, const Node &n)
+{
+    const Shape &k = g.node(n.inputs[1]).shape;
+    WorkspaceSpec spec;
+    spec.bytesPerShard = k[k.size() - 2] * 4;
+    return spec;
+}
+
 /** Per-image i8 im2col column buffer of the int8 conv. */
 inline WorkspaceSpec
 qconvColWorkspace(const Graph &g, const Node &n)

@@ -73,6 +73,7 @@ void registerConvKernels();
 void registerWinogradKernels();
 void registerPoolKernels();
 void registerSoftmaxKernels();
+void registerAttentionKernels();
 void registerNormKernels();
 void registerEmbeddingKernels();
 void registerLossKernels();
@@ -94,6 +95,7 @@ ensureKernelsRegistered()
         registerWinogradKernels();
         registerPoolKernels();
         registerSoftmaxKernels();
+        registerAttentionKernels();
         registerNormKernels();
         registerEmbeddingKernels();
         registerLossKernels();

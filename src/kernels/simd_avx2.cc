@@ -33,8 +33,10 @@
 
 #if !defined(PE_NO_SIMD) && (defined(__x86_64__) || defined(__i386__))
 
+#include <cmath>
 #include <cstring>
 #include <immintrin.h>
+#include <limits>
 
 #include "kernels/kernel_util.h"
 
@@ -184,6 +186,106 @@ conv2dIm2colAvx2K(const KernelCtx &c)
                 for (; j < cols; ++j)
                     dst[j] += wrow[kx] * src[j];
             }
+        }
+    }
+}
+
+// ---- fused attention --------------------------------------------------
+
+float
+hsumPs(__m256 v)
+{
+    __m128 s = _mm_add_ps(_mm256_castps256_ps128(v),
+                          _mm256_extractf128_ps(v, 1));
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    return _mm_cvtss_f32(s);
+}
+
+/**
+ * Same per-row structure (and workspace) as the scalar FusedAttention
+ * kernel: score row in shard scratch, softmax, V-accumulate. The QK
+ * dot and the V product are FMA-vectorized (lane sums differ from the
+ * scalar order in the last bits — fp32 tier contract, 1e-5); the
+ * softmax reduction itself stays scalar, so masked -1e30f scores still
+ * underflow to exactly 0.0f.
+ */
+void
+fusedAttentionAvx2K(const KernelCtx &c)
+{
+    const Shape &qs = *c.inShapes[0];
+    const Shape &ks = *c.inShapes[1];
+    size_t rank = qs.size();
+    int64_t dh = qs[rank - 1];
+    int64_t s = qs[rank - 2];
+    int64_t m = ks[rank - 2];
+    float scale = kutil::attrF(c, "scale", 1.0);
+    // heads > 0: head-split form — K/V rows are head-strided slices
+    // of the [L,M,H*Dh] cache slab, mask rows lead-indexed.
+    int64_t heads = kutil::attrI(c, "heads", 0);
+    int64_t kstr = heads > 0 ? heads * dh : dh;
+
+    const float *q = c.in[0];
+    const float *k = c.in[1];
+    const float *v = c.in[2];
+    const float *mask = c.in[3];
+    float *scores = c.workspace;
+
+    int64_t rows = numel(*c.outShape) / dh;
+    for (int64_t r = c.begin; r < partitionEnd(c, rows); ++r) {
+        const float *qrow = q + r * dh;
+        const float *mrow, *kb, *vb;
+        if (heads > 0) {
+            int64_t lead = r / heads, hd = r % heads;
+            mrow = mask + lead * m;
+            kb = k + lead * m * kstr + hd * dh;
+            vb = v + lead * m * kstr + hd * dh;
+        } else {
+            mrow = mask + r * m;
+            kb = k + (r / s) * m * dh;
+            vb = v + (r / s) * m * dh;
+        }
+
+        float mx = -std::numeric_limits<float>::infinity();
+        for (int64_t i = 0; i < m; ++i) {
+            const float *krow = kb + i * kstr;
+            __m256 acc8 = _mm256_setzero_ps();
+            int64_t kk = 0;
+            for (; kk + 8 <= dh; kk += 8)
+                acc8 = _mm256_fmadd_ps(_mm256_loadu_ps(qrow + kk),
+                                       _mm256_loadu_ps(krow + kk),
+                                       acc8);
+            float acc = hsumPs(acc8);
+            for (; kk < dh; ++kk)
+                acc += qrow[kk] * krow[kk];
+            scores[i] = acc * scale + mrow[i];
+            if (scores[i] > mx)
+                mx = scores[i];
+        }
+        float sum = 0.0f;
+        for (int64_t i = 0; i < m; ++i) {
+            scores[i] = std::exp(scores[i] - mx);
+            sum += scores[i];
+        }
+        float inv = 1.0f / sum;
+        for (int64_t i = 0; i < m; ++i)
+            scores[i] *= inv;
+
+        float *orow = c.out + r * dh;
+        int64_t j = 0;
+        for (; j + 8 <= dh; j += 8) {
+            __m256 acc = _mm256_setzero_ps();
+            for (int64_t i = 0; i < m; ++i)
+                acc = _mm256_fmadd_ps(
+                    _mm256_set1_ps(scores[i]),
+                    _mm256_loadu_ps(vb + i * kstr + j), acc);
+            _mm256_storeu_ps(orow + j, acc);
+        }
+        for (; j < dh; ++j) {
+            float acc = 0;
+            for (int64_t i = 0; i < m; ++i)
+                acc += scores[i] * vb[i * kstr + j];
+            orow[j] = acc;
         }
     }
 }
@@ -501,6 +603,9 @@ registerSimdAvx2Kernels()
                    kutil::blockedGemmWorkspace);
     registerKernel(OpKind::Conv2d, "im2col@avx2", conv2dIm2colAvx2K,
                    images, kutil::im2colConvWorkspace);
+    registerKernel(OpKind::FusedAttention, "avx2", fusedAttentionAvx2K,
+                   PartitionSpec{part::outRows, 1},
+                   kutil::fusedAttentionWorkspace);
     registerKernel(OpKind::QuantMatMul, "int8@avx2", qmatmulAvx2K,
                    rows, kutil::qgemmWorkspace);
     registerKernel(OpKind::QuantConv2d, "int8@avx2", qconvAvx2K,

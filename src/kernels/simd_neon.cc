@@ -21,7 +21,9 @@
 #if !defined(PE_NO_SIMD) && defined(__ARM_NEON)
 
 #include <arm_neon.h>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "kernels/kernel_util.h"
 
@@ -154,6 +156,101 @@ conv2dIm2colNeonK(const KernelCtx &c)
                 for (; j < cols; ++j)
                     dst[j] += wrow[kx] * src[j];
             }
+        }
+    }
+}
+
+// ---- fused attention --------------------------------------------------
+
+float
+hsumF32(float32x4_t v)
+{
+#if defined(__aarch64__)
+    return vaddvq_f32(v);
+#else
+    float32x2_t s = vadd_f32(vget_low_f32(v), vget_high_f32(v));
+    s = vpadd_f32(s, s);
+    return vget_lane_f32(s, 0);
+#endif
+}
+
+/** Same per-row structure (and workspace) as the scalar FusedAttention
+ *  kernel; QK dot and V product vectorized, softmax reduction scalar
+ *  (fp32 tier contract: within 1e-5 of the scalar base). */
+void
+fusedAttentionNeonK(const KernelCtx &c)
+{
+    const Shape &qs = *c.inShapes[0];
+    const Shape &ks = *c.inShapes[1];
+    size_t rank = qs.size();
+    int64_t dh = qs[rank - 1];
+    int64_t s = qs[rank - 2];
+    int64_t m = ks[rank - 2];
+    float scale = kutil::attrF(c, "scale", 1.0);
+    // heads > 0: head-split form — K/V rows are head-strided slices
+    // of the [L,M,H*Dh] cache slab, mask rows lead-indexed.
+    int64_t heads = kutil::attrI(c, "heads", 0);
+    int64_t kstr = heads > 0 ? heads * dh : dh;
+
+    const float *q = c.in[0];
+    const float *k = c.in[1];
+    const float *v = c.in[2];
+    const float *mask = c.in[3];
+    float *scores = c.workspace;
+
+    int64_t rows = numel(*c.outShape) / dh;
+    for (int64_t r = c.begin; r < partitionEnd(c, rows); ++r) {
+        const float *qrow = q + r * dh;
+        const float *mrow, *kb, *vb;
+        if (heads > 0) {
+            int64_t lead = r / heads, hd = r % heads;
+            mrow = mask + lead * m;
+            kb = k + lead * m * kstr + hd * dh;
+            vb = v + lead * m * kstr + hd * dh;
+        } else {
+            mrow = mask + r * m;
+            kb = k + (r / s) * m * dh;
+            vb = v + (r / s) * m * dh;
+        }
+
+        float mx = -std::numeric_limits<float>::infinity();
+        for (int64_t i = 0; i < m; ++i) {
+            const float *krow = kb + i * kstr;
+            float32x4_t acc4 = vdupq_n_f32(0.0f);
+            int64_t kk = 0;
+            for (; kk + 4 <= dh; kk += 4)
+                acc4 = vmlaq_f32(acc4, vld1q_f32(qrow + kk),
+                                 vld1q_f32(krow + kk));
+            float acc = hsumF32(acc4);
+            for (; kk < dh; ++kk)
+                acc += qrow[kk] * krow[kk];
+            scores[i] = acc * scale + mrow[i];
+            if (scores[i] > mx)
+                mx = scores[i];
+        }
+        float sum = 0.0f;
+        for (int64_t i = 0; i < m; ++i) {
+            scores[i] = std::exp(scores[i] - mx);
+            sum += scores[i];
+        }
+        float inv = 1.0f / sum;
+        for (int64_t i = 0; i < m; ++i)
+            scores[i] *= inv;
+
+        float *orow = c.out + r * dh;
+        int64_t j = 0;
+        for (; j + 4 <= dh; j += 4) {
+            float32x4_t acc = vdupq_n_f32(0.0f);
+            for (int64_t i = 0; i < m; ++i)
+                acc = vmlaq_n_f32(acc, vld1q_f32(vb + i * kstr + j),
+                                  scores[i]);
+            vst1q_f32(orow + j, acc);
+        }
+        for (; j < dh; ++j) {
+            float acc = 0;
+            for (int64_t i = 0; i < m; ++i)
+                acc += scores[i] * vb[i * kstr + j];
+            orow[j] = acc;
         }
     }
 }
@@ -461,6 +558,9 @@ registerSimdNeonKernels()
                    kutil::blockedGemmWorkspace);
     registerKernel(OpKind::Conv2d, "im2col@neon", conv2dIm2colNeonK,
                    images, kutil::im2colConvWorkspace);
+    registerKernel(OpKind::FusedAttention, "neon", fusedAttentionNeonK,
+                   PartitionSpec{part::outRows, 1},
+                   kutil::fusedAttentionWorkspace);
     registerKernel(OpKind::QuantMatMul, "int8@neon", qmatmulNeonK,
                    rows, kutil::qgemmWorkspace);
     registerKernel(OpKind::QuantConv2d, "int8@neon", qconvNeonK,

@@ -280,6 +280,171 @@ fuseOperators(Graph &g)
     return fused;
 }
 
+int
+fuseAttention(Graph &g)
+{
+    int fused = 0;
+    auto users = g.consumers();
+    std::vector<bool> is_output(g.numNodes(), false);
+    for (int o : g.outputs())
+        is_output[o] = true;
+
+    auto singleUse = [&](int id) {
+        return users[id].size() == 1 && !is_output[id];
+    };
+    auto isMatmul = [](const Node &n) {
+        return n.op == OpKind::MatMul || n.op == OpKind::BatchMatMul;
+    };
+
+    // Head-split sink. The canonical decode head split materializes
+    // K/V as permuted [L*H,M,Dh] copies — and the fused op, consuming
+    // both at once, would keep the two slabs live simultaneously where
+    // the unfused chain frees K's copy (at the QK matmul) before V's
+    // is built. Sinking the split into the kernel — which then reads
+    // the [L,M,H*Dh] cache slab with head-strided rows — deletes both
+    // copies from the arena, so the fused plan's peak-live drops below
+    // the unfused plan's instead of above it. Value-for-value the
+    // reads are identical, so bit parity with the copies is preserved.
+    //
+    // Matches exactly reshape{L*H,M,Dh}(permute{0,2,1,3}(
+    // reshape{L,M,H,Dh}(src[L,M,H*Dh]))); returns src or -1.
+    auto sinkSplit = [&](int id, int64_t &L, int64_t &H, int64_t &M,
+                         int64_t &Dh) -> int {
+        const Node &rs2 = g.node(id);
+        if (rs2.op != OpKind::Reshape || !singleUse(id) ||
+            rs2.shape.size() != 3)
+            return -1;
+        int p_id = rs2.inputs[0];
+        const Node &p = g.node(p_id);
+        if (p.op != OpKind::Permute || !singleUse(p_id) ||
+            p.attrs.getInts("perm") != std::vector<int64_t>{0, 2, 1, 3})
+            return -1;
+        int rs1_id = p.inputs[0];
+        const Node &rs1 = g.node(rs1_id);
+        if (rs1.op != OpKind::Reshape || !singleUse(rs1_id) ||
+            rs1.shape.size() != 4)
+            return -1;
+        int64_t l = rs1.shape[0], m = rs1.shape[1];
+        int64_t h = rs1.shape[2], dh = rs1.shape[3];
+        int src = rs1.inputs[0];
+        if (rs2.shape != Shape{l * h, m, dh} ||
+            g.node(src).shape != Shape{l, m, h * dh})
+            return -1;
+        L = l;
+        H = h;
+        M = m;
+        Dh = dh;
+        return src;
+    };
+    // The per-head mask broadcast: reshape{L*H,1,M}(BroadcastTo{L,H,M}(
+    // reshape{L,1,M}(src[L,M]))); returns src or -1.
+    auto sinkMask = [&](int id, int64_t L, int64_t H,
+                        int64_t M) -> int {
+        const Node &rs2 = g.node(id);
+        if (rs2.op != OpKind::Reshape || !singleUse(id) ||
+            rs2.shape != Shape{L * H, 1, M})
+            return -1;
+        int bc_id = rs2.inputs[0];
+        const Node &bc = g.node(bc_id);
+        if (bc.op != OpKind::BroadcastTo || !singleUse(bc_id) ||
+            bc.shape != Shape{L, H, M})
+            return -1;
+        int rs1_id = bc.inputs[0];
+        const Node &rs1 = g.node(rs1_id);
+        if (rs1.op != OpKind::Reshape || !singleUse(rs1_id) ||
+            rs1.shape != Shape{L, 1, M})
+            return -1;
+        int src = rs1.inputs[0];
+        if (g.node(src).shape != Shape{L, M})
+            return -1;
+        return src;
+    };
+
+    // Root the match at the P*V matmul and walk the chain upward.
+    for (int id = 0; id < g.numNodes(); ++id) {
+        Node &root = g.node(id);
+        if (!isMatmul(root) || root.attrs.getInt("transA", 0) ||
+            root.attrs.getInt("transB", 0)) {
+            continue;
+        }
+        int sm_id = root.inputs[0];
+        const Node &sm = g.node(sm_id);
+        if (sm.op != OpKind::Softmax || !singleUse(sm_id))
+            continue;
+        int add_id = sm.inputs[0];
+        const Node &add = g.node(add_id);
+        if (add.op != OpKind::Add || !singleUse(add_id))
+            continue;
+        // Scale on either side of the mask-Add.
+        int sc_id = -1, mask_id = -1;
+        for (int side = 0; side < 2; ++side) {
+            if (g.node(add.inputs[side]).op == OpKind::Scale) {
+                sc_id = add.inputs[side];
+                mask_id = add.inputs[1 - side];
+                break;
+            }
+        }
+        if (sc_id < 0 || !singleUse(sc_id))
+            continue;
+        const Node &sc = g.node(sc_id);
+        int qk_id = sc.inputs[0];
+        const Node &qk = g.node(qk_id);
+        if (!isMatmul(qk) || qk.op != root.op || !singleUse(qk_id) ||
+            qk.attrs.getInt("transA", 0) ||
+            !qk.attrs.getInt("transB", 0)) {
+            continue;
+        }
+
+        int q_id = qk.inputs[0], k_id = qk.inputs[1];
+        int v_id = root.inputs[1];
+        const Shape &qsh = g.node(q_id).shape;
+        const Shape &ksh = g.node(k_id).shape;
+        const Shape &vsh = g.node(v_id).shape;
+        const Shape &msh = g.node(mask_id).shape;
+        // The fused kernel reads the mask row-for-row with the scores
+        // (no broadcasting) and K/V as equal [.., M, Dh] slabs.
+        if (ksh != vsh || msh != qk.shape)
+            continue;
+        size_t r = qsh.size();
+        if ((r != 2 && r != 3) || ksh.size() != r)
+            continue;
+
+        Attrs attrs;
+        attrs.set("scale", sc.attrs.getFloat("alpha", 1.0));
+        if (root.attrs.has(kCalibMinAttr) &&
+            root.attrs.has(kCalibMaxAttr)) {
+            attrs.set(kCalibMinAttr,
+                      root.attrs.getFloat(kCalibMinAttr, 0.0));
+            attrs.set(kCalibMaxAttr,
+                      root.attrs.getFloat(kCalibMaxAttr, 0.0));
+        }
+        Shape shape = root.shape;
+        root.op = OpKind::FusedAttention;
+        root.inputs = {q_id, k_id, v_id, mask_id};
+        root.attrs = std::move(attrs);
+        root.shape = shape;
+        ++fused;
+
+        // If K and V arrive through the canonical decode head split
+        // and the mask through the matching per-head broadcast, feed
+        // the kernel the pre-split sources directly (Q's reshape is a
+        // free alias and stays). DCE collects the dead chains.
+        int64_t kl, kh, km, kdh, vl, vh, vm, vdh;
+        int k_src = sinkSplit(k_id, kl, kh, km, kdh);
+        int v_src = sinkSplit(v_id, vl, vh, vm, vdh);
+        if (k_src >= 0 && v_src >= 0 && kl == vl && kh == vh &&
+            km == vm && kdh == vdh &&
+            g.node(q_id).shape == Shape{kl * kh, 1, kdh}) {
+            int m_src = sinkMask(mask_id, kl, kh, km);
+            if (m_src >= 0) {
+                root.inputs = {q_id, k_src, v_src, m_src};
+                root.attrs.set("heads", kh);
+            }
+        }
+    }
+    return fused;
+}
+
 std::vector<int>
 naturalOrder(const Graph &g)
 {

@@ -61,6 +61,22 @@ int simplify(Graph &g);
  */
 int fuseOperators(Graph &g);
 
+/**
+ * Collapse the five-op scaled-dot-product attention subgraph
+ *
+ *   (Batch)MatMul(Q, K, transB=1) -> Scale -> Add(mask) -> Softmax
+ *     -> (Batch)MatMul(., V)
+ *
+ * into one FusedAttention node (scale attr from the Scale's alpha).
+ * The root matmul is rewritten in place, so its id, name, output
+ * status, and calibration range survive; the dead intermediates are
+ * left for dce(). Old graphs and plan files keep working: the
+ * unfused ops and kernels all remain registered, and plans serialize
+ * whichever form the compile produced.
+ * @return number of attention subgraphs fused.
+ */
+int fuseAttention(Graph &g);
+
 /** Evaluate nodes whose inputs are all data-carrying Consts. */
 int constantFold(Graph &g);
 

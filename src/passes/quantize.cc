@@ -23,6 +23,7 @@
 
 #include "passes/passes.h"
 
+#include <cmath>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
@@ -37,7 +38,17 @@ namespace {
 bool
 hasCalib(const Node &n)
 {
-    return n.attrs.has(kCalibMinAttr) && n.attrs.has(kCalibMaxAttr);
+    if (!n.attrs.has(kCalibMinAttr) || !n.attrs.has(kCalibMaxAttr))
+        return false;
+    // Sentinel guard: attention masks ride through the graph as
+    // -1e30f adds (so exp underflows to exact zero). A calibrated
+    // range that wide would put the int8 step at ~1e28 — every real
+    // value collapses into one bucket — so such tensors stay fp32.
+    // This also keeps the fused-attention rewrite int8-invariant: the
+    // mask-Add it swallows was never quantizable to begin with.
+    double mn = n.attrs.getFloat(kCalibMinAttr, 0.0);
+    double mx = n.attrs.getFloat(kCalibMaxAttr, 0.0);
+    return std::abs(mn) < 1e20 && std::abs(mx) < 1e20;
 }
 
 QuantParams

@@ -21,11 +21,13 @@
  *    whose batch fits the request. Still the rule for every request
  *    that goes out alone (coalescing disabled, deadline expired, or
  *    the model is not coalescable).
- *  - admits(groupRows, rows): whether a queued request may join a
+ *  - admits(group, candidate): whether a queued request may join a
  *    group — true while the combined rows still fit the LARGEST
- *    bucket. Group-aware on purpose: a 3-row request next to a 1-row
- *    request shares one bucket-4 run (0 pad rows) instead of a padded
- *    bucket-4 run plus a bucket-1 run.
+ *    bucket and the cache generations are compatible (AdmitQuery
+ *    carries {rows, gen} for each side). Group-aware on purpose: a
+ *    3-row request next to a 1-row request shares one bucket-4 run
+ *    (0 pad rows) instead of a padded bucket-4 run plus a bucket-1
+ *    run.
  *  - routeGroup(totalRows): the smallest bucket fitting the PACKED
  *    total — which minimizes the group's pad waste (bucket.batch -
  *    totalRows), where per-request routing pays each member's pad
@@ -98,28 +100,33 @@ class Coalescer
         return routeSingle(totalRows);
     }
 
-    /** May a queued request of @p rows join a group already holding
-     *  @p groupRows? True while the combined rows fit the largest
-     *  bucket (any mix of row counts coalesces, not just singles). */
-    bool admits(int64_t groupRows, int64_t rows) const
-    {
-        return rows > 0 && groupRows + rows <= maxBatch();
-    }
+    /** One side of an admission query: a group already packed (or a
+     *  candidate wanting to join it). Plain traffic leaves @c gen at
+     *  kGenNone; decode traffic carries its stream's generation. */
+    struct AdmitQuery {
+        int64_t rows = 0;
+        int64_t gen = kGenNone;
+    };
 
     /**
-     * Generation-aware admission (the PR-9 extension): row fit as
-     * above AND cache compatibility. kGenSolo never admits or is
-     * admitted; kGenNone matches only kGenNone (plain traffic keeps
-     * the old rule verbatim); decode generations match only their
-     * exact value — members of one run then share the same
+     * May @p candidate join @p group? True when the combined rows fit
+     * the largest bucket (any mix of row counts coalesces, not just
+     * singles) AND the caches are compatible: kGenSolo never admits or
+     * is admitted; kGenNone matches only kGenNone (plain traffic keeps
+     * the pre-generation rule verbatim); decode generations match only
+     * their exact value — members of one run then share the same
      * synthesized pos/mask, which is what makes a coalesced decode
      * step bit-identical to the serial one.
+     *
+     * (This single struct-parameter form replaced the old 2-arg
+     * rows-only overload and 4-arg generation overload, which were
+     * easy to confuse at call sites.)
      */
-    bool admits(int64_t groupRows, int64_t groupGen, int64_t rows,
-                int64_t gen) const
+    bool admits(const AdmitQuery &group, const AdmitQuery &candidate) const
     {
-        return groupGen != kGenSolo && gen != kGenSolo &&
-               groupGen == gen && admits(groupRows, rows);
+        return group.gen != kGenSolo && candidate.gen != kGenSolo &&
+               group.gen == candidate.gen && candidate.rows > 0 &&
+               group.rows + candidate.rows <= maxBatch();
     }
 
     /** Drain stop condition: the group exactly fills the largest

@@ -72,6 +72,74 @@ fitRows(const Tensor &t, int64_t batch)
 
 } // namespace
 
+namespace {
+
+/** Shared throw helper for the ServeOptions setters: the message
+ *  always names the offending field (the builder-setter contract). */
+[[noreturn]] void
+badServeField(const char *field, const std::string &why)
+{
+    throw std::invalid_argument(std::string("ServeOptions::") + field +
+                                ": " + why);
+}
+
+std::vector<int64_t>
+checkedBuckets(const char *field, std::vector<int64_t> b)
+{
+    if (b.empty())
+        badServeField(field, "bucket list is empty");
+    for (int64_t v : b) {
+        if (v < 1)
+            badServeField(field, "bucket size " + std::to_string(v) +
+                                     " is < 1");
+    }
+    return b;
+}
+
+} // namespace
+
+ServeOptions &
+ServeOptions::withBuckets(std::vector<int64_t> b)
+{
+    buckets = checkedBuckets("buckets", std::move(b));
+    return *this;
+}
+
+ServeOptions &
+ServeOptions::withDecodeBuckets(std::vector<int64_t> b)
+{
+    decodeBuckets = checkedBuckets("decodeBuckets", std::move(b));
+    return *this;
+}
+
+ServeOptions &
+ServeOptions::withWorkers(int n)
+{
+    if (n < 1)
+        badServeField("workers", std::to_string(n) + " is < 1");
+    workers = n;
+    return *this;
+}
+
+ServeOptions &
+ServeOptions::withCoalesceWindow(int64_t us)
+{
+    if (us < 0)
+        badServeField("coalesceWindowUs",
+                      std::to_string(us) + " is negative (0 disables)");
+    coalesceWindowUs = us;
+    return *this;
+}
+
+ServeOptions &
+ServeOptions::withQueueCapacity(size_t n)
+{
+    if (n == 0)
+        badServeField("queueCapacity", "0 (must hold >= 1 request)");
+    queueCapacity = n;
+    return *this;
+}
+
 std::string
 ServeStats::summary() const
 {
@@ -898,7 +966,8 @@ ServingEngine::workerLoop(int worker)
                 if (options_.trace)
                     next->dequeueNs = traceNowNs();
                 if (next->isDecode == decodeDom &&
-                    co.admits(total, gen, next->rows, next->gen)) {
+                    co.admits({total, gen},
+                              {next->rows, next->gen})) {
                     total += next->rows;
                     group.push_back(std::move(next));
                 } else {

@@ -66,6 +66,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -202,6 +203,16 @@ struct ServeOptions {
     /** Lifecycle-ring capacity (records, oldest overwritten) and the
      *  per-session executor span-ring capacity when `trace` is on. */
     size_t traceCapacity = 4096;
+
+    // Validated builder-style setters (mirror DecoderConfig's): each
+    // rejects bad values up front with std::invalid_argument naming
+    // the offending field, so a misconfigured engine fails at option
+    // construction instead of deep inside bucket compilation.
+    ServeOptions &withBuckets(std::vector<int64_t> b);
+    ServeOptions &withDecodeBuckets(std::vector<int64_t> b);
+    ServeOptions &withWorkers(int n);
+    ServeOptions &withCoalesceWindow(int64_t us);
+    ServeOptions &withQueueCapacity(size_t n);
 };
 
 /** Per-bucket serving counters. */
@@ -318,10 +329,15 @@ class LatencyRing
     const size_t cap_;
 };
 
+class Session;
+
 /**
  * A session-based concurrent inference server over one model family.
- * Construction compiles every bucket; submit()/poll()/wait() then
- * run requests asynchronously. Thread-safe: any thread may submit,
+ * Construction compiles every bucket; session() hands out Session
+ * handles that run one-shot and generative requests through one
+ * unified surface (the recommended entry point); the raw
+ * submit()/poll()/wait() and stream calls remain underneath as the
+ * asynchronous building blocks. Thread-safe: any thread may submit,
  * poll or wait. Destruction drains queued requests, then joins.
  */
 class ServingEngine
@@ -346,11 +362,26 @@ class ServingEngine
     ServingEngine &operator=(const ServingEngine &) = delete;
 
     /**
+     * The unified serving surface: a Session handle bound to this
+     * engine. session().run(feeds) is the one-shot path;
+     * session().prefill(...) / .decode(...) the generative one (the
+     * handle opens and owns its stream). Every Session call routes
+     * through the submit/wait machinery below, so results are
+     * byte-identical to driving the raw entry points directly.
+     */
+    Session session();
+
+    /**
      * Enqueue one request. Each feed's first dimension is the
      * request's row count (all feeds must agree); remaining dims must
      * match the model's inputs. Blocks while the admission queue is
      * full. Throws std::invalid_argument for unknown input names,
      * shape mismatches, or more rows than the largest bucket.
+     *
+     * @deprecated Prefer Session: engine.session().run(feeds) is the
+     * same submit+wait path behind one handle. submit()/wait() stay
+     * as the thin asynchronous primitives Session delegates to, so
+     * existing callers keep byte-identical behavior.
      */
     RequestId submit(std::unordered_map<std::string, Tensor> feeds);
 
@@ -381,6 +412,10 @@ class ServingEngine
      * Open one generation stream: allocates its authoritative K/V
      * cache (streamCacheBytes() of zeroed rows) and returns its id.
      * Throws std::logic_error on a non-generative engine.
+     *
+     * @deprecated Prefer Session: engine.session().prefill(...) opens
+     * and owns the stream; openStream()/submitPrefill()/submitDecode()
+     * remain as the thin primitives it delegates to.
      */
     StreamId openStream();
 
@@ -679,5 +714,128 @@ class ServingEngine
     size_t lifecycleNext_ = 0;
     int64_t lifecycleRecorded_ = 0;
 };
+
+/**
+ * The unified serving handle: one object for both request styles.
+ *
+ *  - One-shot: run(feeds) submits and waits — sugar for
+ *    engine.wait(engine.submit(feeds)), nothing more.
+ *  - Generative: prefill(feeds) opens the handle's stream on first
+ *    use (re-prefilling restarts it, exactly like submitPrefill) and
+ *    decode(feeds) steps it; both wait for completion and return the
+ *    outputs. The stream is closed on destruction.
+ *
+ * Because every call routes through the engine's submit/wait
+ * machinery, Session results are byte-identical to driving the raw
+ * entry points directly — that equivalence is a tested contract
+ * (tests/test_decode.cc), not an aspiration. Handles are cheap:
+ * mint one per logical conversation. A Session is movable (the moved-
+ * from handle forgets its stream) but not copyable, and is NOT
+ * thread-safe — share the engine across threads, not one handle.
+ */
+class Session
+{
+  public:
+    Session(Session &&other) noexcept
+        : engine_(other.engine_), stream_(other.stream_)
+    {
+        other.engine_ = nullptr;
+        other.stream_ = 0;
+    }
+
+    Session &operator=(Session &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            engine_ = other.engine_;
+            stream_ = other.stream_;
+            other.engine_ = nullptr;
+            other.stream_ = 0;
+        }
+        return *this;
+    }
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    ~Session()
+    {
+        try {
+            close();
+        } catch (...) {
+            // Destructors must not throw; a stream already closed
+            // through the raw API is not worth terminating over.
+        }
+    }
+
+    /** One-shot request: submit @p feeds, wait, return the outputs
+     *  (one tensor per model output, sliced to the request's rows). */
+    std::vector<Tensor>
+    run(std::unordered_map<std::string, Tensor> feeds)
+    {
+        return engine_->wait(engine_->submit(std::move(feeds)));
+    }
+
+    /** Prompt the handle's stream (opened on first use): prefill the
+     *  K/V cache from @p feeds and return the prompt logits. After it
+     *  returns, generation() equals the prompt length. */
+    std::vector<Tensor>
+    prefill(std::unordered_map<std::string, Tensor> feeds)
+    {
+        if (stream_ == 0)
+            stream_ = engine_->openStream();
+        return engine_->wait(
+            engine_->submitPrefill(stream_, std::move(feeds)));
+    }
+
+    /** One decode step on the handle's stream (requires a completed
+     *  prefill): returns the next-token logits and advances
+     *  generation() by one. */
+    std::vector<Tensor>
+    decode(std::unordered_map<std::string, Tensor> feeds)
+    {
+        if (stream_ == 0)
+            throw std::logic_error(
+                "Session::decode: no stream (call prefill first)");
+        return engine_->wait(
+            engine_->submitDecode(stream_, std::move(feeds)));
+    }
+
+    /** Rows cached for the handle's stream (0 before first prefill). */
+    int64_t
+    generation() const
+    {
+        return stream_ == 0 ? 0 : engine_->streamGeneration(stream_);
+    }
+
+    /** The underlying stream id (0 before first prefill) — exposed so
+     *  migrating callers can mix Session and raw stream calls. */
+    ServingEngine::StreamId stream() const { return stream_; }
+
+    /** Release the handle's stream early (idempotent; destruction
+     *  calls it too). The handle can prefill again afterwards, which
+     *  opens a fresh stream. */
+    void
+    close()
+    {
+        if (engine_ != nullptr && stream_ != 0) {
+            engine_->closeStream(stream_);
+            stream_ = 0;
+        }
+    }
+
+  private:
+    friend class ServingEngine;
+    explicit Session(ServingEngine &engine) : engine_(&engine) {}
+
+    ServingEngine *engine_ = nullptr;
+    ServingEngine::StreamId stream_ = 0;
+};
+
+inline Session
+ServingEngine::session()
+{
+    return Session(*this);
+}
 
 } // namespace pe

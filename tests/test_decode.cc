@@ -27,7 +27,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -249,19 +251,20 @@ TEST(Coalescer, OnlyEqualGenerationsGroup)
     Coalescer co({1, 4}, 100);
 
     // Plain traffic keeps the old row-fit rule verbatim.
-    EXPECT_TRUE(co.admits(1, kGenNone, 2, kGenNone));
-    EXPECT_FALSE(co.admits(3, kGenNone, 2, kGenNone)) << "row overflow";
+    EXPECT_TRUE(co.admits({1, kGenNone}, {2, kGenNone}));
+    EXPECT_FALSE(co.admits({3, kGenNone}, {2, kGenNone}))
+        << "row overflow";
 
     // Decode: exact generation match only.
-    EXPECT_TRUE(co.admits(2, 7, 1, 7));
-    EXPECT_FALSE(co.admits(2, 7, 1, 8));
-    EXPECT_FALSE(co.admits(2, 7, 1, kGenNone))
+    EXPECT_TRUE(co.admits({2, 7}, {1, 7}));
+    EXPECT_FALSE(co.admits({2, 7}, {1, 8}));
+    EXPECT_FALSE(co.admits({2, 7}, {1, kGenNone}))
         << "plain and decode traffic must not mix";
 
     // Prefill never groups, in either direction.
-    EXPECT_FALSE(co.admits(1, kGenSolo, 1, kGenSolo));
-    EXPECT_FALSE(co.admits(1, kGenSolo, 1, 3));
-    EXPECT_FALSE(co.admits(1, 3, 1, kGenSolo));
+    EXPECT_FALSE(co.admits({1, kGenSolo}, {1, kGenSolo}));
+    EXPECT_FALSE(co.admits({1, kGenSolo}, {1, 3}));
+    EXPECT_FALSE(co.admits({1, 3}, {1, kGenSolo}));
 }
 
 // ---- 4. generative stream API ----------------------------------------
@@ -301,9 +304,10 @@ struct GenEngine {
  *  error is deterministic through one plan). */
 GenEngine
 makeGenEngine(int64_t window_us, int workers,
-              Precision prec = Precision::F32)
+              Precision prec = Precision::F32,
+              DecoderConfig cfg = smallCfg(),
+              bool fuse_attention = true, bool force_scalar = false)
 {
-    const DecoderConfig cfg = smallCfg();
     GenEngine ge;
     ge.store = std::make_shared<ParamStore>();
     auto store = ge.store;
@@ -314,6 +318,8 @@ makeGenEngine(int64_t window_us, int workers,
     so.coalesceWindowUs = window_us;
     so.queueCapacity = 64;
     so.compile.precision = prec;
+    so.compile.fuseAttention = fuse_attention;
+    so.compile.forceScalarTier = force_scalar;
     if (prec != Precision::F32)
         so.calibration = calibFeeds(cfg);
     so.decodeFactory = [store, cfg](int64_t streams) {
@@ -568,6 +574,365 @@ TEST(DecodeParity, ThreadedStreamStressMatchesSerial)
     EXPECT_EQ(st.decodeSteps, static_cast<int64_t>(N) * T);
     EXPECT_EQ(st.failed, 0);
     EXPECT_EQ(st.completed, st.submitted);
+}
+
+// ---- 6. multi-head fused attention -----------------------------------
+//
+// The fused-attention contract, head count by head count:
+//  - fuseAttention() collapses every attention subgraph (one per
+//    layer) and DCE removes the unfused chain;
+//  - the fused scalar kernel is BIT-identical to the unfused scalar
+//    subgraph (same dot order, same softmax reduction sequence), and
+//    the bound default tier stays inside the 1e-5 fp32 contract;
+//  - int8 graphs keep their quantization boundaries (attention is
+//    never quantized), so fused int8 serving matches unfused exactly;
+//  - fused plans round-trip through serialize/load bit-identically;
+//  - the Session handle is byte-equivalent to the raw entry points.
+
+struct BuiltProg {
+    std::shared_ptr<ParamStore> store;
+    std::unique_ptr<InferenceProgram> prog;
+};
+
+BuiltProg
+makeDecodeProg(const DecoderConfig &cfg, int64_t streams, bool fused,
+               bool force_scalar)
+{
+    BuiltProg b;
+    b.store = std::make_shared<ParamStore>();
+    Rng rng(7);
+    ModelSpec m = buildDecoderDecode(cfg, streams, rng, b.store.get());
+    CompileOptions opt;
+    opt.numThreads = 1;
+    opt.fuseAttention = fused;
+    opt.forceScalarTier = force_scalar;
+    CompiledGraph c =
+        compileInferenceGraph(m.graph, {m.logits}, opt, b.store);
+    ExecOptions eopt;
+    eopt.variants = std::move(c.variants);
+    eopt.numThreads = 1;
+    eopt.forceScalarTier = force_scalar;
+    b.prog = std::make_unique<InferenceProgram>(
+        std::move(c.graph), b.store, std::move(eopt),
+        std::move(c.report), std::move(c.order));
+    return b;
+}
+
+BuiltProg
+makePrefillProg(const DecoderConfig &cfg, int64_t prompt, bool fused,
+                bool force_scalar)
+{
+    BuiltProg b;
+    b.store = std::make_shared<ParamStore>();
+    Rng rng(7);
+    ModelSpec m = buildDecoderPrefill(cfg, prompt, rng, b.store.get());
+    CompileOptions opt;
+    opt.numThreads = 1;
+    opt.fuseAttention = fused;
+    opt.forceScalarTier = force_scalar;
+    CompiledGraph c =
+        compileInferenceGraph(m.graph, {m.logits}, opt, b.store);
+    ExecOptions eopt;
+    eopt.variants = std::move(c.variants);
+    eopt.numThreads = 1;
+    eopt.forceScalarTier = force_scalar;
+    b.prog = std::make_unique<InferenceProgram>(
+        std::move(c.graph), b.store, std::move(eopt),
+        std::move(c.report), std::move(c.order));
+    return b;
+}
+
+int
+countOps(const Graph &g, OpKind k)
+{
+    int n = 0;
+    for (int id = 0; id < g.numNodes(); ++id)
+        if (g.node(id).op == k)
+            ++n;
+    return n;
+}
+
+/** Decode feeds at generation @p gen for @p streams rows: distinct
+ *  tokens per row, engine-style pos/mask synthesis. */
+std::unordered_map<std::string, Tensor>
+decodeFeeds(const DecoderConfig &cfg, int64_t streams, int64_t gen,
+            int64_t salt)
+{
+    std::vector<float> toks;
+    for (int64_t s = 0; s < streams; ++s)
+        toks.push_back(static_cast<float>((salt + 3 * s + gen) %
+                                          cfg.vocab));
+    Tensor pos({streams, 1});
+    Tensor mask({streams, cfg.maxSeq});
+    for (int64_t s = 0; s < streams; ++s) {
+        pos[s] = static_cast<float>(gen);
+        for (int64_t j = 0; j < cfg.maxSeq; ++j)
+            mask[s * cfg.maxSeq + j] = j <= gen ? 0.0f : -1e30f;
+    }
+    return {{"x", tokenRows(toks)},
+            {"pos", std::move(pos)},
+            {"mask", std::move(mask)}};
+}
+
+void
+expectWithin(const Tensor &a, const Tensor &b, double tol,
+             const std::string &what)
+{
+    ASSERT_EQ(a.shape(), b.shape()) << what;
+    for (int64_t i = 0; i < a.size(); ++i) {
+        double ref = std::abs(static_cast<double>(b[i]));
+        ASSERT_NEAR(a[i], b[i], tol * std::max(1.0, ref))
+            << what << " at " << i;
+    }
+}
+
+TEST(FusedAttention, PassCollapsesEveryLayerAndDceRemovesTheChain)
+{
+    for (int64_t heads : {1, 2, 4}) {
+        DecoderConfig cfg = smallCfg().withHeads(heads);
+        BuiltProg fused = makeDecodeProg(cfg, 4, true, true);
+        BuiltProg plain = makeDecodeProg(cfg, 4, false, true);
+        const Graph &fg = fused.prog->graph();
+        EXPECT_EQ(countOps(fg, OpKind::FusedAttention), cfg.layers)
+            << heads << " heads: one FusedAttention per layer";
+        EXPECT_EQ(countOps(fg, OpKind::Softmax), 0)
+            << heads << " heads: unfused softmax left behind";
+        EXPECT_EQ(countOps(plain.prog->graph(), OpKind::FusedAttention),
+                  0)
+            << "fuseAttention=false must build the unfused reference";
+        EXPECT_EQ(countOps(plain.prog->graph(), OpKind::Softmax),
+                  cfg.layers);
+    }
+}
+
+TEST(FusedAttention, HeadSplitSinksIntoKernelAndShrinksPeakLive)
+{
+    // Multi-head decode: the pass must sink the K/V head-split
+    // (reshape -> permute -> reshape) and the mask broadcast into the
+    // op, so the fused graph holds NO materialized per-head copies —
+    // that is what puts the fused plan's peak-live strictly below the
+    // unfused plan's, where K's copy dies before V's is built.
+    for (int64_t heads : {2, 4}) {
+        DecoderConfig cfg = smallCfg().withHeads(heads);
+        BuiltProg fused = makeDecodeProg(cfg, 4, true, true);
+        BuiltProg plain = makeDecodeProg(cfg, 4, false, true);
+        const Graph &fg = fused.prog->graph();
+        EXPECT_EQ(countOps(fg, OpKind::Permute), 0)
+            << heads << " heads: head-split permute not sunk";
+        EXPECT_EQ(countOps(fg, OpKind::BroadcastTo), 0)
+            << heads << " heads: mask broadcast not sunk";
+        for (int id = 0; id < fg.numNodes(); ++id)
+            if (fg.node(id).op == OpKind::FusedAttention)
+                EXPECT_EQ(fg.node(id).attrs.getInt("heads", 0), heads);
+        EXPECT_LT(fused.prog->report().peakLiveBytes,
+                  plain.prog->report().peakLiveBytes)
+            << heads << " heads: fused decode must plan below unfused";
+    }
+}
+
+TEST(FusedAttention, MultiHeadDecodeParityScalarBitExactDefaultTier1e5)
+{
+    const int64_t B = 4;
+    for (int64_t heads : {1, 2, 4}) {
+        DecoderConfig cfg = smallCfg().withHeads(heads);
+        // Scalar tier: the fused kernel replicates the unfused chain's
+        // dot order and softmax reduction, so parity is BIT-exact.
+        BuiltProg fused = makeDecodeProg(cfg, B, true, true);
+        BuiltProg plain = makeDecodeProg(cfg, B, false, true);
+        for (int64_t gen : {0, 3, 9}) {
+            auto feeds = decodeFeeds(cfg, B, gen, heads);
+            expectBitEqual(fused.prog->run(feeds)[0],
+                           plain.prog->run(feeds)[0],
+                           std::to_string(heads) + " heads, gen " +
+                               std::to_string(gen) + " (scalar)");
+        }
+        // Default tier (AVX2/NEON when the host has it): the fp32
+        // kernel contract is 1e-5 relative.
+        BuiltProg fusedT = makeDecodeProg(cfg, B, true, false);
+        BuiltProg plainT = makeDecodeProg(cfg, B, false, false);
+        for (int64_t gen : {0, 9}) {
+            auto feeds = decodeFeeds(cfg, B, gen, heads);
+            expectWithin(fusedT.prog->run(feeds)[0],
+                         plainT.prog->run(feeds)[0], 1e-5,
+                         std::to_string(heads) + " heads, gen " +
+                             std::to_string(gen) + " (tier)");
+        }
+    }
+}
+
+TEST(FusedAttention, MultiHeadPrefillParity)
+{
+    const int64_t S = 6;
+    for (int64_t heads : {1, 2, 4}) {
+        DecoderConfig cfg = smallCfg().withHeads(heads);
+        BuiltProg fused = makePrefillProg(cfg, S, true, true);
+        BuiltProg plain = makePrefillProg(cfg, S, false, true);
+        auto feeds = std::unordered_map<std::string, Tensor>{
+            {"x", tokenRows({1, 5, 9, 2, 7, 4})}};
+        expectBitEqual(fused.prog->run(feeds)[0],
+                       plain.prog->run(feeds)[0],
+                       std::to_string(heads) + "-head prefill");
+        EXPECT_EQ(countOps(fused.prog->graph(),
+                           OpKind::FusedAttention),
+                  cfg.layers);
+    }
+}
+
+TEST(FusedAttention, Int8BoundariesUnchangedFusedMatchesUnfused)
+{
+    // Attention is never quantized (QuantizePass does not touch
+    // FusedAttention, exactly as it never touched BatchMatMul or
+    // Softmax), so an int8 graph's quantization boundaries are
+    // identical with and without the fusion — fused int8 serving must
+    // match unfused int8 serving bit for bit on the scalar tier.
+    DecoderConfig cfg = smallCfg().withHeads(2);
+    GenEngine fused =
+        makeGenEngine(0, 1, Precision::Int8, cfg, true, true);
+    GenEngine plain =
+        makeGenEngine(0, 1, Precision::Int8, cfg, false, true);
+    Session sf = fused.engine->session();
+    Session sp = plain.engine->session();
+    expectBitEqual(sf.prefill({{"x", tokenRows({3, 1, 4, 1})}})[0],
+                   sp.prefill({{"x", tokenRows({3, 1, 4, 1})}})[0],
+                   "int8 prefill fused vs unfused");
+    for (int t = 0; t < 4; ++t) {
+        float tok = static_cast<float>(5 + t);
+        expectBitEqual(sf.decode({{"x", tokenRows({tok})}})[0],
+                       sp.decode({{"x", tokenRows({tok})}})[0],
+                       "int8 decode step " + std::to_string(t));
+    }
+}
+
+TEST(FusedAttention, FusedPlanRoundTripsBitIdentically)
+{
+    DecoderConfig cfg = smallCfg().withHeads(2);
+    // Default tier on both sides: the loaded plan binds at the host
+    // tier, so the source program must too for bit comparison.
+    BuiltProg b = makeDecodeProg(cfg, 4, true, false);
+    std::string blob =
+        serializePlan(b.prog->graph(), b.prog->executor().exportArtifact(),
+                      b.prog->report(), *b.store);
+
+    PipelineCounters before = pipelineCounters();
+    auto loaded = loadPlanFromBytes(blob);
+    auto feeds = decodeFeeds(cfg, 4, 2, 17);
+    Tensor got = loaded->run(feeds)[0];
+    PipelineCounters after = pipelineCounters();
+    EXPECT_TRUE(before == after)
+        << "loading a fused plan invoked a compile stage";
+
+    EXPECT_EQ(countOps(loaded->graph(), OpKind::FusedAttention),
+              cfg.layers)
+        << "FusedAttention nodes must survive the round trip";
+    expectBitEqual(got, b.prog->run(feeds)[0], "loaded fused logits");
+}
+
+// ---- 7. the unified Session API --------------------------------------
+
+TEST(SessionApi, ByteIdenticalToRawEntryPoints)
+{
+    DecoderConfig cfg = smallCfg().withHeads(2);
+    GenEngine a = makeGenEngine(0, 1, Precision::F32, cfg);
+    GenEngine b = makeGenEngine(0, 1, Precision::F32, cfg);
+
+    // Raw entry points on engine A...
+    ServingEngine &ea = *a.engine;
+    auto sid = ea.openStream();
+    Tensor rawPre = ea.wait(
+        ea.submitPrefill(sid, {{"x", tokenRows({2, 7, 1, 8})}}))[0];
+    std::vector<Tensor> rawSteps;
+    for (int t = 0; t < 3; ++t)
+        rawSteps.push_back(ea.wait(ea.submitDecode(
+            sid, {{"x", tokenRows({static_cast<float>(t + 1)})}}))[0]);
+    Tensor rawShot =
+        ea.wait(ea.submit({{"x", tokenRows({6, 5, 4, 3})}}))[0];
+
+    // ...and the Session surface on the identically-seeded engine B
+    // must produce byte-identical tensors.
+    Session s = b.engine->session();
+    EXPECT_EQ(s.stream(), 0u) << "stream opens lazily on prefill";
+    EXPECT_EQ(s.generation(), 0);
+    expectBitEqual(s.prefill({{"x", tokenRows({2, 7, 1, 8})}})[0],
+                   rawPre, "session prefill");
+    EXPECT_NE(s.stream(), 0u);
+    EXPECT_EQ(s.generation(), 4);
+    for (int t = 0; t < 3; ++t)
+        expectBitEqual(
+            s.decode({{"x", tokenRows({static_cast<float>(t + 1)})}})[0],
+            rawSteps[static_cast<size_t>(t)],
+            "session decode step " + std::to_string(t));
+    expectBitEqual(s.run({{"x", tokenRows({6, 5, 4, 3})}})[0], rawShot,
+                   "session one-shot run");
+
+    // close() releases the stream; the handle can start over.
+    auto old = s.stream();
+    s.close();
+    EXPECT_EQ(s.stream(), 0u);
+    EXPECT_THROW(b.engine->streamGeneration(old), std::out_of_range);
+    expectBitEqual(s.prefill({{"x", tokenRows({2, 7, 1, 8})}})[0],
+                   rawPre, "session prefill after close");
+
+    ea.closeStream(sid);
+}
+
+TEST(SessionApi, DecodeBeforePrefillThrows)
+{
+    GenEngine ge = makeGenEngine(0, 1);
+    Session s = ge.engine->session();
+    EXPECT_THROW(s.decode({{"x", tokenRows({1})}}), std::logic_error);
+
+    // Moving the handle transfers stream ownership.
+    s.prefill({{"x", tokenRows({1, 2, 3, 4})}});
+    auto sid = s.stream();
+    Session t = std::move(s);
+    EXPECT_EQ(t.stream(), sid);
+    EXPECT_EQ(s.stream(), 0u); // NOLINT(bugprone-use-after-move)
+    t.close();
+}
+
+// ---- 8. validated builder setters ------------------------------------
+
+TEST(BuilderSetters, RejectBadValuesNamingTheOffendingField)
+{
+    auto expectNames = [](const std::function<void()> &f,
+                          const std::string &field) {
+        try {
+            f();
+            FAIL() << "expected invalid_argument naming " << field;
+        } catch (const std::invalid_argument &e) {
+            EXPECT_NE(std::string(e.what()).find(field),
+                      std::string::npos)
+                << "error must name " << field << ", got: " << e.what();
+        }
+    };
+
+    DecoderConfig cfg;
+    cfg.withDim(16).withHeads(4).withLayers(2).withMaxSeq(32).withVocab(
+        64);
+    EXPECT_EQ(cfg.dim, 16);
+    EXPECT_EQ(cfg.heads, 4);
+    expectNames([&] { cfg.withHeads(3); }, "heads");
+    expectNames([&] { cfg.withHeads(0); }, "heads");
+    expectNames([&] { cfg.withDim(30); }, "dim"); // 30 % 4 != 0
+    expectNames([&] { cfg.withLayers(0); }, "layers");
+    expectNames([&] { cfg.withMaxSeq(-1); }, "maxSeq");
+    expectNames([&] { cfg.withVocab(0); }, "vocab");
+    expectNames([&] { cfg.withFfDim(0); }, "ffDim");
+    EXPECT_EQ(cfg.heads, 4) << "rejected setter must not mutate";
+
+    ServeOptions so;
+    so.withBuckets({4, 1}).withWorkers(3).withCoalesceWindow(250)
+        .withQueueCapacity(16);
+    EXPECT_EQ(so.workers, 3);
+    EXPECT_EQ(so.coalesceWindowUs, 250);
+    EXPECT_EQ(so.queueCapacity, 16u);
+    expectNames([&] { so.withWorkers(0); }, "workers");
+    expectNames([&] { so.withCoalesceWindow(-5); }, "coalesceWindowUs");
+    expectNames([&] { so.withQueueCapacity(0); }, "queueCapacity");
+    expectNames([&] { so.withBuckets({}); }, "buckets");
+    expectNames([&] { so.withBuckets({4, 0}); }, "buckets");
+    expectNames([&] { so.withDecodeBuckets({-2}); }, "decodeBuckets");
+    EXPECT_EQ(so.workers, 3) << "rejected setter must not mutate";
 }
 
 } // namespace

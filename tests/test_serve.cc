@@ -579,10 +579,10 @@ TEST(Coalescer, NormalizesBucketsAndRoutesSmallestFit)
 TEST(Coalescer, AdmitsWhileTheGroupFitsTheLargestBucket)
 {
     Coalescer c({1, 4, 8}, 100);
-    EXPECT_TRUE(c.admits(1, 1));
-    EXPECT_TRUE(c.admits(3, 5)) << "3+5 exactly fills bucket 8";
-    EXPECT_FALSE(c.admits(7, 2)) << "7+2 exceeds every bucket";
-    EXPECT_FALSE(c.admits(3, 0)) << "zero-row requests never join";
+    EXPECT_TRUE(c.admits({1}, {1}));
+    EXPECT_TRUE(c.admits({3}, {5})) << "3+5 exactly fills bucket 8";
+    EXPECT_FALSE(c.admits({7}, {2})) << "7+2 exceeds every bucket";
+    EXPECT_FALSE(c.admits({3}, {0})) << "zero-row requests never join";
     EXPECT_FALSE(c.full(7));
     EXPECT_TRUE(c.full(8));
 
